@@ -1,0 +1,62 @@
+// Figure 4: test-time attacking curves of SA-RL and the four IMAP attacks on
+// the six sparse-reward locomotion tasks — the victim's success probability
+// (training-time surrogate) as a function of adversary samples. Lower is a
+// stronger attack. Shares its cached runs with bench_table2/3.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace imap;
+using core::AttackKind;
+
+namespace {
+const std::vector<std::string> kEnvs = {
+    "SparseHopper", "SparseWalker2d",        "SparseHalfCheetah",
+    "SparseAnt",    "SparseHumanoidStandup", "SparseHumanoid"};
+
+const std::vector<AttackKind> kAttacks = {
+    AttackKind::SaRl, AttackKind::ImapSC, AttackKind::ImapPC,
+    AttackKind::ImapR, AttackKind::ImapD};
+}  // namespace
+
+int main() {
+  core::ExperimentRunner runner(BenchConfig::from_env());
+  std::cerr << "bench_fig4: scale=" << runner.config().scale << "\n";
+
+  Table series({"Env", "Attack", "Steps", "VictimSuccess"});
+
+  for (const auto& env : kEnvs) {
+    std::cout << "== " << env << " ==\n";
+    for (const auto attack : kAttacks) {
+      core::AttackPlan plan;
+      plan.env_name = env;
+      plan.attack = attack;
+      std::cerr << "  running " << env << " / " << core::to_string(attack)
+                << "...\n";
+      const auto outcome = runner.run(plan);
+
+      // Print ~8 evenly spaced curve points per series.
+      const auto& c = outcome.curve;
+      std::cout << "  " << core::to_string(attack) << ":";
+      const std::size_t stride = std::max<std::size_t>(1, c.size() / 8);
+      for (std::size_t i = 0; i < c.size(); i += stride) {
+        std::cout << "  " << c[i].steps / 1000 << "k:"
+                  << Table::num(c[i].victim_success, 2);
+        series.add_row({env, core::to_string(attack),
+                        std::to_string(c[i].steps),
+                        Table::num(c[i].victim_success, 4)});
+      }
+      if (!c.empty())
+        std::cout << "  (final " << Table::num(c.back().victim_success, 2)
+                  << ")";
+      std::cout << "\n";
+    }
+  }
+
+  series.save_csv("fig4.csv");
+  std::cout << "\nSeries CSV written to fig4.csv (victim success vs adversary "
+               "samples; paper Fig. 4)\n";
+  return 0;
+}

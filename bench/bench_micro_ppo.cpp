@@ -1,0 +1,52 @@
+// Micro-benchmarks of the RL substrate: environment stepping and PPO
+// training throughput — the cost model behind the bench budgets.
+
+#include <benchmark/benchmark.h>
+
+#include "env/registry.h"
+#include "rl/ppo.h"
+
+using namespace imap;
+
+namespace {
+
+void BM_EnvStep(benchmark::State& state, const std::string& name) {
+  auto env = env::make_env(name);
+  Rng rng(7);
+  auto obs = env->reset(rng);
+  const auto action = env->action_space().sample(rng);
+  for (auto _ : state) {
+    auto sr = env->step(action);
+    if (sr.done || sr.truncated) env->reset(rng);
+    benchmark::DoNotOptimize(sr.reward);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_EnvStep, hopper, std::string("Hopper"));
+BENCHMARK_CAPTURE(BM_EnvStep, ant, std::string("Ant"));
+BENCHMARK_CAPTURE(BM_EnvStep, maze, std::string("AntUMaze"));
+BENCHMARK_CAPTURE(BM_EnvStep, fetch, std::string("FetchReach"));
+
+void BM_PolicyForward(benchmark::State& state) {
+  Rng rng(7);
+  nn::GaussianPolicy policy(17, 6, {32, 32}, rng);
+  const auto obs = rng.normal_vec(17);
+  for (auto _ : state) benchmark::DoNotOptimize(policy.mean_action(obs));
+}
+BENCHMARK(BM_PolicyForward);
+
+void BM_PpoIteration(benchmark::State& state) {
+  auto env = env::make_env("Hopper");
+  rl::PpoOptions opts;
+  opts.steps_per_iter = static_cast<int>(state.range(0));
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  for (auto _ : state) {
+    auto stats = trainer.iterate();
+    benchmark::DoNotOptimize(stats.mean_return);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PpoIteration)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,19 @@
+#include "attack/ap_marl.h"
+
+namespace imap::attack {
+
+ApMarl::ApMarl(const env::MultiAgentEnv& game, rl::ActionFn victim,
+               rl::PpoOptions ppo, Rng rng) {
+  OpponentEnv attack_env(game, std::move(victim));
+  trainer_ = std::make_unique<rl::PpoTrainer>(attack_env, ppo, rng);
+}
+
+rl::ActionFn ApMarl::adversary() const {
+  auto snapshot =
+      std::make_shared<nn::GaussianPolicy>(trainer_->policy());
+  return [snapshot](const std::vector<double>& obs) {
+    return snapshot->mean_action(obs);
+  };
+}
+
+}  // namespace imap::attack

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "attack/threat_model.h"
+#include "rl/ppo.h"
+
+namespace imap::attack {
+
+/// AP-MARL (Gleave et al.): the multi-agent adversarial-policy baseline —
+/// plain PPO on the adversary-side MDP with the sparse win/lose reward and
+/// Gaussian dithering exploration. IMAP differs from this only by the
+/// adversarial intrinsic regularizer and BR (Sec. 6.3.3).
+class ApMarl {
+ public:
+  ApMarl(const env::MultiAgentEnv& game, rl::ActionFn victim,
+         rl::PpoOptions ppo, Rng rng);
+
+  rl::IterStats iterate() { return trainer_->iterate(); }
+  std::vector<rl::IterStats> train(long long steps) {
+    return trainer_->train(steps);
+  }
+
+  rl::ActionFn adversary() const;
+  rl::PpoTrainer& trainer() { return *trainer_; }
+
+ private:
+  std::unique_ptr<rl::PpoTrainer> trainer_;
+};
+
+}  // namespace imap::attack

@@ -1,0 +1,57 @@
+#include "attack/gradient_attack.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::attack {
+
+namespace {
+
+/// Shared PGD core: ascend ‖μ(s+δ) − μ(s)‖² over the ε-ball, return δ/ε
+/// (the normalised direction the threat-model wrapper expects).
+std::vector<double> mad_direction(const nn::Mlp& net,
+                                  const std::vector<double>& s, double eps,
+                                  int pgd_steps) {
+  const auto mu_clean = net.forward(s);
+  // Deterministic non-zero start: at δ = 0 the objective's gradient
+  // vanishes identically, so seed with a small alternating pattern.
+  std::vector<double> delta(s.size());
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    delta[i] = (i % 2 ? 0.1 : -0.1) * eps;
+  std::vector<double> adv = s;
+  for (int step = 0; step < pgd_steps; ++step) {
+    for (std::size_t i = 0; i < s.size(); ++i) adv[i] = s[i] + delta[i];
+    nn::Mlp::Tape tape;
+    const auto mu = net.forward_tape(adv, tape);
+    std::vector<double> grad_out(mu.size());
+    for (std::size_t i = 0; i < mu.size(); ++i)
+      grad_out[i] = 2.0 * (mu[i] - mu_clean[i]);
+    const auto g = net.input_gradient(tape, grad_out);
+    // FGSM step: jump to the sign corner (for the 1-step case this is the
+    // standard FGSM; further steps can flip coordinates whose gradient sign
+    // changed at the corner).
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      delta[i] = (g[i] >= 0.0 ? eps : -eps);
+  }
+  for (auto& d : delta) d /= eps;  // direction in [−1, 1]^d
+  return delta;
+}
+
+}  // namespace
+
+rl::ActionFn make_mad_attack(const nn::GaussianPolicy& victim, double eps,
+                             int pgd_steps) {
+  IMAP_CHECK(eps > 0.0);
+  IMAP_CHECK(pgd_steps >= 1);
+  auto snapshot = std::make_shared<nn::GaussianPolicy>(victim);
+  return [snapshot, eps, pgd_steps](const std::vector<double>& obs) {
+    return mad_direction(snapshot->net(), obs, eps, pgd_steps);
+  };
+}
+
+rl::ActionFn make_fgsm_attack(const nn::GaussianPolicy& victim, double eps) {
+  return make_mad_attack(victim, eps, /*pgd_steps=*/1);
+}
+
+}  // namespace imap::attack

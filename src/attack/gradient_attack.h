@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/gaussian.h"
+#include "rl/evaluate.h"
+
+namespace imap::attack {
+
+/// White-box gradient-based evasion baselines (paper Sec. 2 / Appendix A:
+/// the *other* class of attacks, which — unlike adversarial policies —
+/// require access to the victim network's parameters).
+///
+/// MAD (Maximal Action Difference, Zhang et al. 2020): at every step choose
+/// the ℓ∞-bounded perturbation that maximises ‖μ(s+δ) − μ(s)‖² by projected
+/// gradient ascent on the victim's own network. Returned as an ActionFn that
+/// emits the normalised perturbation *direction* (the threat-model wrapper
+/// applies the ε scaling), so it plugs into the same evaluation harness as
+/// the black-box attacks.
+rl::ActionFn make_mad_attack(const nn::GaussianPolicy& victim, double eps,
+                             int pgd_steps = 3);
+
+/// One-shot FGSM flavour of the same objective (pgd_steps = 1, zero start):
+/// δ = sign(∇_s ‖μ(s+δ) − μ(s)‖²)|_{δ=0}. Weaker but cheaper — the classic
+/// first-order baseline.
+rl::ActionFn make_fgsm_attack(const nn::GaussianPolicy& victim, double eps);
+
+}  // namespace imap::attack

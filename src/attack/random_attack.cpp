@@ -1,0 +1,18 @@
+#include "attack/random_attack.h"
+
+namespace imap::attack {
+
+rl::ActionFn make_random_attack(std::size_t obs_dim, Rng rng) {
+  auto shared_rng = std::make_shared<Rng>(rng);
+  return [obs_dim, shared_rng](const std::vector<double>&) {
+    return shared_rng->uniform_vec(obs_dim, -1.0, 1.0);
+  };
+}
+
+rl::ActionFn make_null_attack(std::size_t obs_dim) {
+  return [obs_dim](const std::vector<double>&) {
+    return std::vector<double>(obs_dim, 0.0);
+  };
+}
+
+}  // namespace imap::attack

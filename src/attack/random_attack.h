@@ -1,0 +1,17 @@
+#pragma once
+
+#include <memory>
+
+#include "rl/evaluate.h"
+
+namespace imap::attack {
+
+/// The "Random" column of Table 1: uniform noise in the ε-ball on every
+/// observation dimension — the weakest attack, a sanity baseline.
+/// Returns a stateful ActionFn (it carries its own RNG).
+rl::ActionFn make_random_attack(std::size_t obs_dim, Rng rng);
+
+/// The "No Attack" column: the zero perturbation.
+rl::ActionFn make_null_attack(std::size_t obs_dim);
+
+}  // namespace imap::attack

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+
+#include "attack/threat_model.h"
+#include "rl/ppo.h"
+
+namespace imap::attack {
+
+/// SA-RL (Zhang et al.): the optimal black-box state adversary learned by
+/// plain PPO in the SA-MDP. This is the paper's single-agent baseline.
+///
+/// The original SA-RL trains on the victim's training-time reward r_E^ν —
+/// a relaxation of the black-box model. As in the paper's experiments
+/// (Sec. 6.2), our implementation uses the same surrogate −r̂_E^ν as IMAP so
+/// the comparison is apples-to-apples; exploration is PPO's Gaussian
+/// dithering and nothing else.
+class SaRl {
+ public:
+  /// `relaxed` reproduces the ORIGINAL SA-RL threat model that trains on the
+  /// victim's true (negated) training reward instead of the black-box
+  /// surrogate — used only by the ablation bench.
+  SaRl(const rl::Env& deploy_env, rl::ActionFn victim, double eps,
+       rl::PpoOptions ppo, Rng rng, bool relaxed = false);
+
+  rl::IterStats iterate() { return trainer_->iterate(); }
+  std::vector<rl::IterStats> train(long long steps) {
+    return trainer_->train(steps);
+  }
+
+  /// Deterministic adversary (mean policy) for evaluation.
+  rl::ActionFn adversary() const;
+
+  rl::PpoTrainer& trainer() { return *trainer_; }
+
+ private:
+  std::unique_ptr<rl::PpoTrainer> trainer_;
+};
+
+}  // namespace imap::attack

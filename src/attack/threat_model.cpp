@@ -1,0 +1,107 @@
+#include "attack/threat_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imap::attack {
+
+StatePerturbationEnv::StatePerturbationEnv(const rl::Env& inner,
+                                           rl::ActionFn victim, double eps,
+                                           RewardMode mode)
+    : inner_(inner.clone()),
+      victim_(std::move(victim)),
+      eps_(eps),
+      mode_(mode),
+      act_space_(inner.obs_dim(), 1.0) {
+  IMAP_CHECK(eps_ >= 0.0);
+  IMAP_CHECK(victim_ != nullptr);
+}
+
+StatePerturbationEnv::StatePerturbationEnv(const StatePerturbationEnv& other)
+    : inner_(other.inner_->clone()),
+      victim_(other.victim_),
+      eps_(other.eps_),
+      mode_(other.mode_),
+      act_space_(other.act_space_),
+      cur_obs_(other.cur_obs_) {}
+
+std::vector<double> StatePerturbationEnv::reset(Rng& rng) {
+  cur_obs_ = inner_->reset(rng);
+  return cur_obs_;
+}
+
+rl::StepResult StatePerturbationEnv::step(const std::vector<double>& action) {
+  IMAP_CHECK(action.size() == inner_->obs_dim());
+  const auto a = act_space_.clamp(action);
+
+  // Perturb the victim's view: s + ε·a^α (ℓ∞ budget by construction).
+  std::vector<double> perturbed = cur_obs_;
+  for (std::size_t i = 0; i < perturbed.size(); ++i)
+    perturbed[i] += eps_ * a[i];
+
+  const auto victim_action =
+      inner_->action_space().clamp(victim_(perturbed));
+  rl::StepResult sr = inner_->step(victim_action);
+  cur_obs_ = sr.obs;
+
+  if (mode_ == RewardMode::Adversary)
+    sr.reward = -sr.surrogate;
+  else if (mode_ == RewardMode::AdversaryRelaxed)
+    sr.reward = -sr.reward;  // the original SA-RL's relaxed objective
+  // VictimTrue keeps the inner reward untouched.
+  return sr;
+}
+
+OpponentEnv::OpponentEnv(const env::MultiAgentEnv& game, rl::ActionFn victim)
+    : game_(game.clone()), victim_(std::move(victim)) {
+  IMAP_CHECK(victim_ != nullptr);
+}
+
+OpponentEnv::OpponentEnv(const OpponentEnv& other)
+    : game_(other.game_->clone()),
+      victim_(other.victim_),
+      cur_obs_v_(other.cur_obs_v_) {}
+
+std::vector<double> OpponentEnv::reset(Rng& rng) {
+  auto [obs_v, obs_a] = game_->reset(rng);
+  cur_obs_v_ = std::move(obs_v);
+  return obs_a;
+}
+
+rl::StepResult OpponentEnv::step(const std::vector<double>& action) {
+  const auto act_v =
+      game_->victim_action_space().clamp(victim_(cur_obs_v_));
+  const auto act_a = game_->adversary_action_space().clamp(action);
+  env::MaStepResult ma = game_->step(act_v, act_a);
+  cur_obs_v_ = std::move(ma.obs_v);
+
+  rl::StepResult sr;
+  sr.obs = std::move(ma.obs_a);
+  sr.done = ma.done;
+  sr.truncated = ma.truncated;
+  const bool over = ma.done || ma.truncated;
+  sr.task_completed = over && ma.victim_won;
+  sr.surrogate = sr.task_completed ? 1.0 : 0.0;
+  sr.reward = over ? (ma.victim_won ? -1.0 : 0.0) : 0.0;
+  sr.fell = false;
+  return sr;
+}
+
+rl::EvalStats evaluate_attack(const rl::Env& deploy_env,
+                              const rl::ActionFn& victim,
+                              const rl::ActionFn& adversary, double eps,
+                              int episodes, Rng& rng) {
+  StatePerturbationEnv env(deploy_env, victim, eps, RewardMode::VictimTrue);
+  return rl::evaluate(env, adversary, episodes, rng);
+}
+
+rl::EvalStats evaluate_opponent_attack(const env::MultiAgentEnv& game,
+                                       const rl::ActionFn& victim,
+                                       const rl::ActionFn& adversary,
+                                       int episodes, Rng& rng) {
+  OpponentEnv env(game, victim);
+  return rl::evaluate(env, adversary, episodes, rng);
+}
+
+}  // namespace imap::attack

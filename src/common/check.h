@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace imap {
+
+/// Error type thrown by IMAP_CHECK failures; carries the failing expression
+/// and the caller-provided message.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace imap
+
+/// Precondition / invariant check. Always on (these guard library contracts,
+/// not hot inner loops), throws imap::CheckError on failure.
+#define IMAP_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::imap::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                              std::string{});              \
+  } while (false)
+
+#define IMAP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::imap::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                      \
+  } while (false)

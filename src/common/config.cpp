@@ -1,0 +1,36 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace imap {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+int BenchConfig::scaled(int base, int min_value) const {
+  const double s = static_cast<double>(base) * scale;
+  return std::max(min_value, static_cast<int>(s));
+}
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig cfg;
+  cfg.scale = env_double("IMAP_BENCH_SCALE", 1.0);
+  cfg.zoo_dir = env_string("IMAP_ZOO_DIR", "./zoo");
+  cfg.seed = static_cast<std::uint64_t>(env_double("IMAP_SEED", 7.0));
+  return cfg;
+}
+
+}  // namespace imap

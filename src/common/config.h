@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+namespace imap {
+
+/// Runtime knobs shared by the bench harnesses, read once from the
+/// environment:
+///   IMAP_BENCH_SCALE — multiplies all training-step and eval-episode budgets
+///                      (default 1.0; use e.g. 0.1 for a smoke run).
+///   IMAP_ZOO_DIR     — directory for cached victim checkpoints
+///                      (default "./zoo").
+///   IMAP_SEED        — base experiment seed (default 7).
+struct BenchConfig {
+  double scale = 1.0;
+  std::string zoo_dir = "./zoo";
+  std::uint64_t seed = 7;
+
+  /// Scale a step/episode budget, clamped to at least `min_value`.
+  int scaled(int base, int min_value = 1) const;
+
+  static BenchConfig from_env();
+};
+
+/// Read a double env var with default.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var with default.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace imap

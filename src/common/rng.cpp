@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+namespace imap {
+
+namespace {
+// SplitMix64 — used to decorrelate seeds before feeding the Mersenne twister
+// and to derive child streams.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), gen_(splitmix64(seed)) {}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(gen_);
+}
+
+std::vector<double> Rng::uniform_vec(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::normal_vec(std::size_t n, double mean,
+                                    double stddev) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal(mean, stddev);
+  return v;
+}
+
+Rng Rng::split(std::uint64_t stream) {
+  return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x5851f42d4c957f2dULL)));
+}
+
+std::uint64_t Rng::next_u64() { return gen_(); }
+
+}  // namespace imap

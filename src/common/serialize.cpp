@@ -1,0 +1,105 @@
+#include "common/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace imap {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'I', 'M', 'A', 'P'};
+constexpr std::uint64_t kVersion = 1;
+
+template <class T>
+void append_pod(std::vector<std::uint8_t>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::write_u64(std::uint64_t v) { append_pod(buf_, v); }
+void BinaryWriter::write_i64(std::int64_t v) { append_pod(buf_, v); }
+void BinaryWriter::write_f64(double v) { append_pod(buf_, v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::write_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (double x : v) write_f64(x);
+}
+
+bool BinaryWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(kMagic), sizeof(kMagic));
+  std::uint64_t ver = kVersion;
+  f.write(reinterpret_cast<const char*>(&ver), sizeof(ver));
+  f.write(reinterpret_cast<const char*>(buf_.data()),
+          static_cast<std::streamsize>(buf_.size()));
+  return static_cast<bool>(f);
+}
+
+BinaryReader::BinaryReader(std::vector<std::uint8_t> data)
+    : buf_(std::move(data)) {}
+
+bool BinaryReader::load(const std::string& path, BinaryReader& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(f)),
+                                 std::istreambuf_iterator<char>());
+  IMAP_CHECK_MSG(data.size() >= sizeof(kMagic) + sizeof(std::uint64_t),
+                 "checkpoint file too short: " << path);
+  IMAP_CHECK_MSG(std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0,
+                 "bad checkpoint magic in " << path);
+  std::uint64_t ver = 0;
+  std::memcpy(&ver, data.data() + sizeof(kMagic), sizeof(ver));
+  IMAP_CHECK_MSG(ver == kVersion, "unsupported checkpoint version " << ver);
+  out = BinaryReader(std::vector<std::uint8_t>(
+      data.begin() + sizeof(kMagic) + sizeof(std::uint64_t), data.end()));
+  return true;
+}
+
+void BinaryReader::need(std::size_t n) const {
+  IMAP_CHECK_MSG(pos_ + n <= buf_.size(), "checkpoint truncated");
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  need(sizeof(std::uint64_t));
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+double BinaryReader::read_f64() {
+  need(sizeof(double));
+  double v = 0;
+  std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> BinaryReader::read_vec() {
+  const auto n = read_u64();
+  std::vector<double> v(n);
+  for (auto& x : v) x = read_f64();
+  return v;
+}
+
+}  // namespace imap

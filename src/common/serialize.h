@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imap {
+
+/// Minimal binary serialisation used for model checkpoints (the "zoo").
+///
+/// Format: little-endian PODs, vectors length-prefixed with uint64, strings
+/// likewise. A 4-byte magic + version header guards against reading foreign
+/// files as checkpoints.
+class BinaryWriter {
+ public:
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_vec(const std::vector<double>& v);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+  /// Write the accumulated buffer to a file (with header). Returns false on
+  /// I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> data);
+
+  /// Load a file written by BinaryWriter::save; throws CheckError on a bad
+  /// header and returns nullopt-like empty reader on missing file.
+  static bool load(const std::string& path, BinaryReader& out);
+
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_f64();
+  std::string read_string();
+  std::vector<double> read_vec();
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace imap

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imap {
+
+/// Mean of a sample (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator; 0 for n < 2).
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Streaming mean/variance (Welford). Numerically stable; O(1) per update.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Summary of a set of episode returns, as reported in the paper's tables
+/// ("average episode rewards ± standard deviation").
+struct ReturnSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t episodes = 0;
+};
+
+ReturnSummary summarize(const std::vector<double>& returns);
+
+}  // namespace imap

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace imap {
+
+/// Plain-text table printer used by the bench harnesses to emit the paper's
+/// tables, plus a CSV sink so results can be post-processed.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Fixed-precision formatting helper for numeric cells.
+  static std::string num(double v, int precision = 2);
+
+  /// "mean ± std" cell, as the paper prints.
+  static std::string pm(double mean, double stddev, int precision = 0);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+
+  /// Comma-separated dump (header + rows).
+  std::string to_csv() const;
+
+  /// Write CSV to a file; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imap

@@ -1,0 +1,32 @@
+#include "core/bias_reduction.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imap::core {
+
+BiasReduction::BiasReduction(bool enabled, double eta, double tau_fixed)
+    : enabled_(enabled), eta_(eta), tau_fixed_(tau_fixed) {
+  IMAP_CHECK(eta_ >= 0.0);
+  IMAP_CHECK(tau_fixed_ >= 0.0);
+}
+
+double BiasReduction::tau() const {
+  if (!enabled_) return tau_fixed_;
+  return 1.0 / (1.0 + lambda_);
+}
+
+void BiasReduction::observe(double j_ap) {
+  if (!enabled_) return;
+  if (!has_prev_) {
+    prev_j_ = j_ap;
+    has_prev_ = true;
+    return;
+  }
+  const double delta = j_ap - prev_j_;
+  lambda_ = std::max(0.0, lambda_ - eta_ * delta);
+  prev_j_ = j_ap;
+}
+
+}  // namespace imap::core

@@ -1,0 +1,39 @@
+#pragma once
+
+namespace imap::core {
+
+/// Bias-Reduction (Sec. 5.4, Eq. 15–17): an adaptive temperature schedule
+/// enforcing the approximate adversarial-optimality constraint
+/// J_AP(π_{k+1}) ≥ J_AP(π_k) via a Lagrangian dual ascent:
+///
+///   τ_k       = 1 / (1 + λ_k)                         (Eq. 16)
+///   λ_{k+1}   = max(0, λ_k − η·(J_AP(π_{k+1}) − J_AP(π_k)))   (Eq. 17)
+///
+/// λ_0 = 0 ⇒ τ_0 = 1: early training explores at full intrinsic strength;
+/// whenever the adversary's objective J_AP *degrades* (the regularizer is
+/// distracting the AP), λ grows and τ shrinks, shifting the AP toward pure
+/// exploitation. When disabled, τ stays at the fixed value `tau_fixed`.
+class BiasReduction {
+ public:
+  BiasReduction(bool enabled, double eta, double tau_fixed = 1.0);
+
+  /// Temperature for the upcoming iteration.
+  double tau() const;
+
+  /// Feed the latest measured J_AP (e.g. −mean episode surrogate). The first
+  /// observation only initialises the baseline.
+  void observe(double j_ap);
+
+  double lambda() const { return lambda_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  double eta_;
+  double tau_fixed_;
+  double lambda_ = 0.0;
+  bool has_prev_ = false;
+  double prev_j_ = 0.0;
+};
+
+}  // namespace imap::core

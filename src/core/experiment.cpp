@@ -1,0 +1,292 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "common/serialize.h"
+
+#include "attack/ap_marl.h"
+#include "attack/random_attack.h"
+#include "attack/sa_rl.h"
+#include "common/check.h"
+#include "env/registry.h"
+
+namespace imap::core {
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::None: return "No Attack";
+    case AttackKind::Random: return "Random";
+    case AttackKind::SaRl: return "SA-RL";
+    case AttackKind::ApMarl: return "AP-MARL";
+    case AttackKind::ImapSC: return "IMAP-SC";
+    case AttackKind::ImapPC: return "IMAP-PC";
+    case AttackKind::ImapR: return "IMAP-R";
+    case AttackKind::ImapD: return "IMAP-D";
+  }
+  return "?";
+}
+
+bool is_imap(AttackKind kind) {
+  return kind == AttackKind::ImapSC || kind == AttackKind::ImapPC ||
+         kind == AttackKind::ImapR || kind == AttackKind::ImapD;
+}
+
+RegularizerType regularizer_of(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::ImapSC: return RegularizerType::SC;
+    case AttackKind::ImapPC: return RegularizerType::PC;
+    case AttackKind::ImapR: return RegularizerType::R;
+    case AttackKind::ImapD: return RegularizerType::D;
+    default: break;
+  }
+  IMAP_CHECK_MSG(false, to_string(kind) << " is not an IMAP attack");
+  return RegularizerType::SC;  // unreachable
+}
+
+std::vector<AttackKind> imap_attacks() {
+  return {AttackKind::ImapSC, AttackKind::ImapPC, AttackKind::ImapR,
+          AttackKind::ImapD};
+}
+
+ExperimentRunner::ExperimentRunner(BenchConfig cfg)
+    : cfg_(cfg), zoo_(cfg.zoo_dir, cfg.scale, cfg.seed) {}
+
+long long ExperimentRunner::default_attack_steps(
+    const std::string& env_name) const {
+  long long base = 80'000;
+  switch (env::spec(env_name).type) {
+    case env::TaskType::DenseLocomotion: base = 120'000; break;
+    case env::TaskType::SparseLocomotion: base = 160'000; break;
+    case env::TaskType::Navigation: base = 160'000; break;
+    case env::TaskType::Manipulation: base = 80'000; break;
+    case env::TaskType::MultiAgent: base = 120'000; break;
+  }
+  return std::max<long long>(4096,
+                             static_cast<long long>(base * cfg_.scale));
+}
+
+int ExperimentRunner::default_eval_episodes(
+    const std::string& env_name) const {
+  // Paper: 300 episodes (Table 1), 1000 (Table 2), game win rates (Fig. 5).
+  int base = 100;
+  switch (env::spec(env_name).type) {
+    case env::TaskType::DenseLocomotion: base = 100; break;
+    case env::TaskType::MultiAgent: base = 200; break;
+    default: base = 200; break;
+  }
+  return std::max(10, static_cast<int>(base * std::min(1.0, cfg_.scale * 2)));
+}
+
+rl::PpoOptions ExperimentRunner::attack_ppo_options() const {
+  return rl::PpoOptions{};  // library defaults, shared by every attack
+
+}
+
+Rng ExperimentRunner::plan_rng(const AttackPlan& plan) const {
+  Rng seeder(cfg_.seed);
+  std::uint64_t stream = 0;
+  const std::string key = plan.env_name + "|" + plan.defense + "|" +
+                          to_string(plan.attack) +
+                          (plan.bias_reduction ? "|BR" : "");
+  for (const char c : key) stream = stream * 131 + static_cast<unsigned char>(c);
+  return seeder.split(stream ^ 0xa77ac4ULL);
+}
+
+ImapOptions ExperimentRunner::imap_options(const AttackPlan& plan,
+                                           const std::string& env_name) const {
+  ImapOptions opts;
+  opts.reg.type = regularizer_of(plan.attack);
+  opts.reg.xi = plan.xi;
+  opts.bias_reduction = plan.bias_reduction;
+  opts.eta = plan.eta;
+  opts.tau0 = plan.tau0;
+  opts.ppo = attack_ppo_options();
+  // Dense tasks: per-step surrogate indicators sum to O(max_steps) per
+  // episode; normalise so BR's η has a task-independent meaning.
+  if (env::spec(env_name).type == env::TaskType::DenseLocomotion)
+    opts.surrogate_scale = env::make_env(env_name)->max_steps();
+  return opts;
+}
+
+namespace {
+std::vector<CurvePoint> curve_from(const std::vector<rl::IterStats>& stats) {
+  std::vector<CurvePoint> curve;
+  curve.reserve(stats.size());
+  for (const auto& s : stats)
+    curve.push_back({s.total_steps, s.mean_surrogate, s.tau});
+  return curve;
+}
+}  // namespace
+
+AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
+  const auto deploy_env = env::make_env(plan.env_name);
+  const auto victim_policy = zoo_.victim(plan.env_name, plan.defense);
+  const auto victim = Zoo::as_fn(victim_policy);
+  const double eps = env::spec(plan.env_name).epsilon;
+
+  Rng rng = plan_rng(plan);
+  const long long steps =
+      plan.attack_steps ? plan.attack_steps
+                        : default_attack_steps(plan.env_name);
+  const int episodes = plan.eval_episodes
+                           ? plan.eval_episodes
+                           : default_eval_episodes(plan.env_name);
+
+  AttackOutcome out;
+  out.plan = plan;
+  Rng eval_rng = rng.split(0xe7a1ULL);
+
+  switch (plan.attack) {
+    case AttackKind::None: {
+      out.victim_eval = attack::evaluate_attack(
+          *deploy_env, victim, attack::make_null_attack(deploy_env->obs_dim()),
+          eps, episodes, eval_rng);
+      return out;
+    }
+    case AttackKind::Random: {
+      out.victim_eval = attack::evaluate_attack(
+          *deploy_env, victim,
+          attack::make_random_attack(deploy_env->obs_dim(), rng.split(3)),
+          eps, episodes, eval_rng);
+      return out;
+    }
+    case AttackKind::SaRl: {
+      attack::SaRl attacker(*deploy_env, victim, eps, attack_ppo_options(),
+                            rng);
+      out.curve = curve_from(attacker.train(steps));
+      out.victim_eval = attack::evaluate_attack(
+          *deploy_env, victim, attacker.adversary(), eps, episodes, eval_rng);
+      return out;
+    }
+    case AttackKind::ApMarl:
+      IMAP_CHECK_MSG(false, "AP-MARL is a multi-agent attack");
+      return out;
+    default: {
+      ImapTrainer attacker(*deploy_env, victim, eps,
+                           imap_options(plan, plan.env_name), rng);
+      out.curve = curve_from(attacker.train(steps));
+      out.victim_eval = attack::evaluate_attack(
+          *deploy_env, victim, attacker.adversary(), eps, episodes, eval_rng);
+      return out;
+    }
+  }
+}
+
+AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan) {
+  const auto game = env::make_multiagent_env(plan.env_name);
+  const auto victim_policy = zoo_.game_victim(plan.env_name);
+  const auto victim = Zoo::as_fn(victim_policy);
+
+  Rng rng = plan_rng(plan);
+  const long long steps =
+      plan.attack_steps ? plan.attack_steps
+                        : default_attack_steps(plan.env_name);
+  const int episodes = plan.eval_episodes
+                           ? plan.eval_episodes
+                           : default_eval_episodes(plan.env_name);
+
+  AttackOutcome out;
+  out.plan = plan;
+  Rng eval_rng = rng.split(0xe7a1ULL);
+
+  if (plan.attack == AttackKind::ApMarl) {
+    attack::ApMarl attacker(*game, victim, attack_ppo_options(), rng);
+    out.curve = curve_from(attacker.train(steps));
+    out.victim_eval = attack::evaluate_opponent_attack(
+        *game, victim, attacker.adversary(), episodes, eval_rng);
+    return out;
+  }
+  IMAP_CHECK_MSG(is_imap(plan.attack),
+                 to_string(plan.attack) << " unsupported in multi-agent");
+  ImapTrainer attacker(*game, victim, imap_options(plan, plan.env_name), rng);
+  out.curve = curve_from(attacker.train(steps));
+  out.victim_eval = attack::evaluate_opponent_attack(
+      *game, victim, attacker.adversary(), episodes, eval_rng);
+  return out;
+}
+
+std::string ExperimentRunner::cache_key(const AttackPlan& plan,
+                                        long long steps, int episodes) const {
+  std::ostringstream os;
+  os << plan.env_name << '|' << plan.defense << '|' << to_string(plan.attack)
+     << '|' << (plan.bias_reduction ? 1 : 0) << '|' << plan.eta << '|'
+     << plan.xi << '|' << plan.tau0 << '|' << steps << '|' << episodes << '|'
+     << cfg_.seed << '|' << cfg_.scale;
+  // FNV-1a over the readable key keeps filenames short and portable.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : os.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::ostringstream name;
+  name << plan.env_name << '_' << to_string(plan.attack)
+       << (plan.bias_reduction ? "_BR" : "") << '_' << std::hex << h;
+  std::string key = name.str();
+  for (auto& c : key)
+    if (c == ' ' || c == '/') c = '-';
+  return key;
+}
+
+bool ExperimentRunner::load_cached(const std::string& key,
+                                   AttackOutcome& out) const {
+  BinaryReader r({});
+  if (!BinaryReader::load(cfg_.zoo_dir + "/results/" + key + ".res", r))
+    return false;
+  out.victim_eval.returns.mean = r.read_f64();
+  out.victim_eval.returns.stddev = r.read_f64();
+  out.victim_eval.returns.episodes = r.read_u64();
+  out.victim_eval.success_rate = r.read_f64();
+  out.victim_eval.mean_length = r.read_f64();
+  out.victim_eval.episode_returns = r.read_vec();
+  const auto n = r.read_u64();
+  out.curve.resize(n);
+  for (auto& p : out.curve) {
+    p.steps = r.read_i64();
+    p.victim_success = r.read_f64();
+    p.tau = r.read_f64();
+  }
+  return true;
+}
+
+void ExperimentRunner::store_cached(const std::string& key,
+                                    const AttackOutcome& out) const {
+  std::filesystem::create_directories(cfg_.zoo_dir + "/results");
+  BinaryWriter w;
+  w.write_f64(out.victim_eval.returns.mean);
+  w.write_f64(out.victim_eval.returns.stddev);
+  w.write_u64(out.victim_eval.returns.episodes);
+  w.write_f64(out.victim_eval.success_rate);
+  w.write_f64(out.victim_eval.mean_length);
+  w.write_vec(out.victim_eval.episode_returns);
+  w.write_u64(out.curve.size());
+  for (const auto& p : out.curve) {
+    w.write_i64(p.steps);
+    w.write_f64(p.victim_success);
+    w.write_f64(p.tau);
+  }
+  w.save(cfg_.zoo_dir + "/results/" + key + ".res");
+}
+
+AttackOutcome ExperimentRunner::run(const AttackPlan& plan) {
+  const long long steps = plan.attack_steps
+                              ? plan.attack_steps
+                              : default_attack_steps(plan.env_name);
+  const int episodes = plan.eval_episodes
+                           ? plan.eval_episodes
+                           : default_eval_episodes(plan.env_name);
+  const auto key = cache_key(plan, steps, episodes);
+  AttackOutcome cached;
+  cached.plan = plan;
+  if (load_cached(key, cached)) return cached;
+
+  AttackOutcome out =
+      env::spec(plan.env_name).type == env::TaskType::MultiAgent
+          ? run_multi_agent(plan)
+          : run_single_agent(plan);
+  store_cached(key, out);
+  return out;
+}
+
+}  // namespace imap::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/imap_trainer.h"
+#include "core/zoo.h"
+#include "rl/evaluate.h"
+
+namespace imap::core {
+
+/// The attack columns of Tables 1–3.
+enum class AttackKind {
+  None,
+  Random,
+  SaRl,    ///< single-agent baseline (Zhang et al.)
+  ApMarl,  ///< multi-agent baseline (Gleave et al.)
+  ImapSC,
+  ImapPC,
+  ImapR,
+  ImapD,
+};
+
+std::string to_string(AttackKind kind);
+bool is_imap(AttackKind kind);
+RegularizerType regularizer_of(AttackKind kind);
+
+/// IMAP attack variants in Table 1/2 column order.
+std::vector<AttackKind> imap_attacks();
+
+struct AttackPlan {
+  std::string env_name;        ///< task (single- or multi-agent)
+  std::string defense = "PPO"; ///< victim training method (single-agent)
+  AttackKind attack = AttackKind::ImapPC;
+  bool bias_reduction = false;
+  double eta = 5.0;   ///< BR dual step size (Fig. 6 sweeps this; larger = better per the paper)
+  double xi = 0.5;    ///< multi-agent marginal mixing (Fig. 7 sweeps this)
+  double tau0 = 1.0;
+  long long attack_steps = 0;  ///< 0 ⇒ runner default for the task type
+  int eval_episodes = 0;       ///< 0 ⇒ runner default
+};
+
+/// One point of a learning curve (Figs. 4–7): adversary training steps vs
+/// the victim's training-time surrogate performance.
+struct CurvePoint {
+  long long steps = 0;
+  double victim_success = 0.0;  ///< mean per-episode surrogate (victim PoV)
+  double tau = 0.0;
+};
+
+struct AttackOutcome {
+  AttackPlan plan;
+  rl::EvalStats victim_eval;  ///< victim TRUE rewards / success under attack
+  std::vector<CurvePoint> curve;
+
+  /// Multi-agent attacking success rate (ASR = 1 − victim win rate).
+  double asr() const { return 1.0 - victim_eval.success_rate; }
+};
+
+/// Shared harness behind all bench binaries: owns the zoo, derives budgets
+/// from BenchConfig, trains the requested attack and evaluates it against
+/// the deployed victim.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(BenchConfig cfg);
+
+  AttackOutcome run(const AttackPlan& plan);
+
+  Zoo& zoo() { return zoo_; }
+  const BenchConfig& config() const { return cfg_; }
+
+  long long default_attack_steps(const std::string& env_name) const;
+  int default_eval_episodes(const std::string& env_name) const;
+
+  /// PPO options shared by all attacks (baselines and IMAP).
+  rl::PpoOptions attack_ppo_options() const;
+
+  /// Attack outcomes are cached under <zoo_dir>/results keyed by the full
+  /// plan + budgets + seed, so the bench binaries share runs (Table 3 reuses
+  /// Table 2's grid, Fig. 4 reuses the sparse-task curves) and interrupted
+  /// sweeps resume where they stopped.
+  std::string cache_key(const AttackPlan& plan, long long steps,
+                        int episodes) const;
+
+ private:
+  AttackOutcome run_single_agent(const AttackPlan& plan);
+  AttackOutcome run_multi_agent(const AttackPlan& plan);
+  ImapOptions imap_options(const AttackPlan& plan,
+                           const std::string& env_name) const;
+  Rng plan_rng(const AttackPlan& plan) const;
+  bool load_cached(const std::string& key, AttackOutcome& out) const;
+  void store_cached(const std::string& key, const AttackOutcome& out) const;
+
+  BenchConfig cfg_;
+  Zoo zoo_;
+};
+
+}  // namespace imap::core

@@ -1,0 +1,84 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace imap::core {
+
+KnnBuffer::KnnBuffer(std::size_t dim, std::size_t capacity, std::size_t k,
+                     Rng rng)
+    : dim_(dim), capacity_(capacity), k_(k), rng_(rng) {
+  IMAP_CHECK(dim_ > 0);
+  IMAP_CHECK(capacity_ >= k_ && k_ >= 1);
+  data_.reserve(capacity_ * dim_);
+}
+
+void KnnBuffer::add(const double* s) {
+  ++total_;
+  if (size_ < capacity_) {
+    data_.insert(data_.end(), s, s + dim_);
+    ++size_;
+    return;
+  }
+  // Reservoir sampling: replace a uniform slot with probability cap/total.
+  const auto j = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<int>(total_) - 1));
+  if (j < capacity_) std::copy(s, s + dim_, data_.begin() +
+                                   static_cast<std::ptrdiff_t>(j * dim_));
+}
+
+void KnnBuffer::add(const std::vector<double>& s) {
+  IMAP_CHECK(s.size() == dim_);
+  add(s.data());
+}
+
+double KnnBuffer::knn_distance(const double* s) const {
+  if (size_ < k_) return std::numeric_limits<double>::infinity();
+  // Track the k smallest squared distances with a tiny insertion buffer —
+  // k is small (≤ 8), so this beats a heap or nth_element.
+  constexpr std::size_t kMaxK = 16;
+  IMAP_CHECK(k_ <= kMaxK);
+  double best[kMaxK];
+  std::fill(best, best + k_, std::numeric_limits<double>::infinity());
+
+  for (std::size_t r = 0; r < size_; ++r) {
+    const double* row = data_.data() + r * dim_;
+    double sq = 0.0;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const double d = row[c] - s[c];
+      sq += d * d;
+    }
+    if (sq < best[k_ - 1]) {
+      // Insertion into the sorted top-k.
+      std::size_t pos = k_ - 1;
+      while (pos > 0 && best[pos - 1] > sq) {
+        best[pos] = best[pos - 1];
+        --pos;
+      }
+      best[pos] = sq;
+    }
+  }
+  return std::sqrt(best[k_ - 1]);
+}
+
+double KnnBuffer::knn_distance(const std::vector<double>& s) const {
+  IMAP_CHECK(s.size() == dim_);
+  return knn_distance(s.data());
+}
+
+double KnnBuffer::density(const std::vector<double>& s) const {
+  const double d = knn_distance(s);
+  if (!std::isfinite(d)) return 0.0;
+  return 1.0 / (d + 1e-6);
+}
+
+void KnnBuffer::clear() {
+  data_.clear();
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace imap::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace imap::core {
+
+/// K-nearest-neighbour state-density estimator (Sec. 5.2, "State Density
+/// Approximation"): d(s) ≈ 1 / ‖s − s*_D‖ where s*_D is the k-th nearest
+/// stored state. Nonparametric and forgetting-free, unlike RND/ICM-style
+/// prediction-error estimators — which is why the paper uses it.
+///
+/// Capacity is bounded; once full, *reservoir sampling* keeps the stored set
+/// a uniform subsample of everything ever added, so the union buffer B still
+/// represents the full historical mixture ρ^α = Σ_i d^{π_i^α}.
+class KnnBuffer {
+ public:
+  KnnBuffer(std::size_t dim, std::size_t capacity, std::size_t k, Rng rng);
+
+  void add(const double* s);
+  void add(const std::vector<double>& s);
+
+  /// Euclidean distance from `s` to its k-th nearest stored neighbour.
+  /// Returns +inf when fewer than k states are stored.
+  double knn_distance(const double* s) const;
+  double knn_distance(const std::vector<double>& s) const;
+
+  /// KNN density estimate 1 / (knn_distance + eps); 0 when under-filled.
+  double density(const std::vector<double>& s) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t k() const { return k_; }
+  std::size_t total_added() const { return total_; }
+  bool empty() const { return size_ == 0; }
+  void clear();
+
+ private:
+  std::size_t dim_;
+  std::size_t capacity_;
+  std::size_t k_;
+  Rng rng_;
+  std::vector<double> data_;  ///< row-major, size_ rows of dim_
+  std::size_t size_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace imap::core

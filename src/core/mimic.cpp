@@ -1,0 +1,57 @@
+#include "core/mimic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace imap::core {
+
+MimicPolicy::MimicPolicy(std::size_t obs_dim, std::size_t act_dim,
+                         std::vector<std::size_t> hidden, Rng rng, double lr)
+    : mimic_(obs_dim, act_dim, std::move(hidden), rng),
+      opt_(mimic_.n_params(), {.lr = lr, .max_grad_norm = 1.0}),
+      rng_(rng.split(0x6d696d6963ULL)) {}
+
+void MimicPolicy::update(const rl::RolloutBuffer& buf, int epochs,
+                         int minibatch) {
+  const std::size_t n = buf.size();
+  if (n == 0) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int e = 0; e < epochs; ++e) {
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(minibatch)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(minibatch));
+      const double inv_bs = 1.0 / static_cast<double>(end - start);
+      mimic_.zero_grad();
+      for (std::size_t t = start; t < end; ++t) {
+        const auto idx = order[t];
+        nn::Mlp::Tape tape;
+        mimic_.mean_tape(buf.obs[idx], tape);
+        // NLL minimisation: accumulate −∇ log π_m(a|s).
+        mimic_.backward_logp(tape, buf.act[idx], -inv_bs);
+      }
+      auto p = mimic_.flat_params();
+      opt_.step(p, mimic_.flat_grads());
+      mimic_.set_flat_params(p);
+      mimic_.clamp_log_std();
+    }
+  }
+}
+
+double MimicPolicy::kl_from(const nn::GaussianPolicy& policy,
+                            const std::vector<double>& obs) const {
+  IMAP_CHECK(obs.size() == mimic_.obs_dim());
+  return nn::diag_gaussian::kl(policy.mean_action(obs), policy.log_std(),
+                               mimic_.mean_action(obs), mimic_.log_std());
+}
+
+}  // namespace imap::core

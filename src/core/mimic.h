@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.h"
+#include "nn/gaussian.h"
+#include "rl/rollout.h"
+
+namespace imap::core {
+
+/// The adversarial mimic policy π^{α,m} of the D-driven regularizer
+/// (Sec. 5.2.4): a behaviour-cloned imitator of the AP's *past* policies.
+/// Each iteration it takes a few supervised steps toward the latest rollout
+/// (state, action) pairs, so it always lags the live policy — an exponential
+/// moving summary of {π_i^α}. The bonus KL(π^α ‖ π^{α,m}) then rewards the
+/// AP for deviating from where it used to be.
+class MimicPolicy {
+ public:
+  MimicPolicy(std::size_t obs_dim, std::size_t act_dim,
+              std::vector<std::size_t> hidden, Rng rng, double lr = 1e-3);
+
+  /// Behaviour-clone toward the rollout (maximum-likelihood on the sampled
+  /// actions) for `epochs` passes over minibatches of size `minibatch`.
+  void update(const rl::RolloutBuffer& buf, int epochs = 2,
+              int minibatch = 128);
+
+  /// KL(π(·|obs) ‖ π_m(·|obs)) in closed form (both diagonal Gaussians).
+  double kl_from(const nn::GaussianPolicy& policy,
+                 const std::vector<double>& obs) const;
+
+  const nn::GaussianPolicy& policy() const { return mimic_; }
+
+ private:
+  nn::GaussianPolicy mimic_;
+  nn::Adam opt_;
+  Rng rng_;
+};
+
+}  // namespace imap::core

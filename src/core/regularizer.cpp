@@ -1,0 +1,233 @@
+#include "core/regularizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::core {
+
+std::string to_string(RegularizerType t) {
+  switch (t) {
+    case RegularizerType::SC: return "SC";
+    case RegularizerType::PC: return "PC";
+    case RegularizerType::R: return "R";
+    case RegularizerType::D: return "D";
+  }
+  return "?";
+}
+
+RegularizerType regularizer_from_string(const std::string& s) {
+  if (s == "SC") return RegularizerType::SC;
+  if (s == "PC") return RegularizerType::PC;
+  if (s == "R") return RegularizerType::R;
+  if (s == "D") return RegularizerType::D;
+  IMAP_CHECK_MSG(false, "unknown regularizer: " << s);
+  return RegularizerType::SC;  // unreachable
+}
+
+std::vector<double> ObsSlice::project(const std::vector<double>& s) const {
+  if (whole()) return s;
+  IMAP_CHECK(end <= s.size() && begin < end);
+  return {s.begin() + static_cast<std::ptrdiff_t>(begin),
+          s.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+namespace {
+
+double finite_or_zero(double x) { return std::isfinite(x) ? x : 0.0; }
+
+/// One marginal of the SC-driven bonus: the KNN form of the entropy
+/// gradient, log(1 + ‖s − s*_{D_k}‖), over the rollout's own states.
+void add_sc_term(rl::RolloutBuffer& buf, const ObsSlice& slice, double weight,
+                 std::size_t obs_dim, std::size_t k, Rng& rng) {
+  const std::size_t d = slice.dim(obs_dim);
+  KnnBuffer dk(d, buf.size(), k, rng.split(rng.next_u64()));
+  std::vector<std::vector<double>> proj(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    proj[i] = slice.project(buf.obs[i]);
+    dk.add(proj[i]);
+  }
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const double dist = dk.knn_distance(proj[i]);
+    buf.rew_i[i] += weight * finite_or_zero(std::log1p(dist));
+  }
+}
+
+class ScRegularizer final : public AdversarialRegularizer {
+ public:
+  ScRegularizer(RegularizerOptions opts, std::size_t obs_dim, Rng rng)
+      : opts_(std::move(opts)), obs_dim_(obs_dim), rng_(rng) {}
+
+  void compute(rl::RolloutBuffer& buf, const nn::GaussianPolicy&) override {
+    std::fill(buf.rew_i.begin(), buf.rew_i.end(), 0.0);
+    if (buf.size() == 0) return;
+    if (opts_.victim_slice.whole()) {
+      // Single-agent: J_I^SC over the full state (Eq. 6).
+      add_sc_term(buf, opts_.adversary_slice, 1.0, obs_dim_, opts_.knn_k,
+                  rng_);
+    } else {
+      // Multi-agent: (1−ξ)·SC(S^α) + ξ·SC(S^ν)  (Eq. 7).
+      add_sc_term(buf, opts_.adversary_slice, 1.0 - opts_.xi, obs_dim_,
+                  opts_.knn_k, rng_);
+      add_sc_term(buf, opts_.victim_slice, opts_.xi, obs_dim_, opts_.knn_k,
+                  rng_);
+    }
+  }
+
+  RegularizerType type() const override { return RegularizerType::SC; }
+
+ private:
+  RegularizerOptions opts_;
+  std::size_t obs_dim_;
+  Rng rng_;
+};
+
+/// One PC marginal with its persistent union buffer B.
+class PcMarginal {
+ public:
+  PcMarginal(const ObsSlice& slice, std::size_t obs_dim, std::size_t k,
+             std::size_t capacity, Rng rng)
+      : slice_(slice),
+        k_(k),
+        union_buffer_(slice.dim(obs_dim), capacity, k, rng),
+        rng_(rng.split(0x9c9c9c9cULL)) {}
+
+  void add_bonus(rl::RolloutBuffer& buf, double weight, std::size_t obs_dim) {
+    const std::size_t d = slice_.dim(obs_dim);
+    KnnBuffer dk(d, buf.size(), k_, rng_.split(rng_.next_u64()));
+    std::vector<std::vector<double>> proj(buf.size());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      proj[i] = slice_.project(buf.obs[i]);
+      dk.add(proj[i]);
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const double dist_dk = dk.knn_distance(proj[i]);
+      // ∇ of Σ√(d/ρ) with d ≈ 1/dist_{D_k}, ρ ≈ 1/dist_B gives a bonus
+      // ∝ √(dist_{D_k} · dist_B): large where BOTH the fresh policy and the
+      // whole explored region ρ^α are thin — novelty beyond the frontier.
+      const double dist_b = union_buffer_.size() >= k_
+                                ? union_buffer_.knn_distance(proj[i])
+                                : dist_dk;
+      buf.rew_i[i] += weight * finite_or_zero(
+                                   std::sqrt(std::max(0.0, dist_dk) *
+                                             std::max(0.0, dist_b)));
+    }
+    // Only now fold the fresh trajectories into B (they represent π_k).
+    for (std::size_t i = 0; i < buf.size(); ++i) union_buffer_.add(proj[i]);
+  }
+
+ private:
+  ObsSlice slice_;
+  std::size_t k_;
+  KnnBuffer union_buffer_;
+  Rng rng_;
+};
+
+class PcRegularizer final : public AdversarialRegularizer {
+ public:
+  PcRegularizer(RegularizerOptions opts, std::size_t obs_dim, Rng rng)
+      : opts_(opts),
+        obs_dim_(obs_dim),
+        adv_marginal_(opts.adversary_slice, obs_dim, opts.knn_k,
+                      opts.pc_capacity, rng.split(1)),
+        victim_marginal_(opts.victim_slice, obs_dim, opts.knn_k,
+                         opts.pc_capacity, rng.split(2)) {}
+
+  void compute(rl::RolloutBuffer& buf, const nn::GaussianPolicy&) override {
+    std::fill(buf.rew_i.begin(), buf.rew_i.end(), 0.0);
+    if (buf.size() == 0) return;
+    if (opts_.victim_slice.whole()) {
+      adv_marginal_.add_bonus(buf, 1.0, obs_dim_);  // Eq. 8
+    } else {
+      adv_marginal_.add_bonus(buf, 1.0 - opts_.xi, obs_dim_);  // Eq. 9
+      victim_marginal_.add_bonus(buf, opts_.xi, obs_dim_);
+    }
+  }
+
+  RegularizerType type() const override { return RegularizerType::PC; }
+
+ private:
+  RegularizerOptions opts_;
+  std::size_t obs_dim_;
+  PcMarginal adv_marginal_;
+  PcMarginal victim_marginal_;
+};
+
+class RiskRegularizer final : public AdversarialRegularizer {
+ public:
+  RiskRegularizer(RegularizerOptions opts, std::size_t obs_dim)
+      : opts_(std::move(opts)), obs_dim_(obs_dim) {
+    IMAP_CHECK_MSG(!opts_.risk_target.empty(),
+                   "R-driven regularizer needs a risk_target (s₀^ν)");
+    IMAP_CHECK(opts_.risk_target.size() ==
+               opts_.victim_slice.dim(obs_dim_));
+  }
+
+  void compute(rl::RolloutBuffer& buf, const nn::GaussianPolicy&) override {
+    // J_I^R = −Σ_s d(s)·‖Π_{S^ν}(s) − s^{ν(α)}‖  (Eq. 10): lure the victim
+    // toward the adversarially chosen state.
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const auto v = opts_.victim_slice.project(buf.obs[i]);
+      double sq = 0.0;
+      for (std::size_t c = 0; c < v.size(); ++c) {
+        const double d = v[c] - opts_.risk_target[c];
+        sq += d * d;
+      }
+      buf.rew_i[i] = -std::sqrt(sq);
+    }
+  }
+
+  RegularizerType type() const override { return RegularizerType::R; }
+
+ private:
+  RegularizerOptions opts_;
+  std::size_t obs_dim_;
+};
+
+class DivergenceRegularizer final : public AdversarialRegularizer {
+ public:
+  DivergenceRegularizer(const RegularizerOptions& opts, std::size_t obs_dim,
+                        std::size_t act_dim, Rng rng)
+      : opts_(opts),
+        mimic_(obs_dim, act_dim, {32, 32}, rng.split(0xd1d1ULL)) {}
+
+  void compute(rl::RolloutBuffer& buf,
+               const nn::GaussianPolicy& policy) override {
+    // J_I^D = Σ_s d(s)·KL(π^α ‖ π^{α,m})  (Eq. 11), then pull the mimic
+    // toward the freshly observed behaviour so it keeps summarising the past.
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      buf.rew_i[i] = std::min(mimic_.kl_from(policy, buf.obs[i]), 50.0);
+    mimic_.update(buf);
+  }
+
+  RegularizerType type() const override { return RegularizerType::D; }
+
+  const MimicPolicy& mimic() const { return mimic_; }
+
+ private:
+  RegularizerOptions opts_;
+  MimicPolicy mimic_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdversarialRegularizer> make_regularizer(
+    const RegularizerOptions& opts, std::size_t obs_dim, std::size_t act_dim,
+    Rng rng) {
+  switch (opts.type) {
+    case RegularizerType::SC:
+      return std::make_unique<ScRegularizer>(opts, obs_dim, rng);
+    case RegularizerType::PC:
+      return std::make_unique<PcRegularizer>(opts, obs_dim, rng);
+    case RegularizerType::R:
+      return std::make_unique<RiskRegularizer>(opts, obs_dim);
+    case RegularizerType::D:
+      return std::make_unique<DivergenceRegularizer>(opts, obs_dim, act_dim,
+                                                     rng);
+  }
+  IMAP_CHECK_MSG(false, "unreachable regularizer type");
+  return nullptr;
+}
+
+}  // namespace imap::core

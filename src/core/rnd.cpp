@@ -1,0 +1,69 @@
+#include "core/rnd.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace imap::core {
+
+RndNovelty::RndNovelty(std::size_t obs_dim, std::size_t embed_dim, Rng rng,
+                       double lr)
+    : target_({obs_dim, 32, embed_dim}, rng, /*init_scale=*/1.0),
+      predictor_({obs_dim, 32, embed_dim}, rng, /*init_scale=*/1.0),
+      opt_(predictor_.params().size(), {.lr = lr, .max_grad_norm = 1.0}),
+      rng_(rng.split(0x9dULL)) {
+  // The target's output layer keeps full-scale weights (the policy-head
+  // shrink in Mlp would make every embedding ≈ 0 and the bonus vacuous).
+  Rng wrng = rng.split(0xfeedULL);
+  auto& p = target_.params();
+  for (std::size_t i = p.size() - (32 * embed_dim + embed_dim); i < p.size();
+       ++i)
+    p[i] = wrng.normal(0.0, 0.3);
+}
+
+double RndNovelty::novelty(const std::vector<double>& s) const {
+  const auto t = target_.forward(s);
+  const auto g = predictor_.forward(s);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sq += (g[i] - t[i]) * (g[i] - t[i]);
+  return sq;
+}
+
+void RndNovelty::update(const rl::RolloutBuffer& buf, int minibatch) {
+  const std::size_t n = buf.size();
+  if (n == 0) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  for (std::size_t start = 0; start < n;
+       start += static_cast<std::size_t>(minibatch)) {
+    const std::size_t end =
+        std::min(n, start + static_cast<std::size_t>(minibatch));
+    const double inv_bs = 1.0 / static_cast<double>(end - start);
+    predictor_.zero_grad();
+    for (std::size_t t = start; t < end; ++t) {
+      const auto& s = buf.obs[order[t]];
+      const auto tgt = target_.forward(s);
+      nn::Mlp::Tape tape;
+      const auto pred = predictor_.forward_tape(s, tape);
+      std::vector<double> grad(pred.size());
+      for (std::size_t i = 0; i < pred.size(); ++i)
+        grad[i] = 2.0 * inv_bs * (pred[i] - tgt[i]);
+      predictor_.backward(tape, grad);
+    }
+    opt_.step(predictor_.params(), predictor_.grads());
+  }
+}
+
+void RndNovelty::compute(rl::RolloutBuffer& buf) {
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf.rew_i[i] = novelty(buf.obs[i]);
+  update(buf);
+}
+
+}  // namespace imap::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "rl/rollout.h"
+
+namespace imap::core {
+
+/// Random Network Distillation (Burda et al. 2018) — the prediction-error
+/// state-novelty estimator the paper considers and *rejects* in favour of
+/// KNN (Sec. 5.2: "these methods suffer from forgetting problems"). It is
+/// implemented here so the choice can be ablated (bench_ablation): a frozen
+/// random target network f(s) and a trained predictor g(s); the bonus is the
+/// prediction error ‖g(s) − f(s)‖², which decays as regions become familiar
+/// — and, characteristically, *re-inflates* for regions the predictor has
+/// forgotten.
+class RndNovelty {
+ public:
+  RndNovelty(std::size_t obs_dim, std::size_t embed_dim, Rng rng,
+             double lr = 1e-3);
+
+  /// Prediction-error novelty of one state.
+  double novelty(const std::vector<double>& s) const;
+
+  /// Train the predictor toward the frozen target on the rollout states
+  /// (one pass of minibatch SGD per call).
+  void update(const rl::RolloutBuffer& buf, int minibatch = 128);
+
+  /// Convenience: fill buf.rew_i with novelty then update — the same
+  /// contract as an adversarial intrinsic regularizer's compute step.
+  void compute(rl::RolloutBuffer& buf);
+
+  std::size_t embed_dim() const { return target_.out_dim(); }
+
+ private:
+  nn::Mlp target_;     ///< frozen random features
+  nn::Mlp predictor_;  ///< distilled copy, trained online
+  nn::Adam opt_;
+  Rng rng_;
+};
+
+}  // namespace imap::core

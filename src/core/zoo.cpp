@@ -1,0 +1,105 @@
+#include "core/zoo.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/check.h"
+#include "defense/victim_trainer.h"
+#include "env/multiagent.h"
+#include "env/registry.h"
+#include "nn/checkpoint.h"
+
+namespace imap::core {
+
+Zoo::Zoo(std::string dir, double scale, std::uint64_t seed)
+    : dir_(std::move(dir)), scale_(scale), seed_(seed) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string Zoo::path_for(const std::string& env_name,
+                          const std::string& defense) const {
+  std::string tag = defense;
+  std::replace(tag.begin(), tag.end(), '-', '_');
+  return dir_ + "/" + env_name + "_" + tag + "_s" + std::to_string(seed_) +
+         ".pol";
+}
+
+long long Zoo::victim_steps(const std::string& env_name) const {
+  long long base = 500'000;
+  const auto& s = env::spec(env_name);
+  // The cheetah's termination-free deployment semantics make it the slowest
+  // learner of the family; give it more of a budget.
+  if (env_name == "HalfCheetah" || env_name == "SparseHalfCheetah" ||
+      env_name == "Ant" || env_name == "SparseAnt")
+    return std::max<long long>(4096, static_cast<long long>(700'000 * scale_));
+  switch (s.type) {
+    case env::TaskType::DenseLocomotion:
+    case env::TaskType::SparseLocomotion: base = 500'000; break;
+    case env::TaskType::Navigation: base = 240'000; break;
+    case env::TaskType::Manipulation: base = 200'000; break;
+    case env::TaskType::MultiAgent: base = 350'000; break;
+  }
+  return std::max<long long>(4096,
+                             static_cast<long long>(base * scale_));
+}
+
+rl::ActionFn Zoo::as_fn(const nn::GaussianPolicy& policy) {
+  auto snapshot = std::make_shared<nn::GaussianPolicy>(policy);
+  return [snapshot](const std::vector<double>& obs) {
+    return snapshot->mean_action(obs);
+  };
+}
+
+nn::GaussianPolicy Zoo::victim(const std::string& env_name,
+                               const std::string& defense) {
+  const auto training_env = env::make_training_env(env_name);
+  // Key the cache by the TRAINING env so sparse tasks reuse the victim of
+  // their dense counterpart (SparseHopper deploys the Hopper victim, etc.).
+  const auto path = path_for(training_env->name(), defense);
+  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  defense::DefenseOptions opts;
+  opts.eps = env::spec(env_name).epsilon;
+  opts.reg_coef = 1.0;
+
+  // Deterministic per-(training-env, defense) seed from the base seed.
+  Rng seeder(seed_);
+  std::uint64_t stream = 0;
+  for (const char c : training_env->name() + "|" + defense)
+    stream = stream * 131 + static_cast<unsigned char>(c);
+  Rng rng = seeder.split(stream);
+
+  auto policy = defense::train_victim(*training_env,
+                                      defense::defense_from_string(defense),
+                                      victim_steps(env_name), opts, rng);
+  IMAP_CHECK_MSG(nn::save_policy(path, policy),
+                 "failed to write checkpoint " << path);
+  return policy;
+}
+
+nn::GaussianPolicy Zoo::game_victim(const std::string& game_name) {
+  const auto path = path_for(game_name, "PPO");
+  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+
+  const auto game = env::make_multiagent_env(game_name);
+  env::VictimSideEnv training_env(*game,
+                                  env::victim_training_pool(game_name));
+
+  Rng seeder(seed_);
+  std::uint64_t stream = 0;
+  for (const char c : game_name) stream = stream * 131 + static_cast<unsigned char>(c);
+  Rng rng = seeder.split(stream);
+
+  // Competitive-game victims need wider exploration to discover the
+  // multi-stage skill (reach ball → dribble → score / dodge → sprint).
+  rl::PpoOptions ppo;
+  ppo.ent_coef = 0.01;
+  ppo.init_log_std = -0.2;
+  rl::PpoTrainer trainer(training_env, ppo, rng);
+  trainer.train(victim_steps(game_name));
+  auto policy = trainer.policy();
+  IMAP_CHECK_MSG(nn::save_policy(path, policy),
+                 "failed to write checkpoint " << path);
+  return policy;
+}
+
+}  // namespace imap::core

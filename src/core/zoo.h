@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "nn/gaussian.h"
+#include "rl/evaluate.h"
+
+namespace imap::core {
+
+/// Victim model zoo: trains every (task × defense) victim on demand —
+/// deterministically from the experiment seed — and caches the resulting
+/// policy checkpoints on disk so all benches share them. This stands in for
+/// the paper's released pre-trained victim agents.
+class Zoo {
+ public:
+  Zoo(std::string dir, double scale, std::uint64_t seed);
+
+  /// Single-agent victim for `env_name`, trained with `defense`
+  /// ("PPO", "ATLA", "SA", "ATLA-SA", "RADIAL", "WocaR"). Sparse tasks train
+  /// on their dense counterparts (see env::make_training_env).
+  nn::GaussianPolicy victim(const std::string& env_name,
+                            const std::string& defense = "PPO");
+
+  /// Competitive-game victim (runner / kicker), trained by PPO against the
+  /// scripted opponent pool.
+  nn::GaussianPolicy game_victim(const std::string& game_name);
+
+  /// Wrap a policy as the deployed black-box ActionFn (deterministic mean).
+  static rl::ActionFn as_fn(const nn::GaussianPolicy& policy);
+
+  /// Training budget (environment steps) for a task, after scaling.
+  long long victim_steps(const std::string& env_name) const;
+
+  const std::string& dir() const { return dir_; }
+  double scale() const { return scale_; }
+
+ private:
+  std::string path_for(const std::string& env_name,
+                       const std::string& defense) const;
+
+  std::string dir_;
+  double scale_;
+  std::uint64_t seed_;
+};
+
+}  // namespace imap::core

@@ -1,0 +1,88 @@
+#include "defense/atla.h"
+
+#include <algorithm>
+
+#include "attack/sa_rl.h"
+#include "common/check.h"
+#include "defense/sa_regularizer.h"
+
+namespace imap::defense {
+
+PerturbedVictimEnv::PerturbedVictimEnv(const rl::Env& inner,
+                                       rl::ActionFn adversary, double eps)
+    : inner_(inner.clone()), adversary_(std::move(adversary)), eps_(eps) {
+  IMAP_CHECK(eps_ >= 0.0);
+  IMAP_CHECK(adversary_ != nullptr);
+}
+
+PerturbedVictimEnv::PerturbedVictimEnv(const PerturbedVictimEnv& other)
+    : inner_(other.inner_->clone()),
+      adversary_(other.adversary_),
+      eps_(other.eps_) {}
+
+std::vector<double> PerturbedVictimEnv::perturb(
+    const std::vector<double>& obs) const {
+  auto a = adversary_(obs);
+  IMAP_CHECK(a.size() == obs.size());
+  std::vector<double> out = obs;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] += eps_ * std::clamp(a[i], -1.0, 1.0);
+  return out;
+}
+
+std::vector<double> PerturbedVictimEnv::reset(Rng& rng) {
+  return perturb(inner_->reset(rng));
+}
+
+rl::StepResult PerturbedVictimEnv::step(const std::vector<double>& action) {
+  rl::StepResult sr = inner_->step(action);
+  sr.obs = perturb(sr.obs);
+  return sr;
+}
+
+nn::GaussianPolicy train_victim_atla(const rl::Env& training_env,
+                                     bool with_sa, long long steps,
+                                     double eps, double reg_coef,
+                                     rl::PpoOptions ppo, int rounds,
+                                     double adversary_fraction, Rng rng) {
+  IMAP_CHECK(rounds >= 1);
+  IMAP_CHECK(adversary_fraction > 0.0 && adversary_fraction < 1.0);
+
+  // Victim trainer persists across rounds; only its env changes.
+  rl::PpoTrainer victim(training_env, ppo, rng.split(1));
+  if (with_sa)
+    victim.set_regularizer_hook(
+        make_smoothness_hook(eps, reg_coef, /*pgd_steps=*/1, rng.split(2)));
+
+  const long long victim_steps_total =
+      static_cast<long long>(static_cast<double>(steps) *
+                             (1.0 - adversary_fraction));
+  const long long adv_steps_total = steps - victim_steps_total;
+  const long long victim_per_round = std::max<long long>(
+      ppo.steps_per_iter, victim_steps_total / rounds);
+  const long long adv_per_round =
+      std::max<long long>(ppo.steps_per_iter, adv_steps_total / rounds);
+
+  // Round 0 warm-up: the victim first learns the task unattacked.
+  victim.train(victim_per_round);
+
+  for (int round = 1; round < rounds; ++round) {
+    // (1) Train the RL adversary against the frozen victim snapshot.
+    auto victim_snapshot =
+        std::make_shared<nn::GaussianPolicy>(victim.policy());
+    rl::ActionFn victim_fn = [victim_snapshot](const std::vector<double>& o) {
+      return victim_snapshot->mean_action(o);
+    };
+    attack::SaRl adversary(training_env, victim_fn, eps, ppo,
+                           rng.split(100 + static_cast<std::uint64_t>(round)));
+    adversary.train(adversary.trainer().steps_done() + adv_per_round);
+
+    // (2) Continue victim training under that adversary's perturbations.
+    PerturbedVictimEnv perturbed(training_env, adversary.adversary(), eps);
+    victim.set_env(perturbed);
+    victim.train(victim.steps_done() + victim_per_round);
+  }
+  return victim.policy();
+}
+
+}  // namespace imap::defense

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/gaussian.h"
+#include "rl/env.h"
+#include "rl/evaluate.h"
+#include "rl/ppo.h"
+
+namespace imap::defense {
+
+/// The victim's side of adversarial training: an env whose observations are
+/// corrupted by a FIXED adversary (the converse of
+/// attack::StatePerturbationEnv, where the adversary is the agent).
+class PerturbedVictimEnv : public rl::EnvBase<PerturbedVictimEnv> {
+ public:
+  PerturbedVictimEnv(const rl::Env& inner, rl::ActionFn adversary,
+                     double eps);
+  PerturbedVictimEnv(const PerturbedVictimEnv& other);
+  PerturbedVictimEnv& operator=(const PerturbedVictimEnv&) = delete;
+
+  std::size_t obs_dim() const override { return inner_->obs_dim(); }
+  std::size_t act_dim() const override { return inner_->act_dim(); }
+  int max_steps() const override { return inner_->max_steps(); }
+  std::string name() const override { return inner_->name() + "+Perturbed"; }
+  const rl::BoxSpace& action_space() const override {
+    return inner_->action_space();
+  }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+ private:
+  std::vector<double> perturb(const std::vector<double>& obs) const;
+
+  std::unique_ptr<rl::Env> inner_;
+  rl::ActionFn adversary_;
+  double eps_;
+};
+
+/// ATLA (Zhang et al. 2021): alternately train the victim and an RL state
+/// adversary with independent networks. `with_sa` adds the SA smoothness
+/// regularizer to the victim's updates (= ATLA-SA; the original's LSTM
+/// policy is replaced by an MLP — see DESIGN.md).
+nn::GaussianPolicy train_victim_atla(const rl::Env& training_env,
+                                     bool with_sa, long long steps,
+                                     double eps, double reg_coef,
+                                     rl::PpoOptions ppo, int rounds,
+                                     double adversary_fraction, Rng rng);
+
+}  // namespace imap::defense

@@ -1,0 +1,56 @@
+#include "defense/radial.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace imap::defense {
+
+rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
+                                                 int corners, Rng rng) {
+  IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && corners >= 1);
+  auto shared_rng = std::make_shared<Rng>(rng);
+
+  return [eps, coef, corners, shared_rng](
+             nn::GaussianPolicy& policy, const rl::RolloutBuffer& buf,
+             const std::vector<std::size_t>& batch) {
+    if (batch.empty()) return;
+    const double inv_bs = 1.0 / static_cast<double>(batch.size());
+    auto& net = policy.net();
+
+    for (const auto idx : batch) {
+      const auto& s = buf.obs[idx];
+      nn::Mlp::Tape clean_tape;
+      const auto mu_clean = net.forward_tape(s, clean_tape);
+
+      // Worst of N sign corners of the ε-ball.
+      double worst = -1.0;
+      std::vector<double> worst_adv;
+      for (int c = 0; c < corners; ++c) {
+        std::vector<double> adv = s;
+        for (auto& x : adv) x += shared_rng->bernoulli(0.5) ? eps : -eps;
+        const auto mu = net.forward(adv);
+        double sq = 0.0;
+        for (std::size_t i = 0; i < mu.size(); ++i) {
+          const double d = mu[i] - mu_clean[i];
+          sq += d * d;
+        }
+        if (sq > worst) {
+          worst = sq;
+          worst_adv = std::move(adv);
+        }
+      }
+
+      nn::Mlp::Tape adv_tape;
+      const auto mu_adv = net.forward_tape(worst_adv, adv_tape);
+      std::vector<double> grad_out(mu_adv.size());
+      for (std::size_t i = 0; i < grad_out.size(); ++i)
+        grad_out[i] = 2.0 * coef * inv_bs * (mu_adv[i] - mu_clean[i]);
+      net.backward(adv_tape, grad_out);
+      for (auto& g : grad_out) g = -g;
+      net.backward(clean_tape, grad_out);
+    }
+  };
+}
+
+}  // namespace imap::defense

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "common/rng.h"
+#include "rl/ppo.h"
+
+namespace imap::defense {
+
+/// RADIAL-style adversarial loss (Oikarinen et al. 2021): penalise the
+/// worst action deviation over the ℓ∞ ball. The original bounds the network
+/// output with interval arithmetic; here the bound is approximated by the
+/// worst of `corners` random sign-corner perturbations of the ball (the
+/// extreme points that drive the interval bound) — see DESIGN.md.
+rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
+                                                 int corners, Rng rng);
+
+}  // namespace imap::defense

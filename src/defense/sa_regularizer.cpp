@@ -1,0 +1,60 @@
+#include "defense/sa_regularizer.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace imap::defense {
+
+rl::PpoTrainer::RegularizerHook make_smoothness_hook(double eps, double coef,
+                                                     int pgd_steps, Rng rng) {
+  IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && pgd_steps >= 1);
+  auto shared_rng = std::make_shared<Rng>(rng);
+
+  return [eps, coef, pgd_steps, shared_rng](
+             nn::GaussianPolicy& policy, const rl::RolloutBuffer& buf,
+             const std::vector<std::size_t>& batch) {
+    if (batch.empty()) return;
+    const double inv_bs = 1.0 / static_cast<double>(batch.size());
+    auto& net = policy.net();
+
+    for (const auto idx : batch) {
+      const auto& s = buf.obs[idx];
+
+      nn::Mlp::Tape clean_tape;
+      const auto mu_clean = net.forward_tape(s, clean_tape);
+
+      // Inner max over the ε-ball: random start + FGSM steps on
+      // ‖μ(s+δ) − μ(s)‖².
+      std::vector<double> delta(s.size());
+      for (auto& d : delta) d = shared_rng->uniform(-eps, eps);
+
+      std::vector<double> adv = s;
+      nn::Mlp::Tape adv_tape;
+      std::vector<double> mu_adv;
+      for (int step = 0; step < pgd_steps; ++step) {
+        for (std::size_t c = 0; c < s.size(); ++c) adv[c] = s[c] + delta[c];
+        mu_adv = net.forward_tape(adv, adv_tape);
+        std::vector<double> diff(mu_adv.size());
+        for (std::size_t c = 0; c < diff.size(); ++c)
+          diff[c] = 2.0 * (mu_adv[c] - mu_clean[c]);
+        const auto g = net.input_gradient(adv_tape, diff);
+        for (std::size_t c = 0; c < delta.size(); ++c)
+          delta[c] = (g[c] >= 0.0 ? eps : -eps);
+      }
+      for (std::size_t c = 0; c < s.size(); ++c) adv[c] = s[c] + delta[c];
+      mu_adv = net.forward_tape(adv, adv_tape);
+
+      // d/dθ of coef·‖μ(s+δ*) − μ(s)‖²: flows through both branches.
+      std::vector<double> grad_out(mu_adv.size());
+      for (std::size_t c = 0; c < grad_out.size(); ++c)
+        grad_out[c] = 2.0 * coef * inv_bs * (mu_adv[c] - mu_clean[c]);
+      net.backward(adv_tape, grad_out);
+      for (auto& g : grad_out) g = -g;
+      net.backward(clean_tape, grad_out);
+    }
+  };
+}
+
+}  // namespace imap::defense

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "common/rng.h"
+#include "rl/ppo.h"
+
+namespace imap::defense {
+
+/// SA policy-smoothness regularizer (Zhang et al. 2020): adds
+/// coef · ‖μ_θ(s + δ*) − μ_θ(s)‖² to the PPO loss, with the inner
+/// maximisation over ‖δ‖∞ ≤ ε approximated by `pgd_steps` of FGSM from a
+/// random start (the convex-relaxation bound of the original is replaced by
+/// this PGD approximation — see DESIGN.md).
+rl::PpoTrainer::RegularizerHook make_smoothness_hook(double eps, double coef,
+                                                     int pgd_steps, Rng rng);
+
+}  // namespace imap::defense

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/gaussian.h"
+#include "rl/env.h"
+#include "rl/ppo.h"
+
+namespace imap::defense {
+
+/// The victim-training methods evaluated in Table 1 (Sec. 7): vanilla PPO,
+/// two adversarial-training defenses (ATLA, ATLA-SA) and three
+/// robust-regularizer defenses (SA, RADIAL, WocaR).
+enum class DefenseKind { Vanilla, ATLA, SA, ATLA_SA, RADIAL, WocaR };
+
+std::string to_string(DefenseKind kind);
+DefenseKind defense_from_string(const std::string& name);
+
+/// Row order of Table 1.
+std::vector<DefenseKind> all_defenses();
+
+struct DefenseOptions {
+  double eps = 0.1;      ///< training-time perturbation budget
+  double reg_coef = 1.0; ///< robust-regularizer weight
+  rl::PpoOptions ppo;
+  /// ATLA: number of alternation rounds and the adversary's share of steps.
+  int atla_rounds = 3;
+  double atla_adversary_fraction = 0.5;
+};
+
+/// Train one victim on its (training-time, shaped-reward) environment.
+/// Returns the deployed policy network — the only artifact visible (as a
+/// black box) to attackers.
+nn::GaussianPolicy train_victim(const rl::Env& training_env, DefenseKind kind,
+                                long long steps, DefenseOptions opts, Rng rng);
+
+}  // namespace imap::defense

@@ -1,0 +1,19 @@
+#include "defense/wocar.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "defense/sa_regularizer.h"
+
+namespace imap::defense {
+
+rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
+                                                Rng rng) {
+  // Worst-case-aware: a 3-step PGD inner maximisation (strictly stronger
+  // than SA's single FGSM step) and a 1.5× coefficient. Everything else is
+  // shared with the smoothness hook.
+  return make_smoothness_hook(eps, 1.5 * coef, /*pgd_steps=*/3, rng);
+}
+
+}  // namespace imap::defense

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "common/rng.h"
+#include "rl/ppo.h"
+
+namespace imap::defense {
+
+/// WocaR-style worst-case-aware regularisation (Liang et al. 2022): the
+/// original directly estimates and optimises the worst-case episode reward
+/// under bounded ℓ∞ attack. Our reduction keeps the worst-case-aware
+/// ingredient that matters for the attack evaluation — a *strong* inner
+/// maximisation (multi-step PGD) with state weighting that concentrates the
+/// robustness budget on high-speed (high-value) states — see DESIGN.md.
+rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
+                                                Rng rng);
+
+}  // namespace imap::defense

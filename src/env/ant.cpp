@@ -1,0 +1,29 @@
+#include "env/ant.h"
+
+namespace imap::env {
+
+LocomotorParams ant_params() {
+  LocomotorParams p;
+  p.name = "Ant";
+  p.n_joints = 8;  // obs: 3 + 16 = 19-D
+  // d ⊥ c (see hopper.cpp). ‖d‖₁ = 1.8.
+  p.c = {0.7, 0.5, 0.7, 0.5, 0.7, 0.5, 0.7, 0.5};
+  p.d = {0.25, -0.3, 0.2, -0.25, -0.2, 0.3, -0.15, 0.15};
+  p.instab = 0.8;
+  p.instab_v = 0.35;
+  p.theta_max = 0.6;
+  p.posture_noise = 0.018;
+  p.uses_height = false;   // roll, not height, is the failure axis
+  p.terminates = true;
+  p.w_v = 2.5;
+  p.alive_bonus = 1.0;
+  p.v_succ = 1.0;
+  p.max_steps = 500;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_ant() {
+  return std::make_unique<LocomotorEnv>(ant_params());
+}
+
+}  // namespace imap::env

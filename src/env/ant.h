@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+
+namespace imap::env {
+
+/// Ant: 8 actuated joints; the posture variable models torso roll — the Ant
+/// terminates when it flips over, which is the failure mode the paper's
+/// attacks induce.
+LocomotorParams ant_params();
+std::unique_ptr<rl::Env> make_ant();
+
+}  // namespace imap::env

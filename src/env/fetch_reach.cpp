@@ -1,0 +1,111 @@
+#include "env/fetch_reach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+namespace {
+constexpr double kLink[3] = {0.5, 0.4, 0.3};
+
+double dist2d(const std::array<double, 2>& a, const std::array<double, 2>& b) {
+  const double dx = a[0] - b[0], dy = a[1] - b[1];
+  return std::sqrt(dx * dx + dy * dy);
+}
+}  // namespace
+
+FetchReachEnv::FetchReachEnv(Mode mode)
+    : mode_(mode), action_space_(3, 1.0) {}
+
+std::array<double, 2> FetchReachEnv::forward_kinematics(
+    const std::array<double, 3>& q) {
+  double angle = 0.0, x = 0.0, y = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    angle += q[i];
+    x += kLink[i] * std::cos(angle);
+    y += kLink[i] * std::sin(angle);
+  }
+  return {x, y};
+}
+
+std::array<double, 2> FetchReachEnv::end_effector() const {
+  return forward_kinematics(q_);
+}
+
+std::vector<double> FetchReachEnv::observe() const {
+  const auto ee = end_effector();
+  return {q_[0],  q_[1],  q_[2],  qd_[0], qd_[1], qd_[2],
+          target_[0] - ee[0], target_[1] - ee[1]};
+}
+
+std::vector<double> FetchReachEnv::reset(Rng& rng) {
+  // Start from a slightly perturbed neutral pose.
+  q_ = {0.5 + rng.normal(0.0, 0.05), -0.4 + rng.normal(0.0, 0.05),
+        0.3 + rng.normal(0.0, 0.05)};
+  qd_ = {0.0, 0.0, 0.0};
+  // Target in a reachable annulus in the upper half-plane.
+  const double r = rng.uniform(0.5, 1.0);
+  const double a = rng.uniform(0.2, M_PI - 0.2);
+  target_ = {r * std::cos(a), r * std::sin(a)};
+  t_ = 0;
+  return observe();
+}
+
+rl::StepResult FetchReachEnv::step(const std::vector<double>& action) {
+  IMAP_CHECK(action.size() == 3);
+  auto u = action_space_.clamp(action);
+  const double dt = 0.05;
+
+  bool limit_hit = false;
+  for (int i = 0; i < 3; ++i) {
+    // Velocity-command interface with first-order tracking.
+    qd_[i] += dt * (10.0 * (2.0 * u[static_cast<std::size_t>(i)] - qd_[i]));
+    q_[i] += dt * qd_[i];
+    if (std::abs(q_[i]) > kJointLimit) {
+      limit_hit = true;
+      q_[i] = std::clamp(q_[i], -kJointLimit, kJointLimit);
+    }
+  }
+  ++t_;
+
+  const auto ee = end_effector();
+  const double d = dist2d(ee, target_);
+  const bool reached = d < kTol;
+
+  rl::StepResult sr;
+  sr.obs = observe();
+  sr.surrogate = reached ? 1.0 : 0.0;
+  sr.task_completed = reached;
+  sr.fell = limit_hit;
+
+  if (mode_ == Mode::Dense) {
+    sr.reward = -d + (reached ? 5.0 : 0.0) - (limit_hit ? 1.0 : 0.0);
+    sr.done = reached || limit_hit;
+    sr.truncated = !sr.done && t_ >= max_steps();
+  } else {
+    if (reached) {
+      sr.reward = 1.0 - 0.05 * static_cast<double>(t_) / max_steps();
+      sr.done = true;
+    } else if (limit_hit) {
+      sr.reward = -0.1;
+      sr.done = true;
+    } else {
+      sr.reward = 0.0;
+      sr.done = false;
+      sr.truncated = t_ >= max_steps();
+    }
+  }
+  return sr;
+}
+
+std::unique_ptr<rl::Env> make_fetch_reach() {
+  return std::make_unique<FetchReachEnv>(FetchReachEnv::Mode::Sparse);
+}
+
+std::unique_ptr<rl::Env> make_fetch_reach_dense() {
+  return std::make_unique<FetchReachEnv>(FetchReachEnv::Mode::Dense);
+}
+
+}  // namespace imap::env

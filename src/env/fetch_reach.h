@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "rl/env.h"
+
+namespace imap::env {
+
+/// FetchReach: a 3-joint planar arm must bring its end-effector to a random
+/// target (the planar reduction of the Fetch robot's reach task). Joint
+/// limits play the role of the "unhealthy" set: an attacker that corrupts
+/// the observed joint state can drive the arm into its limits, which ends
+/// the episode with the fall penalty (the paper's FetchReach rows bottom out
+/// at −0.10 ± 0.00 — a deterministic failure).
+///
+/// Observation (8-D): q (3), q̇ (3), target − end-effector (2).
+class FetchReachEnv : public rl::EnvBase<FetchReachEnv> {
+ public:
+  enum class Mode { Dense, Sparse };
+
+  explicit FetchReachEnv(Mode mode);
+
+  std::size_t obs_dim() const override { return 8; }
+  std::size_t act_dim() const override { return 3; }
+  int max_steps() const override { return 100; }
+  std::string name() const override {
+    return mode_ == Mode::Sparse ? "FetchReach" : "FetchReachDense";
+  }
+  const rl::BoxSpace& action_space() const override { return action_space_; }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+  /// Forward kinematics of the current configuration.
+  std::array<double, 2> end_effector() const;
+  static std::array<double, 2> forward_kinematics(
+      const std::array<double, 3>& q);
+
+  static constexpr double kJointLimit = 2.4;
+  static constexpr double kTol = 0.12;  ///< success radius
+
+ private:
+  std::vector<double> observe() const;
+
+  Mode mode_;
+  rl::BoxSpace action_space_;
+  std::array<double, 3> q_{};
+  std::array<double, 3> qd_{};
+  std::array<double, 2> target_{};
+  int t_ = 0;
+};
+
+std::unique_ptr<rl::Env> make_fetch_reach();        ///< sparse (deployment)
+std::unique_ptr<rl::Env> make_fetch_reach_dense();  ///< victim training
+
+}  // namespace imap::env

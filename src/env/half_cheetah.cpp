@@ -1,0 +1,45 @@
+#include "env/half_cheetah.h"
+
+namespace imap::env {
+
+LocomotorParams half_cheetah_params() {
+  LocomotorParams p;
+  p.name = "HalfCheetah";
+  p.n_joints = 6;  // obs: 3 + 12 = 15-D
+  // d ⊥ c (see hopper.cpp).
+  p.c = {1.0, 0.8, 0.5, 1.0, 0.8, 0.5};
+  p.d = {0.5, 0.25, 0.1, -0.5, -0.25, -0.1};
+  p.instab = 1.6;
+  p.instab_v = 0.25;
+  p.theta_max = 0.6;
+  p.posture_noise = 0.02;
+  p.uses_height = false;
+  p.terminates = false;   // cheetah cannot "fall over" terminally
+  p.w_v = 2.5;
+  p.alive_bonus = 0.0;    // pure velocity reward
+  p.v_succ = 1.0;
+  p.max_steps = 500;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_half_cheetah() {
+  return std::make_unique<LocomotorEnv>(half_cheetah_params());
+}
+
+}  // namespace imap::env
+
+namespace imap::env {
+
+LocomotorParams half_cheetah_training_params() {
+  LocomotorParams p = half_cheetah_params();
+  p.name = "HalfCheetahTrain";
+  p.terminates = true;
+  p.alive_bonus = 1.0;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_half_cheetah_trainer() {
+  return std::make_unique<LocomotorEnv>(half_cheetah_training_params());
+}
+
+}  // namespace imap::env

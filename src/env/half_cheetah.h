@@ -1,0 +1,24 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+
+namespace imap::env {
+
+/// HalfCheetah: 6 actuated joints, no height state and no termination — the
+/// attack can only slow it down, never end the episode early, matching the
+/// MuJoCo HalfCheetah semantics the paper relies on (its reward under attack
+/// bottoms out at ~0 rather than at an early-termination value).
+LocomotorParams half_cheetah_params();
+std::unique_ptr<rl::Env> make_half_cheetah();
+
+/// Victim-training variant: identical dynamics but with posture termination
+/// and an alive bonus, which teaches the stabilising feedback loop (without
+/// a failure signal PPO plateaus in a no-feedback local optimum — the same
+/// curriculum role termination plays for the other locomotors). Deployment
+/// always uses the termination-free env above.
+LocomotorParams half_cheetah_training_params();
+std::unique_ptr<rl::Env> make_half_cheetah_trainer();
+
+}  // namespace imap::env

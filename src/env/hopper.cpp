@@ -1,0 +1,30 @@
+#include "env/hopper.h"
+
+namespace imap::env {
+
+LocomotorParams hopper_params() {
+  LocomotorParams p;
+  p.name = "Hopper";
+  p.n_joints = 3;  // obs: 3 + 2 + 6 = 11-D, as in the paper
+  // d ⊥ c: thrust and posture control occupy different joint directions, so
+  // the policy can run while stabilising. ‖d‖₁ = 1.35 → θ* = 0.34 < θ_max.
+  p.c = {1.0, 0.7, 0.4};
+  p.d = {0.5, -0.45, -0.4};
+  p.instab = 1.2;
+  p.instab_v = 0.8;
+  p.theta_max = 0.35;
+  p.posture_noise = 0.02;
+  p.uses_height = true;
+  p.fall_couple = 4.0;
+  p.w_v = 2.0;
+  p.alive_bonus = 1.0;
+  p.v_succ = 1.0;
+  p.max_steps = 500;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_hopper() {
+  return std::make_unique<LocomotorEnv>(hopper_params());
+}
+
+}  // namespace imap::env

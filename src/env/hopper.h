@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+
+namespace imap::env {
+
+/// Hopper: 3 actuated joints, 11-D observation (same dimensionality as the
+/// MuJoCo Hopper the paper uses), fragile posture — the least stable of the
+/// dense tasks, matching its role in Table 1.
+LocomotorParams hopper_params();
+std::unique_ptr<rl::Env> make_hopper();
+
+}  // namespace imap::env

@@ -1,0 +1,135 @@
+#include "env/humanoid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+HumanoidStandupEnv::HumanoidStandupEnv(Mode mode)
+    : mode_(mode),
+      action_space_(kJoints, 1.0),
+      q_(kJoints, 0.0),
+      qd_(kJoints, 0.0) {}
+
+std::vector<double> HumanoidStandupEnv::reset(Rng& rng) {
+  noise_rng_ = rng.split(rng.next_u64());
+  h_ = 0.2 + rng.normal(0.0, 0.01);
+  hv_ = 0.0;
+  theta_ = rng.normal(0.0, 0.02);
+  omega_ = 0.0;
+  for (auto& q : q_) q = rng.normal(0.0, 0.02);
+  for (auto& qd : qd_) qd = 0.0;
+  t_ = 0;
+  return observe();
+}
+
+std::vector<double> HumanoidStandupEnv::observe() const {
+  std::vector<double> o;
+  o.reserve(obs_dim());
+  o.push_back(h_ - kGoalHeight);  // centred at the goal height
+  o.push_back(hv_);
+  o.push_back(theta_);
+  o.push_back(omega_);
+  o.insert(o.end(), q_.begin(), q_.end());
+  o.insert(o.end(), qd_.begin(), qd_.end());
+  return o;
+}
+
+rl::StepResult HumanoidStandupEnv::step(const std::vector<double>& action) {
+  IMAP_CHECK(action.size() == kJoints);
+  const double dt = 0.05;
+  auto u = action_space_.clamp(action);
+
+  double lift = 0.0, du = 0.0, usq = 0.0;
+  static constexpr double kLift[kJoints] = {1.0, 0.8, 0.5, 0.3};
+  static constexpr double kPosture[kJoints] = {0.5, -0.35, 0.25, -0.15};
+  for (std::size_t j = 0; j < kJoints; ++j) {
+    qd_[j] += dt * (6.0 * u[j] - 2.0 * qd_[j] - 4.0 * q_[j]);
+    q_[j] = std::clamp(q_[j] + dt * qd_[j], -1.5, 1.5);
+    lift += kLift[j] * u[j];
+    du += kPosture[j] * u[j];
+    usq += u[j] * u[j];
+  }
+
+  // Balance gets harder the higher the torso (inverted pendulum).
+  const double eff = std::max(
+      0.0, 1.0 - (theta_ / kThetaMax) * (theta_ / kThetaMax));
+  const double gravity = 2.0;
+  hv_ += dt * (3.5 * lift * eff - gravity - 2.0 * hv_);
+  h_ = std::max(0.1, h_ + dt * hv_);
+
+  const double instab = 1.5 + 2.5 * h_;
+  omega_ += dt * (instab * theta_ + du - 1.0 * omega_) +
+            std::sqrt(dt) * 0.02 * noise_rng_.normal();
+  theta_ += dt * omega_;
+
+  ++t_;
+  const bool fell = std::abs(theta_) > kThetaMax;
+  const bool stood = h_ >= kGoalHeight && !fell;
+
+  rl::StepResult sr;
+  sr.obs = observe();
+  sr.fell = fell;
+  sr.surrogate = stood ? 1.0 : 0.0;
+  sr.task_completed = stood;
+
+  if (mode_ == Mode::Dense) {
+    sr.reward = 2.0 * h_ + (fell ? 0.0 : 0.5) - 1e-3 * usq;
+    sr.done = fell || stood;
+    sr.truncated = !sr.done && t_ >= max_steps();
+  } else {
+    if (stood) {
+      sr.reward = 1.0 - sem_.time_penalty * static_cast<double>(t_) /
+                            max_steps();
+      sr.done = true;
+    } else if (fell) {
+      sr.reward = -sem_.fall_penalty;
+      sr.done = true;
+    } else {
+      sr.reward = 0.0;
+      sr.done = false;
+      sr.truncated = t_ >= max_steps();
+    }
+  }
+  return sr;
+}
+
+std::unique_ptr<rl::Env> make_sparse_humanoid_standup() {
+  return std::make_unique<HumanoidStandupEnv>(HumanoidStandupEnv::Mode::Sparse);
+}
+
+std::unique_ptr<rl::Env> make_humanoid_standup_dense() {
+  return std::make_unique<HumanoidStandupEnv>(HumanoidStandupEnv::Mode::Dense);
+}
+
+LocomotorParams humanoid_params() {
+  LocomotorParams p;
+  p.name = "Humanoid";
+  p.n_joints = 6;  // obs: 3 + 2 + 12 = 17-D
+  // d ⊥ c (see hopper.cpp). ‖d‖₁ = 1.7 → θ* = 0.43 < θ_max — tippy.
+  p.c = {0.9, 0.6, 0.4, 0.9, 0.6, 0.4};
+  p.d = {0.45, 0.3, 0.1, -0.45, -0.3, -0.1};
+  p.instab = 1.4;
+  p.instab_v = 0.65;
+  p.theta_max = 0.45;
+  p.posture_noise = 0.035;
+  p.uses_height = true;
+  p.fall_couple = 4.0;
+  p.w_v = 1.5;
+  p.alive_bonus = 1.0;
+  p.v_succ = 1.0;
+  p.max_steps = 500;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_humanoid_dense() {
+  return std::make_unique<LocomotorEnv>(humanoid_params());
+}
+
+std::unique_ptr<rl::Env> make_sparse_humanoid() {
+  return std::make_unique<SparseLocomotionEnv>(humanoid_params(), 15.0, 300);
+}
+
+}  // namespace imap::env

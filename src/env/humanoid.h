@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+#include "env/sparse.h"
+
+namespace imap::env {
+
+/// HumanoidStandup: the torso starts collapsed (h ≈ 0.2) and the policy must
+/// pump it up to the standing height while regulating an increasingly
+/// unstable posture (the higher the torso, the harder the balance — the
+/// inverted-pendulum effect). Two reward modes:
+///   Dense  — victim training: height progress + alive bonus.
+///   Sparse — deployment/evaluation: Table 2 semantics (success when
+///            standing, −fall_penalty on falls).
+class HumanoidStandupEnv : public rl::EnvBase<HumanoidStandupEnv> {
+ public:
+  enum class Mode { Dense, Sparse };
+
+  explicit HumanoidStandupEnv(Mode mode);
+
+  std::size_t obs_dim() const override { return 4 + 2 * kJoints; }
+  std::size_t act_dim() const override { return kJoints; }
+  int max_steps() const override { return 300; }
+  std::string name() const override {
+    return mode_ == Mode::Sparse ? "SparseHumanoidStandup" : "HumanoidStandup";
+  }
+  const rl::BoxSpace& action_space() const override { return action_space_; }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+  double height() const { return h_; }
+  double posture() const { return theta_; }
+
+  static constexpr std::size_t kJoints = 4;
+  static constexpr double kGoalHeight = 1.0;
+  static constexpr double kThetaMax = 0.5;
+
+ private:
+  std::vector<double> observe() const;
+
+  Mode mode_;
+  rl::BoxSpace action_space_;
+  Rng noise_rng_{0};
+  SparseSemantics sem_;
+
+  double h_ = 0.2, hv_ = 0.0;
+  double theta_ = 0.0, omega_ = 0.0;
+  std::vector<double> q_, qd_;
+  int t_ = 0;
+};
+
+std::unique_ptr<rl::Env> make_sparse_humanoid_standup();
+std::unique_ptr<rl::Env> make_humanoid_standup_dense();  ///< victim training
+
+/// Humanoid locomotion parameters (6 joints, strong instability) and its
+/// dense/sparse factories. The paper uses SparseHumanoid in Table 2.
+LocomotorParams humanoid_params();
+std::unique_ptr<rl::Env> make_humanoid_dense();
+std::unique_ptr<rl::Env> make_sparse_humanoid();
+
+}  // namespace imap::env

@@ -1,0 +1,161 @@
+#include "env/kick_and_defend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+using phys::Vec2;
+
+KickAndDefendEnv::KickAndDefendEnv() : act_v_(2, 1.0), act_a_(2, 1.0) {
+  kicker_.radius = 0.3;
+  kicker_.mass = 1.0;
+  kicker_.damping = 3.0;
+  goalie_.radius = 0.35;
+  goalie_.mass = 1.2;
+  goalie_.damping = 3.0;
+  ball_.radius = 0.15;
+  ball_.mass = 0.2;
+  ball_.damping = 0.3;  // slow roll: dribbling stays controllable
+}
+
+std::pair<std::vector<double>, std::vector<double>> KickAndDefendEnv::reset(
+    Rng& rng) {
+  kicker_.pos = {3.0, rng.uniform(-0.6, 0.6)};
+  kicker_.vel = {};
+  ball_.pos = {2.3, kicker_.pos.y + rng.uniform(-0.2, 0.2)};
+  ball_.vel = {};
+  goalie_.pos = {-3.4, rng.uniform(-0.8, 0.8)};
+  goalie_.vel = {};
+  t_ = 0;
+  return {observe_victim(), observe_adversary()};
+}
+
+std::vector<double> KickAndDefendEnv::observe_victim() const {
+  const Vec2 ball_rel = ball_.pos - kicker_.pos;
+  const Vec2 goalie_rel = goalie_.pos - kicker_.pos;
+  return {kicker_.pos.x / kFieldX, kicker_.pos.y / kFieldY,
+          kicker_.vel.x / 5.0,     kicker_.vel.y / 5.0,
+          ball_rel.x / kFieldX,    ball_rel.y / kFieldY,
+          ball_.vel.x / 5.0,       ball_.vel.y / 5.0,
+          goalie_rel.x / kFieldX,  goalie_rel.y / kFieldY};
+}
+
+std::vector<double> KickAndDefendEnv::observe_adversary() const {
+  return {kicker_.pos.x / kFieldX, kicker_.pos.y / kFieldY,
+          kicker_.vel.x / 5.0,     kicker_.vel.y / 5.0,
+          ball_.pos.x / kFieldX,   ball_.pos.y / kFieldY,
+          ball_.vel.x / 5.0,       ball_.vel.y / 5.0,
+          goalie_.pos.x / kFieldX, goalie_.pos.y / kFieldY,
+          goalie_.vel.x / 5.0,     goalie_.vel.y / 5.0};
+}
+
+bool KickAndDefendEnv::resolve_contact(phys::CircleBody& p,
+                                       phys::CircleBody& q) {
+  const Vec2 d = q.pos - p.pos;
+  const double dist = d.norm();
+  const double min_dist = p.radius + q.radius;
+  if (dist >= min_dist) return false;
+  const Vec2 n = dist > 1e-9 ? d / dist : Vec2{1.0, 0.0};
+  const double overlap = min_dist - dist;
+  const double tm = p.mass + q.mass;
+  p.pos -= n * (overlap * q.mass / tm);
+  q.pos += n * (overlap * p.mass / tm);
+  const double rel_vn = (q.vel - p.vel).dot(n);
+  if (rel_vn < 0.0) {
+    // Slightly bouncy so kicks launch the ball.
+    const double restitution = 0.4;
+    const double impulse =
+        -(1.0 + restitution) * rel_vn / (1.0 / p.mass + 1.0 / q.mass);
+    p.vel -= n * (impulse / p.mass);
+    q.vel += n * (impulse / q.mass);
+  }
+  return true;
+}
+
+MaStepResult KickAndDefendEnv::step(const std::vector<double>& act_v,
+                                    const std::vector<double>& act_a) {
+  IMAP_CHECK(act_v.size() == 2 && act_a.size() == 2);
+  const double dt = 0.05;
+  const Vec2 gate_center{kGateX, 0.0};
+  const double prev_ball_gate = phys::distance(ball_.pos, gate_center);
+  const double prev_kicker_ball = phys::distance(kicker_.pos, ball_.pos);
+
+  const auto uv = act_v_.clamp(act_v);
+  const auto ua = act_a_.clamp(act_a);
+  kicker_.apply_force({uv[0] * 13.0, uv[1] * 13.0});
+  goalie_.apply_force({ua[0] * 13.0, ua[1] * 13.0});
+
+  kicker_.integrate(dt);
+  goalie_.integrate(dt);
+  ball_.integrate(dt);
+
+  resolve_contact(kicker_, ball_);  // the kick
+  const bool save = resolve_contact(goalie_, ball_);
+  resolve_contact(kicker_, goalie_);
+
+  // Field walls for the agents; goalie additionally confined to its box.
+  auto wall_clamp = [](phys::CircleBody& b, double xmin, double xmax,
+                       double ymin, double ymax) {
+    if (b.pos.x < xmin) { b.pos.x = xmin; b.vel.x = std::max(0.0, b.vel.x); }
+    if (b.pos.x > xmax) { b.pos.x = xmax; b.vel.x = std::min(0.0, b.vel.x); }
+    if (b.pos.y < ymin) { b.pos.y = ymin; b.vel.y = std::max(0.0, b.vel.y); }
+    if (b.pos.y > ymax) { b.pos.y = ymax; b.vel.y = std::min(0.0, b.vel.y); }
+  };
+  wall_clamp(kicker_, -kFieldX, kFieldX, -kFieldY, kFieldY);
+  wall_clamp(goalie_, kBoxXMin, kBoxXMax, -kBoxYMax, kBoxYMax);
+
+  ++t_;
+  const bool goal = ball_.pos.x <= kGateX &&
+                    std::abs(ball_.pos.y) <= kGateHalfWidth;
+  const bool out = !goal && (ball_.pos.x <= kGateX ||
+                             std::abs(ball_.pos.y) > kFieldY ||
+                             ball_.pos.x > kFieldX);
+  const bool timeout = t_ >= max_steps();
+
+  MaStepResult res;
+  res.done = goal || out || save;
+  res.truncated = !res.done && timeout;
+  res.victim_won = goal;
+
+  // Kicker training shaping: approach the ball, push it toward the gate
+  // mouth, score. Timeouts are the worst outcome so the kicker always
+  // prefers engaging the ball over idling.
+  res.reward_v_train =
+      2.0 * (prev_ball_gate - phys::distance(ball_.pos, gate_center)) +
+      0.5 * (prev_kicker_ball - phys::distance(kicker_.pos, ball_.pos)) -
+      0.01;
+  if (goal) res.reward_v_train += 10.0;
+  if (save) res.reward_v_train -= 2.0;
+  if (out) res.reward_v_train -= 1.0;
+  if (res.truncated) res.reward_v_train -= 5.0;
+
+  res.obs_v = observe_victim();
+  res.obs_a = observe_adversary();
+  return res;
+}
+
+std::vector<ScriptedOpponent> KickAndDefendEnv::victim_training_pool() {
+  // obs_a layout: kicker pos/vel (0..3), ball pos/vel (4..7), goalie (8..11).
+  ScriptedOpponent stationary = [](const std::vector<double>&, Rng&) {
+    return std::vector<double>{0.0, 0.0};
+  };
+  ScriptedOpponent ball_tracker = [](const std::vector<double>& o, Rng&) {
+    const double ball_y = o[5] * kFieldY;
+    const double goalie_y = o[9] * kFieldY;
+    return std::vector<double>{0.0, ball_y > goalie_y ? 0.6 : -0.6};
+  };
+  ScriptedOpponent drifter = [](const std::vector<double>&, Rng& rng) {
+    return std::vector<double>{rng.uniform(-0.5, 0.5),
+                               rng.uniform(-1.0, 1.0)};
+  };
+  return {stationary, ball_tracker, drifter};
+}
+
+std::unique_ptr<MultiAgentEnv> make_kick_and_defend() {
+  return std::make_unique<KickAndDefendEnv>();
+}
+
+}  // namespace imap::env

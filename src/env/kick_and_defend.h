@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/multiagent.h"
+#include "phys/body.h"
+
+namespace imap::env {
+
+/// KickAndDefend: a penalty shoot-out. The victim (kicker) must put the ball
+/// through the gate; the adversary (goalie) is confined to a box in front of
+/// the gate (as in the paper: "the game imposes constraints on the adversary
+/// (the goalie), confining it to a square region before the gate") and wins
+/// by touching the ball, by the ball going out, or by timeout.
+class KickAndDefendEnv : public MultiAgentEnvBase<KickAndDefendEnv> {
+ public:
+  KickAndDefendEnv();
+
+  std::size_t victim_obs_dim() const override { return 10; }
+  std::size_t adversary_obs_dim() const override { return 12; }
+  std::size_t victim_act_dim() const override { return 2; }
+  std::size_t adversary_act_dim() const override { return 2; }
+  int max_steps() const override { return 150; }
+  std::string name() const override { return "KickAndDefend"; }
+  const rl::BoxSpace& victim_action_space() const override { return act_v_; }
+  const rl::BoxSpace& adversary_action_space() const override {
+    return act_a_;
+  }
+
+  std::pair<std::size_t, std::size_t> victim_obs_range() const override {
+    return {0, 8};  // kicker pos/vel + ball pos/vel (the task state)
+  }
+  std::pair<std::size_t, std::size_t> adversary_obs_range() const override {
+    return {8, 12};  // goalie pos/vel
+  }
+
+  std::pair<std::vector<double>, std::vector<double>> reset(Rng& rng) override;
+  MaStepResult step(const std::vector<double>& act_v,
+                    const std::vector<double>& act_a) override;
+
+  const phys::CircleBody& kicker() const { return kicker_; }
+  const phys::CircleBody& goalie() const { return goalie_; }
+  const phys::CircleBody& ball() const { return ball_; }
+
+  static constexpr double kGateX = -4.0;
+  static constexpr double kGateHalfWidth = 1.8;
+  static constexpr double kFieldX = 4.5;
+  static constexpr double kFieldY = 3.0;
+  // Goalie confinement box.
+  static constexpr double kBoxXMin = -3.9;
+  static constexpr double kBoxXMax = -2.6;
+  static constexpr double kBoxYMax = 1.6;
+
+  static std::vector<ScriptedOpponent> victim_training_pool();
+
+ private:
+  std::vector<double> observe_victim() const;
+  std::vector<double> observe_adversary() const;
+  static bool resolve_contact(phys::CircleBody& p, phys::CircleBody& q);
+
+  rl::BoxSpace act_v_;
+  rl::BoxSpace act_a_;
+  phys::CircleBody kicker_;
+  phys::CircleBody goalie_;
+  phys::CircleBody ball_;
+  int t_ = 0;
+};
+
+std::unique_ptr<MultiAgentEnv> make_kick_and_defend();
+
+}  // namespace imap::env

@@ -1,0 +1,127 @@
+#include "env/locomotor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+LocomotorEnv::LocomotorEnv(LocomotorParams params)
+    : params_(std::move(params)),
+      action_space_(params_.n_joints, 1.0),
+      q_(params_.n_joints, 0.0),
+      qd_(params_.n_joints, 0.0) {
+  IMAP_CHECK(params_.n_joints > 0);
+  if (params_.c.empty()) params_.c.assign(params_.n_joints, 1.0);
+  if (params_.d.empty()) params_.d.assign(params_.n_joints, 0.0);
+  IMAP_CHECK(params_.c.size() == params_.n_joints);
+  IMAP_CHECK(params_.d.size() == params_.n_joints);
+  IMAP_CHECK(params_.theta_max > 0.0);
+}
+
+std::vector<double> LocomotorEnv::reset(Rng& rng) {
+  noise_rng_ = rng.split(rng.next_u64());
+  const double s = params_.init_noise;
+  x_ = 0.0;
+  v_ = rng.normal(0.0, s);
+  theta_ = rng.normal(0.0, s);
+  omega_ = rng.normal(0.0, s);
+  h_ = params_.h0 + rng.normal(0.0, s * 0.5);
+  hv_ = 0.0;
+  for (auto& q : q_) q = rng.normal(0.0, s);
+  for (auto& qd : qd_) qd = rng.normal(0.0, s);
+  t_ = 0;
+  fallen_ = false;
+  return observe();
+}
+
+std::vector<double> LocomotorEnv::observe() const {
+  std::vector<double> o;
+  o.reserve(obs_dim());
+  o.push_back(theta_);
+  o.push_back(omega_);
+  o.push_back(v_);
+  if (params_.uses_height) {
+    o.push_back(h_ - params_.h0);  // centred so the observation is O(1)
+    o.push_back(hv_);
+  }
+  o.insert(o.end(), q_.begin(), q_.end());
+  o.insert(o.end(), qd_.begin(), qd_.end());
+  return o;
+}
+
+std::vector<double> LocomotorEnv::canonical_initial_obs() const {
+  return std::vector<double>(obs_dim(), 0.0);
+}
+
+bool LocomotorEnv::unhealthy() const {
+  if (!params_.terminates) return false;
+  if (std::abs(theta_) > params_.theta_max) return true;
+  if (params_.uses_height && h_ < params_.h_min) return true;
+  return false;
+}
+
+rl::StepResult LocomotorEnv::step(const std::vector<double>& action) {
+  IMAP_CHECK_MSG(action.size() == act_dim(),
+                 name() << ": action dim " << action.size());
+  IMAP_CHECK_MSG(!fallen_ || t_ < params_.max_steps,
+                 "step() after terminal state; call reset()");
+  const auto& p = params_;
+  const double dt = p.dt;
+
+  std::vector<double> u = action_space_.clamp(action);
+
+  // Joint dynamics.
+  for (std::size_t j = 0; j < p.n_joints; ++j) {
+    qd_[j] += dt * (p.act_gain * u[j] - p.joint_damp * qd_[j] -
+                    p.joint_stiff * q_[j]);
+    q_[j] += dt * qd_[j];
+    q_[j] = std::clamp(q_[j], -p.q_max, p.q_max);
+  }
+
+  // Thrust with posture efficiency.
+  double cu = 0.0, du = 0.0, usq = 0.0;
+  for (std::size_t j = 0; j < p.n_joints; ++j) {
+    cu += p.c[j] * u[j];
+    du += p.d[j] * u[j];
+    usq += u[j] * u[j];
+  }
+  const double eff =
+      std::max(0.0, 1.0 - (theta_ / p.theta_max) * (theta_ / p.theta_max));
+  v_ += dt * (p.thrust_gain * cu * eff - p.drag * v_);
+  x_ += dt * v_;
+
+  // Unstable posture: the policy must regulate θ through d·u. Instability
+  // grows with speed (see LocomotorParams::instab_v).
+  const double instab_eff = p.instab + p.instab_v * std::max(0.0, v_);
+  omega_ += dt * (instab_eff * theta_ + du - p.omega_damp * omega_) +
+            std::sqrt(dt) * p.posture_noise * noise_rng_.normal();
+  theta_ += dt * omega_;
+
+  // Torso height, dragged down by posture failure.
+  if (p.uses_height) {
+    hv_ += dt * (-p.spring * (h_ - p.h0) - p.h_damp * hv_ -
+                 p.fall_couple * theta_ * theta_);
+    h_ += dt * hv_;
+  }
+
+  ++t_;
+  fallen_ = unhealthy();
+
+  rl::StepResult sr;
+  sr.obs = observe();
+  const bool healthy = !fallen_;
+  sr.reward = p.w_v * v_ + (healthy ? p.alive_bonus : 0.0) - p.w_ctrl * usq;
+  sr.done = fallen_;
+  sr.truncated = !sr.done && t_ >= p.max_steps;
+  sr.surrogate = healthy ? std::clamp(v_ / p.v_full, 0.0, 1.0) : 0.0;
+  sr.fell = fallen_;
+  // Dense locomotion "task completion" = survived the horizon while making
+  // forward progress (used only for success-rate reporting).
+  sr.task_completed =
+      sr.truncated && x_ > 0.25 * p.v_succ * p.dt * p.max_steps;
+  return sr;
+}
+
+}  // namespace imap::env

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rl/env.h"
+
+namespace imap::env {
+
+/// Parameters of the planar locomotor family (Hopper / Walker2d /
+/// HalfCheetah / Ant / SparseHumanoid are instances).
+///
+/// The model is a reduced-order stand-in for the MuJoCo bodies (see
+/// DESIGN.md): joints driven by bounded torques generate forward thrust, and
+/// a posture variable θ is *actively unstable* (θ̈ ≈ instab·θ + d·u + noise),
+/// so the policy must run a feedback loop to stay healthy. Because control
+/// authority is bounded, there is a point of no return θ* = ‖d‖₁/instab: an
+/// adversary that corrupts the observed posture enough to push θ past θ*
+/// guarantees a fall — exactly the vulnerability class the paper's attacks
+/// exploit (Fig. 1).
+struct LocomotorParams {
+  std::string name = "Locomotor";
+  std::size_t n_joints = 3;
+  double dt = 0.05;
+  int max_steps = 500;
+
+  // Thrust chain: forward acceleration = thrust_gain · (c·u) · eff − drag·v,
+  // where eff = 1 − (θ/θ_max)² collapses when posture degrades.
+  std::vector<double> c;
+  double thrust_gain = 4.0;
+  double drag = 1.0;
+
+  // Posture (pitch for bipeds, roll for Ant). The effective instability
+  // grows with forward speed: instab + instab_v·max(0, v). Running flat out
+  // therefore demands a high-gain stabiliser (attackable through bounded
+  // observation noise), while a conservative gait is inherently robust —
+  // the trade-off robust training methods exploit (c.f. Fig. 1's WocaR
+  // Walker that "learned to lower its body to be robust").
+  std::vector<double> d;
+  double instab = 3.0;
+  double instab_v = 0.0;
+  double omega_damp = 1.0;
+  double posture_noise = 0.02;
+  double theta_max = 0.5;
+
+  // Torso height (hopping envs terminate when it collapses).
+  bool uses_height = true;
+  double h0 = 1.0;
+  double h_min = 0.5;
+  double spring = 8.0;
+  double h_damp = 2.0;
+  double fall_couple = 3.0;  ///< posture² drags the torso down
+
+  // Joint dynamics.
+  double act_gain = 6.0;
+  double joint_damp = 2.0;
+  double joint_stiff = 4.0;
+  double q_max = 1.5;
+
+  // Victim training-time reward r_E (dense): w_v·v + alive − w_ctrl·‖u‖².
+  double w_v = 1.0;
+  double alive_bonus = 1.0;
+  double w_ctrl = 1e-3;
+
+  // Surrogate success signal r̂_E per step: the degree to which the victim
+  // is observably "running", clamp(v / v_full, 0, 1). Derived purely from
+  // the environment state the attacker can see (never from the victim's
+  // training reward), so it respects the black-box threat model; v_succ is
+  // the "is running" threshold used for episode-level task completion.
+  double v_succ = 0.5;
+  double v_full = 3.0;
+
+  double init_noise = 0.05;
+  bool terminates = true;  ///< HalfCheetah never terminates
+
+  std::size_t obs_dim() const {
+    return 3 + (uses_height ? 2 : 0) + 2 * n_joints;
+  }
+};
+
+/// The planar locomotor environment.
+class LocomotorEnv : public rl::EnvBase<LocomotorEnv> {
+ public:
+  explicit LocomotorEnv(LocomotorParams params);
+
+  std::size_t obs_dim() const override { return params_.obs_dim(); }
+  std::size_t act_dim() const override { return params_.n_joints; }
+  int max_steps() const override { return params_.max_steps; }
+  std::string name() const override { return params_.name; }
+  const rl::BoxSpace& action_space() const override { return action_space_; }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+  /// Canonical (noise-free) initial observation — the R-driven regularizer's
+  /// default adversarial state s₀^ν (Sec. 5.2.3).
+  std::vector<double> canonical_initial_obs() const;
+
+  // Introspection for wrappers and tests.
+  double forward_position() const { return x_; }
+  double forward_velocity() const { return v_; }
+  double posture() const { return theta_; }
+  double height() const { return h_; }
+  bool fallen() const { return fallen_; }
+  int steps() const { return t_; }
+  const LocomotorParams& params() const { return params_; }
+
+ private:
+  std::vector<double> observe() const;
+  bool unhealthy() const;
+
+  LocomotorParams params_;
+  rl::BoxSpace action_space_;
+  Rng noise_rng_{0};
+
+  double x_ = 0.0, v_ = 0.0;
+  double theta_ = 0.0, omega_ = 0.0;
+  double h_ = 1.0, hv_ = 0.0;
+  std::vector<double> q_, qd_;
+  int t_ = 0;
+  bool fallen_ = false;
+};
+
+}  // namespace imap::env

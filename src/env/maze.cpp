@@ -1,0 +1,238 @@
+#include "env/maze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+using phys::Segment;
+using phys::Vec2;
+
+MazeLayout u_maze_layout() {
+  // A U-shaped corridor: start bottom-left, goal top-left, central bar
+  // forces the long way around on the right.
+  MazeLayout m;
+  m.name = "AntUMaze";
+  m.lo = {0.0, 0.0};
+  m.hi = {6.0, 6.0};
+  auto wall = [&](double ax, double ay, double bx, double by) {
+    m.walls.push_back(Segment{{ax, ay}, {bx, by}, 0.1});
+  };
+  // Outer box.
+  wall(0, 0, 6, 0);
+  wall(6, 0, 6, 6);
+  wall(6, 6, 0, 6);
+  wall(0, 6, 0, 0);
+  // Central bar from the left wall, leaving a gap on the right.
+  wall(0, 3, 4.2, 3);
+  m.start = {1.0, 1.2};
+  m.goal = {1.0, 4.8};
+  return m;
+}
+
+MazeLayout four_rooms_layout() {
+  MazeLayout m;
+  m.name = "Ant4Rooms";
+  m.lo = {0.0, 0.0};
+  m.hi = {8.0, 8.0};
+  auto wall = [&](double ax, double ay, double bx, double by) {
+    m.walls.push_back(Segment{{ax, ay}, {bx, by}, 0.1});
+  };
+  wall(0, 0, 8, 0);
+  wall(8, 0, 8, 8);
+  wall(8, 8, 0, 8);
+  wall(0, 8, 0, 0);
+  // Vertical divider with two doorways.
+  wall(4, 0, 4, 1.4);
+  wall(4, 2.6, 4, 5.4);
+  wall(4, 6.6, 4, 8);
+  // Horizontal divider with two doorways.
+  wall(0, 4, 1.4, 4);
+  wall(2.6, 4, 5.4, 4);
+  wall(6.6, 4, 8, 4);
+  m.start = {1.2, 1.2};
+  m.goal = {6.8, 6.8};  // diagonally opposite room
+  return m;
+}
+
+DistanceField::DistanceField(const MazeLayout& layout, double cell,
+                             double inflate)
+    : cell_(cell), lo_(layout.lo) {
+  nx_ = static_cast<int>(std::ceil((layout.hi.x - layout.lo.x) / cell_)) + 1;
+  ny_ = static_cast<int>(std::ceil((layout.hi.y - layout.lo.y) / cell_)) + 1;
+  occ_.assign(static_cast<std::size_t>(nx_ * ny_), 0);
+  dist_.assign(static_cast<std::size_t>(nx_ * ny_),
+               std::numeric_limits<double>::infinity());
+
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      const Vec2 p{lo_.x + ix * cell_, lo_.y + iy * cell_};
+      for (const auto& seg : layout.walls) {
+        const Vec2 cp = phys::closest_point_on_segment(p, seg.a, seg.b);
+        if (phys::distance(p, cp) < inflate + seg.thickness) {
+          occ_[static_cast<std::size_t>(idx(ix, iy))] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Multi-source-free BFS from the goal cell (4-connected).
+  const int gx = static_cast<int>(std::round((layout.goal.x - lo_.x) / cell_));
+  const int gy = static_cast<int>(std::round((layout.goal.y - lo_.y) / cell_));
+  IMAP_CHECK(gx >= 0 && gx < nx_ && gy >= 0 && gy < ny_);
+  IMAP_CHECK_MSG(!occ_[static_cast<std::size_t>(idx(gx, gy))],
+                 "goal cell is inside a wall");
+  std::deque<std::pair<int, int>> frontier;
+  dist_[static_cast<std::size_t>(idx(gx, gy))] = 0.0;
+  frontier.emplace_back(gx, gy);
+  const int dx[4] = {1, -1, 0, 0};
+  const int dy[4] = {0, 0, 1, -1};
+  while (!frontier.empty()) {
+    auto [cx, cy] = frontier.front();
+    frontier.pop_front();
+    const double d = dist_[static_cast<std::size_t>(idx(cx, cy))];
+    for (int k = 0; k < 4; ++k) {
+      const int nx = cx + dx[k], ny = cy + dy[k];
+      if (nx < 0 || nx >= nx_ || ny < 0 || ny >= ny_) continue;
+      const auto ni = static_cast<std::size_t>(idx(nx, ny));
+      if (occ_[ni]) continue;
+      if (dist_[ni] <= d + cell_) continue;
+      dist_[ni] = d + cell_;
+      frontier.emplace_back(nx, ny);
+    }
+  }
+}
+
+bool DistanceField::blocked(int ix, int iy) const {
+  if (ix < 0 || ix >= nx_ || iy < 0 || iy >= ny_) return true;
+  return occ_[static_cast<std::size_t>(idx(ix, iy))] != 0;
+}
+
+double DistanceField::distance(Vec2 p) const {
+  const int ix = static_cast<int>(std::round((p.x - lo_.x) / cell_));
+  const int iy = static_cast<int>(std::round((p.y - lo_.y) / cell_));
+  // Fall back to the nearest free neighbour so in-wall queries stay finite.
+  double best = std::numeric_limits<double>::infinity();
+  for (int ddy = -1; ddy <= 1; ++ddy)
+    for (int ddx = -1; ddx <= 1; ++ddx) {
+      const int jx = ix + ddx, jy = iy + ddy;
+      if (blocked(jx, jy)) continue;
+      best = std::min(best, dist_[static_cast<std::size_t>(idx(jx, jy))]);
+    }
+  if (!std::isfinite(best)) return 1e3;
+  return best;
+}
+
+MazeEnv::MazeEnv(MazeLayout layout, Mode mode)
+    : layout_(std::move(layout)),
+      mode_(mode),
+      field_(layout_),
+      action_space_(2, 1.0) {
+  phys::CircleBody robot;
+  robot.pos = layout_.start;
+  robot.radius = 0.3;
+  robot.damping = 2.0;
+  robot_ = world_.add_body(robot);
+  for (const auto& w : layout_.walls) world_.add_segment(w);
+}
+
+std::string MazeEnv::name() const {
+  return layout_.name + (mode_ == Mode::Dense ? "Dense" : "");
+}
+
+phys::Vec2 MazeEnv::position() const { return world_.body(robot_).pos; }
+
+double MazeEnv::wall_clearance(Vec2 dir) const {
+  // March outward until a wall is closer than the robot radius; saturate.
+  const Vec2 p0 = world_.body(robot_).pos;
+  constexpr double kMax = 2.0;
+  for (double r = 0.1; r <= kMax; r += 0.1) {
+    const Vec2 p = p0 + dir * r;
+    for (const auto& seg : world_.segments()) {
+      const Vec2 cp = phys::closest_point_on_segment(p, seg.a, seg.b);
+      if (phys::distance(p, cp) < 0.3 + seg.thickness) return r;
+    }
+  }
+  return kMax;
+}
+
+std::vector<double> MazeEnv::observe() const {
+  const auto& b = world_.body(robot_);
+  const double sx = 0.25;  // position scale keeps features O(1)
+  std::vector<double> o;
+  o.reserve(obs_dim());
+  o.push_back(b.pos.x * sx);
+  o.push_back(b.pos.y * sx);
+  o.push_back(b.vel.x * 0.5);
+  o.push_back(b.vel.y * 0.5);
+  o.push_back((layout_.goal.x - b.pos.x) * sx);
+  o.push_back((layout_.goal.y - b.pos.y) * sx);
+  o.push_back(wall_clearance({1, 0}) * 0.5);
+  o.push_back(wall_clearance({-1, 0}) * 0.5);
+  o.push_back(wall_clearance({0, 1}) * 0.5);
+  o.push_back(wall_clearance({0, -1}) * 0.5);
+  return o;
+}
+
+std::vector<double> MazeEnv::reset(Rng& rng) {
+  auto& b = world_.body(robot_);
+  b.pos = layout_.start +
+          Vec2{rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)};
+  b.vel = {};
+  prev_dist_ = field_.distance(b.pos);
+  t_ = 0;
+  return observe();
+}
+
+rl::StepResult MazeEnv::step(const std::vector<double>& action) {
+  IMAP_CHECK(action.size() == 2);
+  auto u = action_space_.clamp(action);
+  auto& b = world_.body(robot_);
+  b.apply_force({u[0] * 8.0, u[1] * 8.0});
+  world_.step(0.05);
+  ++t_;
+
+  const double d = field_.distance(b.pos);
+  const bool reached = phys::distance(b.pos, layout_.goal) < kGoalRadius;
+
+  rl::StepResult sr;
+  sr.obs = observe();
+  sr.surrogate = reached ? 1.0 : 0.0;
+  sr.task_completed = reached;
+  sr.fell = false;
+
+  if (mode_ == Mode::Dense) {
+    // Potential-based shaping on the BFS field + arrival bonus.
+    sr.reward = 2.0 * (prev_dist_ - d) - 0.01 + (reached ? 5.0 : 0.0);
+    sr.done = reached;
+    sr.truncated = !sr.done && t_ >= max_steps();
+  } else {
+    sr.reward = reached
+                    ? 1.0 - 0.05 * static_cast<double>(t_) / max_steps()
+                    : 0.0;
+    sr.done = reached;
+    sr.truncated = !sr.done && t_ >= max_steps();
+  }
+  prev_dist_ = d;
+  return sr;
+}
+
+std::unique_ptr<rl::Env> make_ant_u_maze() {
+  return std::make_unique<MazeEnv>(u_maze_layout(), MazeEnv::Mode::Sparse);
+}
+std::unique_ptr<rl::Env> make_ant_u_maze_dense() {
+  return std::make_unique<MazeEnv>(u_maze_layout(), MazeEnv::Mode::Dense);
+}
+std::unique_ptr<rl::Env> make_ant_4rooms() {
+  return std::make_unique<MazeEnv>(four_rooms_layout(), MazeEnv::Mode::Sparse);
+}
+std::unique_ptr<rl::Env> make_ant_4rooms_dense() {
+  return std::make_unique<MazeEnv>(four_rooms_layout(), MazeEnv::Mode::Dense);
+}
+
+}  // namespace imap::env

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phys/world.h"
+#include "rl/env.h"
+
+namespace imap::env {
+
+/// Maze layout: static walls plus start/goal positions, with a BFS distance
+/// field over an inflated occupancy grid. The field gives the *path*
+/// distance to the goal (not the straight-line distance), which is the
+/// shaping potential used for victim training — this is what lets a PPO
+/// victim solve the U-turn.
+struct MazeLayout {
+  std::string name;
+  std::vector<phys::Segment> walls;
+  phys::Vec2 start;
+  phys::Vec2 goal;
+  phys::Vec2 lo;  ///< bounding box
+  phys::Vec2 hi;
+};
+
+MazeLayout u_maze_layout();
+MazeLayout four_rooms_layout();
+
+/// Grid BFS distance-to-goal field with wall inflation.
+class DistanceField {
+ public:
+  DistanceField(const MazeLayout& layout, double cell = 0.25,
+                double inflate = 0.3);
+
+  /// Path distance (in world units) from `p` to the goal; large finite value
+  /// for unreachable/in-wall queries.
+  double distance(phys::Vec2 p) const;
+
+  double cell_size() const { return cell_; }
+
+ private:
+  int idx(int ix, int iy) const { return iy * nx_ + ix; }
+  bool blocked(int ix, int iy) const;
+
+  double cell_;
+  int nx_ = 0, ny_ = 0;
+  phys::Vec2 lo_;
+  std::vector<double> dist_;
+  std::vector<unsigned char> occ_;
+};
+
+/// Ant navigation in a maze (AntUMaze / Ant4Rooms): a point-robot
+/// abstraction of the MuJoCo Ant navigating walls toward a goal region.
+/// Two reward modes as with the other sparse tasks:
+///   Dense  — potential-based shaping on the BFS field (victim training),
+///   Sparse — Table 2 semantics: success only on reaching the goal region.
+///
+/// Observation (10-D): position (2, scaled), velocity (2), goal-relative
+/// vector (2, scaled), and 4 wall-clearance features (distance to the
+/// nearest wall along ±x/±y, saturated) — giving the policy (and the
+/// attacker) a local view of the geometry.
+class MazeEnv : public rl::EnvBase<MazeEnv> {
+ public:
+  enum class Mode { Dense, Sparse };
+
+  MazeEnv(MazeLayout layout, Mode mode);
+
+  std::size_t obs_dim() const override { return 10; }
+  std::size_t act_dim() const override { return 2; }
+  int max_steps() const override { return 300; }
+  std::string name() const override;
+  const rl::BoxSpace& action_space() const override { return action_space_; }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+  phys::Vec2 position() const;
+  const MazeLayout& layout() const { return layout_; }
+  const DistanceField& field() const { return field_; }
+
+  static constexpr double kGoalRadius = 0.6;
+
+ private:
+  std::vector<double> observe() const;
+  double wall_clearance(phys::Vec2 dir) const;
+
+  MazeLayout layout_;
+  Mode mode_;
+  DistanceField field_;
+  rl::BoxSpace action_space_;
+  phys::World world_;
+  std::size_t robot_ = 0;
+  double prev_dist_ = 0.0;
+  int t_ = 0;
+};
+
+std::unique_ptr<rl::Env> make_ant_u_maze();          ///< sparse (deployment)
+std::unique_ptr<rl::Env> make_ant_u_maze_dense();    ///< victim training
+std::unique_ptr<rl::Env> make_ant_4rooms();
+std::unique_ptr<rl::Env> make_ant_4rooms_dense();
+
+}  // namespace imap::env

@@ -1,0 +1,45 @@
+#include "env/multiagent.h"
+
+#include "common/check.h"
+
+namespace imap::env {
+
+VictimSideEnv::VictimSideEnv(const MultiAgentEnv& proto,
+                             std::vector<ScriptedOpponent> pool)
+    : game_(proto.clone()), pool_(std::move(pool)) {
+  IMAP_CHECK_MSG(!pool_.empty(), "need at least one scripted opponent");
+}
+
+VictimSideEnv::VictimSideEnv(const VictimSideEnv& other)
+    : game_(other.game_->clone()),
+      pool_(other.pool_),
+      active_(other.active_),
+      cur_obs_a_(other.cur_obs_a_),
+      opp_rng_(other.opp_rng_) {}
+
+std::vector<double> VictimSideEnv::reset(Rng& rng) {
+  active_ = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(pool_.size()) - 1));
+  opp_rng_ = rng.split(rng.next_u64());
+  auto [obs_v, obs_a] = game_->reset(rng);
+  cur_obs_a_ = std::move(obs_a);
+  return obs_v;
+}
+
+rl::StepResult VictimSideEnv::step(const std::vector<double>& action) {
+  const auto act_a = game_->adversary_action_space().clamp(
+      pool_[active_](cur_obs_a_, opp_rng_));
+  MaStepResult ma = game_->step(action, act_a);
+  cur_obs_a_ = std::move(ma.obs_a);
+
+  rl::StepResult sr;
+  sr.obs = std::move(ma.obs_v);
+  sr.reward = ma.reward_v_train;
+  sr.done = ma.done;
+  sr.truncated = ma.truncated;
+  sr.task_completed = ma.victim_won;
+  sr.surrogate = (ma.done || ma.truncated) && ma.victim_won ? 1.0 : 0.0;
+  return sr;
+}
+
+}  // namespace imap::env

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/env.h"
+
+namespace imap::env {
+
+/// One step of a two-player zero-sum Markov game (Sec. 3).
+struct MaStepResult {
+  std::vector<double> obs_v;  ///< victim observation
+  std::vector<double> obs_a;  ///< adversary observation (the joint state)
+  bool done = false;
+  bool truncated = false;
+  bool victim_won = false;     ///< valid when done || truncated
+  double reward_v_train = 0.0; ///< dense victim *training* shaping (zoo only)
+};
+
+/// Two-player zero-sum competitive game. The adversary's observation is the
+/// joint state (s^ν, s^α); `victim_obs_range` / `adversary_obs_range` expose
+/// the projections Π_{S^ν} and Π_{S^α} used by the multi-agent regularizers
+/// (Eq. 7 and Eq. 9).
+class MultiAgentEnv {
+ public:
+  virtual ~MultiAgentEnv() = default;
+
+  virtual std::size_t victim_obs_dim() const = 0;
+  virtual std::size_t adversary_obs_dim() const = 0;
+  virtual std::size_t victim_act_dim() const = 0;
+  virtual std::size_t adversary_act_dim() const = 0;
+  virtual int max_steps() const = 0;
+  virtual std::string name() const = 0;
+  virtual const rl::BoxSpace& victim_action_space() const = 0;
+  virtual const rl::BoxSpace& adversary_action_space() const = 0;
+
+  /// [begin, end) index ranges into the adversary observation.
+  virtual std::pair<std::size_t, std::size_t> victim_obs_range() const = 0;
+  virtual std::pair<std::size_t, std::size_t> adversary_obs_range() const = 0;
+
+  /// Returns {obs_v, obs_a}.
+  virtual std::pair<std::vector<double>, std::vector<double>> reset(
+      Rng& rng) = 0;
+
+  virtual MaStepResult step(const std::vector<double>& act_v,
+                            const std::vector<double>& act_a) = 0;
+
+  virtual std::unique_ptr<MultiAgentEnv> clone() const = 0;
+};
+
+template <class Derived>
+class MultiAgentEnvBase : public MultiAgentEnv {
+ public:
+  std::unique_ptr<MultiAgentEnv> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+/// Scripted opponent for victim training: maps the adversary-side
+/// observation to an adversary action. A pool of these stands in for the
+/// paper's self-play opponents ("victims trained against random old
+/// versions of their opponents").
+using ScriptedOpponent =
+    std::function<std::vector<double>(const std::vector<double>& obs_a, Rng&)>;
+
+/// Adapts a Markov game to a single-agent Env from the VICTIM's side: a
+/// scripted opponent is drawn from the pool at each reset. Reward is the
+/// game's dense victim shaping (training-time reward — never shown to
+/// attackers).
+class VictimSideEnv : public rl::EnvBase<VictimSideEnv> {
+ public:
+  VictimSideEnv(const MultiAgentEnv& proto,
+                std::vector<ScriptedOpponent> pool);
+  VictimSideEnv(const VictimSideEnv& other);
+  VictimSideEnv& operator=(const VictimSideEnv&) = delete;
+
+  std::size_t obs_dim() const override { return game_->victim_obs_dim(); }
+  std::size_t act_dim() const override { return game_->victim_act_dim(); }
+  int max_steps() const override { return game_->max_steps(); }
+  std::string name() const override { return game_->name() + "VictimSide"; }
+  const rl::BoxSpace& action_space() const override {
+    return game_->victim_action_space();
+  }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+ private:
+  std::unique_ptr<MultiAgentEnv> game_;
+  std::vector<ScriptedOpponent> pool_;
+  std::size_t active_ = 0;
+  std::vector<double> cur_obs_a_;
+  Rng opp_rng_{0};
+};
+
+}  // namespace imap::env

@@ -1,0 +1,75 @@
+#include "env/sparse.h"
+
+#include "common/check.h"
+#include "env/ant.h"
+#include "env/half_cheetah.h"
+#include "env/hopper.h"
+#include "env/walker2d.h"
+
+namespace imap::env {
+
+SparseLocomotionEnv::SparseLocomotionEnv(LocomotorParams inner,
+                                         double goal_distance, int max_steps,
+                                         SparseSemantics sem)
+    : inner_((inner.max_steps = max_steps + 1, inner)),
+      name_("Sparse" + inner.name),
+      goal_(goal_distance),
+      max_steps_(max_steps),
+      sem_(sem) {
+  IMAP_CHECK(goal_ > 0.0);
+  IMAP_CHECK(max_steps_ > 0);
+}
+
+std::vector<double> SparseLocomotionEnv::reset(Rng& rng) {
+  t_ = 0;
+  return inner_.reset(rng);
+}
+
+rl::StepResult SparseLocomotionEnv::step(const std::vector<double>& action) {
+  rl::StepResult sr = inner_.step(action);
+  ++t_;
+
+  const bool crossed = inner_.forward_position() >= goal_;
+  const bool fell = inner_.fallen();
+
+  sr.surrogate = crossed ? 1.0 : 0.0;
+  sr.task_completed = crossed;
+  sr.fell = fell;
+  if (crossed) {
+    sr.reward =
+        1.0 - sem_.time_penalty * static_cast<double>(t_) / max_steps_;
+    sr.done = true;
+    sr.truncated = false;
+  } else if (fell) {
+    sr.reward = -sem_.fall_penalty;
+    sr.done = true;
+    sr.truncated = false;
+  } else {
+    sr.reward = 0.0;
+    sr.done = false;
+    sr.truncated = t_ >= max_steps_;
+  }
+  return sr;
+}
+
+namespace {
+std::unique_ptr<rl::Env> sparse_of(LocomotorParams p, double goal,
+                                   int max_steps) {
+  return std::make_unique<SparseLocomotionEnv>(std::move(p), goal, max_steps);
+}
+}  // namespace
+
+std::unique_ptr<rl::Env> make_sparse_hopper() {
+  return sparse_of(hopper_params(), 18.0, 300);
+}
+std::unique_ptr<rl::Env> make_sparse_walker2d() {
+  return sparse_of(walker2d_params(), 18.0, 300);
+}
+std::unique_ptr<rl::Env> make_sparse_half_cheetah() {
+  return sparse_of(half_cheetah_params(), 22.0, 300);
+}
+std::unique_ptr<rl::Env> make_sparse_ant() {
+  return sparse_of(ant_params(), 18.0, 300);
+}
+
+}  // namespace imap::env

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+
+namespace imap::env {
+
+/// Sparse-reward episode semantics shared by the nine sparse tasks, matching
+/// the paper's Table 2 reward scale:
+///   success (goal reached at step t):  1 − time_penalty · t / max_steps
+///   unhealthy fall:                    −fall_penalty
+///   timeout without success:           0
+/// so the no-attack victim scores ≈ 0.95–0.99 and a perfect attack that
+/// always induces a fall scores ≈ −fall_penalty (c.f. −0.03…−0.10 rows).
+struct SparseSemantics {
+  double time_penalty = 0.05;
+  double fall_penalty = 0.05;
+};
+
+/// Sparse locomotion: the dense locomotor dynamics with the reward replaced
+/// by a goal-crossing indicator. The episode ends at the crossing, at a fall,
+/// or at the (shorter) step limit. The surrogate r̂ fires only on the
+/// crossing step — the adversary's reward signal is genuinely sparse, which
+/// is exactly the regime where the paper shows dithering exploration
+/// (SA-RL) fails and intrinsic motivation wins (Fig. 4).
+class SparseLocomotionEnv : public rl::EnvBase<SparseLocomotionEnv> {
+ public:
+  SparseLocomotionEnv(LocomotorParams inner, double goal_distance,
+                      int max_steps, SparseSemantics sem = {});
+
+  std::size_t obs_dim() const override { return inner_.obs_dim(); }
+  std::size_t act_dim() const override { return inner_.act_dim(); }
+  int max_steps() const override { return max_steps_; }
+  std::string name() const override { return name_; }
+  const rl::BoxSpace& action_space() const override {
+    return inner_.action_space();
+  }
+
+  std::vector<double> reset(Rng& rng) override;
+  rl::StepResult step(const std::vector<double>& action) override;
+
+  double goal_distance() const { return goal_; }
+  const LocomotorEnv& inner() const { return inner_; }
+
+ private:
+  LocomotorEnv inner_;
+  std::string name_;
+  double goal_;
+  int max_steps_;
+  SparseSemantics sem_;
+  int t_ = 0;
+};
+
+// Factories for the six sparse locomotion tasks of Table 2 (the Humanoid
+// pair lives in humanoid.h).
+std::unique_ptr<rl::Env> make_sparse_hopper();
+std::unique_ptr<rl::Env> make_sparse_walker2d();
+std::unique_ptr<rl::Env> make_sparse_half_cheetah();
+std::unique_ptr<rl::Env> make_sparse_ant();
+
+}  // namespace imap::env

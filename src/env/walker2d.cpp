@@ -1,0 +1,29 @@
+#include "env/walker2d.h"
+
+namespace imap::env {
+
+LocomotorParams walker2d_params() {
+  LocomotorParams p;
+  p.name = "Walker2d";
+  p.n_joints = 6;  // obs: 3 + 2 + 12 = 17-D, as in the paper
+  // d ⊥ c (see hopper.cpp). ‖d‖₁ = 1.6 → θ* = 0.47 < θ_max.
+  p.c = {0.8, 0.6, 0.4, 0.8, 0.6, 0.4};
+  p.d = {0.4, 0.2, 0.1, -0.3, -0.25, -0.35};
+  p.instab = 1.2;
+  p.instab_v = 0.45;
+  p.theta_max = 0.5;
+  p.posture_noise = 0.025;
+  p.uses_height = true;
+  p.fall_couple = 3.0;
+  p.w_v = 2.0;
+  p.alive_bonus = 1.0;
+  p.v_succ = 1.0;
+  p.max_steps = 500;
+  return p;
+}
+
+std::unique_ptr<rl::Env> make_walker2d() {
+  return std::make_unique<LocomotorEnv>(walker2d_params());
+}
+
+}  // namespace imap::env

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <memory>
+
+#include "env/locomotor.h"
+
+namespace imap::env {
+
+/// Walker2d: 6 actuated joints, 17-D observation (matching the MuJoCo
+/// Walker2d dimensionality), moderately stable biped.
+LocomotorParams walker2d_params();
+std::unique_ptr<rl::Env> make_walker2d();
+
+}  // namespace imap::env

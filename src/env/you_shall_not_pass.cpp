@@ -1,0 +1,179 @@
+#include "env/you_shall_not_pass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::env {
+
+using phys::Vec2;
+
+YouShallNotPassEnv::YouShallNotPassEnv() : act_v_(2, 1.0), act_a_(2, 1.0) {
+  runner_.radius = 0.3;
+  runner_.mass = 1.0;
+  runner_.damping = 3.0;
+  blocker_.radius = 0.42;
+  blocker_.mass = 1.4;
+  blocker_.damping = 3.0;
+}
+
+std::pair<std::vector<double>, std::vector<double>> YouShallNotPassEnv::reset(
+    Rng& rng) {
+  runner_.pos = {3.0, rng.uniform(-1.0, 1.0)};
+  runner_.vel = {};
+  blocker_.pos = {0.0, rng.uniform(-1.0, 1.0)};
+  blocker_.vel = {};
+  runner_fallen_ = false;
+  blocker_fallen_ = false;
+  t_ = 0;
+  return {observe_victim(), observe_adversary()};
+}
+
+std::vector<double> YouShallNotPassEnv::observe_victim() const {
+  const Vec2 rel = blocker_.pos - runner_.pos;
+  return {runner_.pos.x / kFieldX,
+          runner_.pos.y / kFieldY,
+          runner_.vel.x / 5.0,
+          runner_.vel.y / 5.0,
+          rel.x / kFieldX,
+          rel.y / kFieldY,
+          blocker_.vel.x / 5.0,
+          blocker_.vel.y / 5.0,
+          static_cast<double>(t_) / max_steps()};
+}
+
+std::vector<double> YouShallNotPassEnv::observe_adversary() const {
+  const Vec2 rel = runner_.pos - blocker_.pos;
+  return {runner_.pos.x / kFieldX,
+          runner_.pos.y / kFieldY,
+          runner_.vel.x / 5.0,
+          runner_.vel.y / 5.0,
+          blocker_.pos.x / kFieldX,
+          blocker_.pos.y / kFieldY,
+          blocker_.vel.x / 5.0,
+          blocker_.vel.y / 5.0,
+          rel.x / kFieldX,
+          rel.y / kFieldY,
+          static_cast<double>(t_) / max_steps()};
+}
+
+void YouShallNotPassEnv::resolve_walls(phys::CircleBody& b) const {
+  if (b.pos.y > kFieldY - b.radius) {
+    b.pos.y = kFieldY - b.radius;
+    b.vel.y = std::min(0.0, b.vel.y);
+  }
+  if (b.pos.y < -kFieldY + b.radius) {
+    b.pos.y = -kFieldY + b.radius;
+    b.vel.y = std::max(0.0, b.vel.y);
+  }
+  if (b.pos.x > kFieldX - b.radius) {
+    b.pos.x = kFieldX - b.radius;
+    b.vel.x = std::min(0.0, b.vel.x);
+  }
+  if (b.pos.x < -kFieldX + b.radius) {
+    b.pos.x = -kFieldX + b.radius;
+    b.vel.x = std::max(0.0, b.vel.x);
+  }
+}
+
+MaStepResult YouShallNotPassEnv::step(const std::vector<double>& act_v,
+                                      const std::vector<double>& act_a) {
+  IMAP_CHECK(act_v.size() == 2 && act_a.size() == 2);
+  const double dt = 0.05;
+  const double prev_runner_x = runner_.pos.x;
+
+  const auto uv = act_v_.clamp(act_v);
+  const auto ua = act_a_.clamp(act_a);
+  // The runner is faster; the blocker heavier. Fallen bodies get no control.
+  if (!runner_fallen_) runner_.apply_force({uv[0] * 13.0, uv[1] * 13.0});
+  if (!blocker_fallen_) blocker_.apply_force({ua[0] * 16.0, ua[1] * 16.0});
+
+  // Record pre-contact velocities for the momentum contest.
+  runner_.integrate(dt);
+  blocker_.integrate(dt);
+  const Vec2 vr = runner_.vel;
+  const Vec2 vb = blocker_.vel;
+
+  // Circle-circle contact with inelastic impulse (same maths as phys::World,
+  // kept local so the impact speed is observable for the fall rule).
+  const Vec2 d = blocker_.pos - runner_.pos;
+  const double dist = d.norm();
+  const double min_dist = runner_.radius + blocker_.radius;
+  if (dist < min_dist) {
+    const Vec2 n = dist > 1e-9 ? d / dist : Vec2{1.0, 0.0};
+    const double overlap = min_dist - dist;
+    const double tm = runner_.mass + blocker_.mass;
+    runner_.pos -= n * (overlap * blocker_.mass / tm);
+    blocker_.pos += n * (overlap * runner_.mass / tm);
+    const double rel_vn = (vb - vr).dot(n);
+    if (rel_vn < 0.0) {
+      const double impulse =
+          -rel_vn / (1.0 / runner_.mass + 1.0 / blocker_.mass);
+      runner_.vel -= n * (impulse / runner_.mass);
+      blocker_.vel += n * (impulse / blocker_.mass);
+    }
+
+    // Momentum contest: on a hard impact, the body carrying less momentum
+    // along the contact normal goes down. Near-ties floor both.
+    const double impact_speed = std::abs(rel_vn);
+    if (impact_speed > kFallImpactSpeed) {
+      const double pr = runner_.mass * std::abs(vr.dot(n));
+      const double pb = blocker_.mass * std::abs(vb.dot(n));
+      if (pr > 1.25 * pb) {
+        blocker_fallen_ = true;
+      } else if (pb > 1.25 * pr) {
+        runner_fallen_ = true;
+      } else {
+        runner_fallen_ = true;
+        blocker_fallen_ = true;
+      }
+    }
+  }
+
+  resolve_walls(runner_);
+  resolve_walls(blocker_);
+  if (runner_fallen_) runner_.vel = {};
+  if (blocker_fallen_) blocker_.vel = {};
+
+  ++t_;
+  const bool crossed = runner_.pos.x <= kFinishLine;
+  const bool timeout = t_ >= max_steps();
+
+  MaStepResult out;
+  out.done = crossed || runner_fallen_;
+  out.truncated = !out.done && timeout;
+  out.victim_won = crossed;
+
+  // Victim training shaping: forward progress toward the line + outcome.
+  out.reward_v_train = 2.0 * (prev_runner_x - runner_.pos.x) - 0.01;
+  if (crossed) out.reward_v_train += 10.0;
+  if (runner_fallen_) out.reward_v_train -= 10.0;
+  if (out.truncated) out.reward_v_train -= 5.0;
+
+  out.obs_v = observe_victim();
+  out.obs_a = observe_adversary();
+  return out;
+}
+
+std::vector<ScriptedOpponent> YouShallNotPassEnv::victim_training_pool() {
+  // obs_a layout: runner pos/vel (0..3), blocker pos/vel (4..7), rel (8..9).
+  ScriptedOpponent stationary = [](const std::vector<double>&, Rng&) {
+    return std::vector<double>{0.0, 0.0};
+  };
+  ScriptedOpponent chaser = [](const std::vector<double>& o, Rng&) {
+    // Head straight for the runner's current position.
+    return std::vector<double>{o[8] > 0 ? 1.0 : -1.0, o[9] > 0 ? 1.0 : -1.0};
+  };
+  ScriptedOpponent drifter = [](const std::vector<double>&, Rng& rng) {
+    return std::vector<double>{rng.uniform(-1.0, 1.0),
+                               rng.uniform(-1.0, 1.0)};
+  };
+  return {stationary, chaser, drifter};
+}
+
+std::unique_ptr<MultiAgentEnv> make_you_shall_not_pass() {
+  return std::make_unique<YouShallNotPassEnv>();
+}
+
+}  // namespace imap::env

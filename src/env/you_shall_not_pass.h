@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/multiagent.h"
+#include "phys/body.h"
+
+namespace imap::env {
+
+/// YouShallNotPass: the victim (runner) must cross the finish line within
+/// the step budget; the adversary (blocker) wins otherwise. 2-D reduction of
+/// the MuJoCo humanoid game with a *momentum contest* standing in for the
+/// humanoids' balance: on a hard contact the body with less momentum along
+/// the collision normal falls over and stays down. A fallen runner can never
+/// finish (adversary wins immediately); a fallen blocker leaves the track
+/// open. The blocker is heavier but slower than the runner, so winning
+/// requires positional play (holding the line, mirroring, braced
+/// interception) rather than chasing — the skill IMAP-PC discovers in the
+/// paper (Fig. 2).
+class YouShallNotPassEnv : public MultiAgentEnvBase<YouShallNotPassEnv> {
+ public:
+  YouShallNotPassEnv();
+
+  std::size_t victim_obs_dim() const override { return 9; }
+  std::size_t adversary_obs_dim() const override { return 11; }
+  std::size_t victim_act_dim() const override { return 2; }
+  std::size_t adversary_act_dim() const override { return 2; }
+  int max_steps() const override { return 150; }
+  std::string name() const override { return "YouShallNotPass"; }
+  const rl::BoxSpace& victim_action_space() const override { return act_v_; }
+  const rl::BoxSpace& adversary_action_space() const override {
+    return act_a_;
+  }
+
+  std::pair<std::size_t, std::size_t> victim_obs_range() const override {
+    return {0, 4};  // runner position + velocity
+  }
+  std::pair<std::size_t, std::size_t> adversary_obs_range() const override {
+    return {4, 8};  // blocker position + velocity
+  }
+
+  std::pair<std::vector<double>, std::vector<double>> reset(Rng& rng) override;
+  MaStepResult step(const std::vector<double>& act_v,
+                    const std::vector<double>& act_a) override;
+
+  // Introspection for tests / trajectory dumps.
+  const phys::CircleBody& runner() const { return runner_; }
+  const phys::CircleBody& blocker() const { return blocker_; }
+  bool runner_fallen() const { return runner_fallen_; }
+  bool blocker_fallen() const { return blocker_fallen_; }
+
+  static constexpr double kFinishLine = -3.5;
+  static constexpr double kFieldX = 5.0;
+  static constexpr double kFieldY = 3.0;
+  static constexpr double kFallImpactSpeed = 1.0;
+
+  /// Scripted blockers the victim is trained against (stationary, chaser,
+  /// drifter) — the stand-in for the paper's self-play opponent pool.
+  static std::vector<ScriptedOpponent> victim_training_pool();
+
+ private:
+  std::vector<double> observe_victim() const;
+  std::vector<double> observe_adversary() const;
+  void resolve_walls(phys::CircleBody& b) const;
+
+  rl::BoxSpace act_v_;
+  rl::BoxSpace act_a_;
+  phys::CircleBody runner_;
+  phys::CircleBody blocker_;
+  bool runner_fallen_ = false;
+  bool blocker_fallen_ = false;
+  int t_ = 0;
+};
+
+std::unique_ptr<MultiAgentEnv> make_you_shall_not_pass();
+
+}  // namespace imap::env

@@ -1,0 +1,38 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::nn {
+
+Adam::Adam(std::size_t n_params, Options opts)
+    : opts_(opts), m_(n_params, 0.0), v_(n_params, 0.0) {}
+
+void Adam::step(std::vector<double>& params,
+                const std::vector<double>& grads) {
+  IMAP_CHECK(params.size() == m_.size());
+  IMAP_CHECK(grads.size() == m_.size());
+  ++t_;
+
+  double clip = 1.0;
+  if (opts_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (double g : grads) sq += g * g;
+    const double norm = std::sqrt(sq);
+    if (norm > opts_.max_grad_norm) clip = opts_.max_grad_norm / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = grads[i] * clip;
+    m_[i] = opts_.beta1 * m_[i] + (1.0 - opts_.beta1) * g;
+    v_[i] = opts_.beta2 * v_[i] + (1.0 - opts_.beta2) * g * g;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+  }
+}
+
+}  // namespace imap::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imap::nn {
+
+/// Adam optimiser over a flat parameter vector.
+///
+/// State (first/second moments, timestep) is owned here; call `step` with the
+/// parameter block and its gradient block after each minibatch. Gradient
+/// clipping by global L2 norm is built in because PPO updates with small
+/// batches occasionally spike.
+class Adam {
+ public:
+  struct Options {
+    double lr = 3e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double max_grad_norm = 0.5;  ///< 0 disables clipping
+  };
+
+  explicit Adam(std::size_t n_params) : Adam(n_params, Options{}) {}
+  Adam(std::size_t n_params, Options opts);
+
+  /// Apply one Adam update in-place; `grads` is not modified.
+  void step(std::vector<double>& params, const std::vector<double>& grads);
+
+  void set_lr(double lr) { opts_.lr = lr; }
+  double lr() const { return opts_.lr; }
+  std::size_t iterations() const { return t_; }
+
+ private:
+  Options opts_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace imap::nn

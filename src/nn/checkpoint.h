@@ -1,0 +1,25 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/serialize.h"
+#include "nn/gaussian.h"
+
+namespace imap::nn {
+
+/// Checkpoint I/O for policies and value nets (the victim "zoo" and trained
+/// adversaries). Architecture is stored alongside the weights so loading
+/// reconstructs the exact network.
+void write_policy(BinaryWriter& w, const GaussianPolicy& p);
+GaussianPolicy read_policy(BinaryReader& r);
+
+void write_value_net(BinaryWriter& w, const ValueNet& v);
+ValueNet read_value_net(BinaryReader& r);
+
+/// Convenience file round-trips. save returns false on I/O failure; load
+/// returns nullopt if the file does not exist (bad files throw CheckError).
+bool save_policy(const std::string& path, const GaussianPolicy& p);
+std::optional<GaussianPolicy> load_policy(const std::string& path);
+
+}  // namespace imap::nn

@@ -1,0 +1,178 @@
+#include "nn/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::nn {
+
+namespace diag_gaussian {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;  // ln(2π)
+}
+
+double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
+                const std::vector<double>& log_std) {
+  IMAP_CHECK(a.size() == mean.size() && a.size() == log_std.size());
+  double lp = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double z = (a[i] - mean[i]) * std::exp(-log_std[i]);
+    lp += -0.5 * z * z - log_std[i] - 0.5 * kLog2Pi;
+  }
+  return lp;
+}
+
+double entropy(const std::vector<double>& log_std) {
+  double h = 0.0;
+  for (double ls : log_std) h += ls + 0.5 * (kLog2Pi + 1.0);
+  return h;
+}
+
+double kl(const std::vector<double>& mean_p, const std::vector<double>& ls_p,
+          const std::vector<double>& mean_q, const std::vector<double>& ls_q) {
+  IMAP_CHECK(mean_p.size() == mean_q.size());
+  IMAP_CHECK(ls_p.size() == ls_q.size() && ls_p.size() == mean_p.size());
+  double kl = 0.0;
+  for (std::size_t i = 0; i < mean_p.size(); ++i) {
+    const double var_p = std::exp(2.0 * ls_p[i]);
+    const double var_q = std::exp(2.0 * ls_q[i]);
+    const double dm = mean_p[i] - mean_q[i];
+    kl += ls_q[i] - ls_p[i] + (var_p + dm * dm) / (2.0 * var_q) - 0.5;
+  }
+  return kl;
+}
+
+std::vector<double> dlogp_dmean(const std::vector<double>& a,
+                                const std::vector<double>& mean,
+                                const std::vector<double>& log_std) {
+  std::vector<double> g(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double inv_var = std::exp(-2.0 * log_std[i]);
+    g[i] = (a[i] - mean[i]) * inv_var;
+  }
+  return g;
+}
+
+std::vector<double> dlogp_dlogstd(const std::vector<double>& a,
+                                  const std::vector<double>& mean,
+                                  const std::vector<double>& log_std) {
+  std::vector<double> g(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double z = (a[i] - mean[i]) * std::exp(-log_std[i]);
+    g[i] = z * z - 1.0;
+  }
+  return g;
+}
+
+}  // namespace diag_gaussian
+
+GaussianPolicy::GaussianPolicy(std::size_t obs_dim, std::size_t act_dim,
+                               std::vector<std::size_t> hidden, Rng& rng,
+                               double init_log_std)
+    : net_([&] {
+        std::vector<std::size_t> sizes{obs_dim};
+        sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+        sizes.push_back(act_dim);
+        return Mlp(std::move(sizes), rng);
+      }()),
+      log_std_(act_dim, init_log_std),
+      log_std_grad_(act_dim, 0.0) {}
+
+std::vector<double> GaussianPolicy::mean_action(
+    const std::vector<double>& obs) const {
+  return net_.forward(obs);
+}
+
+std::vector<double> GaussianPolicy::act(const std::vector<double>& obs,
+                                        Rng& rng) const {
+  std::vector<double> a = net_.forward(obs);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] += std::exp(log_std_[i]) * rng.normal();
+  return a;
+}
+
+double GaussianPolicy::log_prob(const std::vector<double>& obs,
+                                const std::vector<double>& act) const {
+  return diag_gaussian::log_prob(act, net_.forward(obs), log_std_);
+}
+
+double GaussianPolicy::entropy() const {
+  return diag_gaussian::entropy(log_std_);
+}
+
+std::vector<double> GaussianPolicy::mean_tape(const std::vector<double>& obs,
+                                              Mlp::Tape& tape) const {
+  return net_.forward_tape(obs, tape);
+}
+
+void GaussianPolicy::backward_logp(const Mlp::Tape& tape,
+                                   const std::vector<double>& act,
+                                   double coeff) {
+  const auto& mean = tape.post.back();
+  auto gm = diag_gaussian::dlogp_dmean(act, mean, log_std_);
+  for (double& g : gm) g *= coeff;
+  net_.backward(tape, gm);
+  const auto gs = diag_gaussian::dlogp_dlogstd(act, mean, log_std_);
+  for (std::size_t i = 0; i < log_std_grad_.size(); ++i)
+    log_std_grad_[i] += coeff * gs[i];
+}
+
+void GaussianPolicy::backward_entropy(double coeff) {
+  // dH/d log_std_i = 1.
+  for (double& g : log_std_grad_) g += coeff;
+}
+
+std::vector<double> GaussianPolicy::flat_params() const {
+  std::vector<double> p = net_.params();
+  p.insert(p.end(), log_std_.begin(), log_std_.end());
+  return p;
+}
+
+void GaussianPolicy::set_flat_params(const std::vector<double>& p) {
+  IMAP_CHECK(p.size() == n_params());
+  std::copy(p.begin(), p.begin() + static_cast<std::ptrdiff_t>(net_.params().size()),
+            net_.params().begin());
+  std::copy(p.end() - static_cast<std::ptrdiff_t>(log_std_.size()), p.end(),
+            log_std_.begin());
+}
+
+std::vector<double> GaussianPolicy::flat_grads() const {
+  std::vector<double> g = net_.grads();
+  g.insert(g.end(), log_std_grad_.begin(), log_std_grad_.end());
+  return g;
+}
+
+void GaussianPolicy::zero_grad() {
+  net_.zero_grad();
+  std::fill(log_std_grad_.begin(), log_std_grad_.end(), 0.0);
+}
+
+void GaussianPolicy::clamp_log_std(double lo, double hi) {
+  for (double& ls : log_std_) ls = std::clamp(ls, lo, hi);
+}
+
+ValueNet::ValueNet(std::size_t obs_dim, std::vector<std::size_t> hidden,
+                   Rng& rng)
+    : net_([&] {
+        std::vector<std::size_t> sizes{obs_dim};
+        sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+        sizes.push_back(1);
+        return Mlp(std::move(sizes), rng);
+      }()) {}
+
+double ValueNet::value(const std::vector<double>& obs) const {
+  return net_.forward(obs)[0];
+}
+
+double ValueNet::value_tape(const std::vector<double>& obs,
+                            Mlp::Tape& tape) const {
+  return net_.forward_tape(obs, tape)[0];
+}
+
+void ValueNet::backward(const Mlp::Tape& tape, double coeff) {
+  net_.backward(tape, {coeff});
+}
+
+}  // namespace imap::nn

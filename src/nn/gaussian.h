@@ -1,0 +1,119 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace imap::nn {
+
+/// Closed-form diagonal-Gaussian math shared by the policy classes.
+namespace diag_gaussian {
+
+/// log N(a | mean, exp(log_std)²), summed over dims.
+double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
+                const std::vector<double>& log_std);
+
+/// Differential entropy, summed over dims (state-independent given log_std).
+double entropy(const std::vector<double>& log_std);
+
+/// KL(p ‖ q) between two diagonal Gaussians.
+double kl(const std::vector<double>& mean_p, const std::vector<double>& ls_p,
+          const std::vector<double>& mean_q, const std::vector<double>& ls_q);
+
+/// d log_prob / d mean (per-dim).
+std::vector<double> dlogp_dmean(const std::vector<double>& a,
+                                const std::vector<double>& mean,
+                                const std::vector<double>& log_std);
+
+/// d log_prob / d log_std (per-dim).
+std::vector<double> dlogp_dlogstd(const std::vector<double>& a,
+                                  const std::vector<double>& mean,
+                                  const std::vector<double>& log_std);
+
+}  // namespace diag_gaussian
+
+/// Stochastic policy π(a|s) = N(μ_θ(s), diag(exp(log_std))²) with a
+/// state-independent trainable log-std — the standard continuous-control
+/// parameterisation used by PPO (and by the paper).
+class GaussianPolicy {
+ public:
+  GaussianPolicy(std::size_t obs_dim, std::size_t act_dim,
+                 std::vector<std::size_t> hidden, Rng& rng,
+                 double init_log_std = -0.5);
+
+  std::size_t obs_dim() const { return net_.in_dim(); }
+  std::size_t act_dim() const { return log_std_.size(); }
+
+  /// Deterministic action (the mean) — used for deployed/frozen victims.
+  std::vector<double> mean_action(const std::vector<double>& obs) const;
+
+  /// Sampled action.
+  std::vector<double> act(const std::vector<double>& obs, Rng& rng) const;
+
+  /// log π(a|s), recomputing the forward pass.
+  double log_prob(const std::vector<double>& obs,
+                  const std::vector<double>& act) const;
+
+  /// Policy entropy (state-independent).
+  double entropy() const;
+
+  /// Forward with activation tape (for training); returns the mean.
+  std::vector<double> mean_tape(const std::vector<double>& obs,
+                                Mlp::Tape& tape) const;
+
+  /// Accumulate coeff · ∇_θ log π(a|s) into the gradient buffers. The tape
+  /// must come from mean_tape(obs). Used by the PPO policy-gradient step
+  /// (coeff = clipped advantage weight) and by behaviour cloning.
+  void backward_logp(const Mlp::Tape& tape, const std::vector<double>& act,
+                     double coeff);
+
+  /// Accumulate coeff · ∇_θ H(π) (only log_std receives gradient).
+  void backward_entropy(double coeff);
+
+  /// Flat parameter/gradient access for the optimiser: mean-net parameters
+  /// followed by log_std.
+  std::size_t n_params() const { return net_.params().size() + log_std_.size(); }
+  std::vector<double> flat_params() const;
+  void set_flat_params(const std::vector<double>& p);
+  std::vector<double> flat_grads() const;
+  void zero_grad();
+
+  /// Keep the exploration noise in a sane range after optimiser steps.
+  void clamp_log_std(double lo = -3.0, double hi = 1.0);
+
+  const std::vector<double>& log_std() const { return log_std_; }
+  Mlp& net() { return net_; }
+  const Mlp& net() const { return net_; }
+
+ private:
+  Mlp net_;
+  std::vector<double> log_std_;
+  std::vector<double> log_std_grad_;
+};
+
+/// Scalar state-value network V(s).
+class ValueNet {
+ public:
+  ValueNet(std::size_t obs_dim, std::vector<std::size_t> hidden, Rng& rng);
+
+  double value(const std::vector<double>& obs) const;
+  double value_tape(const std::vector<double>& obs, Mlp::Tape& tape) const;
+
+  /// Accumulate coeff · ∇_θ V(s) into gradients (coeff = dL/dV).
+  void backward(const Mlp::Tape& tape, double coeff);
+
+  std::vector<double>& params() { return net_.params(); }
+  const std::vector<double>& params() const { return net_.params(); }
+  std::vector<double>& grads() { return net_.grads(); }
+  void zero_grad() { net_.zero_grad(); }
+  std::size_t n_params() const { return net_.params().size(); }
+
+  Mlp& net() { return net_; }
+  const Mlp& net() const { return net_; }
+
+ private:
+  Mlp net_;
+};
+
+}  // namespace imap::nn

@@ -1,0 +1,100 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.normal(0.0, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::matvec(const std::vector<double>& x) const {
+  IMAP_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::matvec_transposed(
+    const std::vector<double>& x) const {
+  IMAP_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::add_outer(const std::vector<double>& u,
+                       const std::vector<double>& v, double scale) {
+  IMAP_CHECK(u.size() == rows_ && v.size() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double ur = u[r] * scale;
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += ur * v[c];
+  }
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void axpy(std::vector<double>& y, double a, const std::vector<double>& x) {
+  IMAP_CHECK(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  IMAP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double l2norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+double linf_norm(const std::vector<double>& a) {
+  double m = 0.0;
+  for (double x : a) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  IMAP_CHECK(a.size() == b.size());
+  std::vector<double> y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] - b[i];
+  return y;
+}
+
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  IMAP_CHECK(a.size() == b.size());
+  std::vector<double> y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] + b[i];
+  return y;
+}
+
+void scale_inplace(std::vector<double>& a, double s) {
+  for (double& x : a) x *= s;
+}
+
+void clamp_inplace(std::vector<double>& a, double lo, double hi) {
+  for (double& x : a) x = std::clamp(x, lo, hi);
+}
+
+}  // namespace imap::nn

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace imap::nn {
+
+/// Dense row-major matrix of doubles. This is deliberately a small value
+/// type: the networks in this library are tiny (observation dims ≤ 32,
+/// hidden widths ≤ 64), so clarity beats BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      double stddev);
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = M x  (x.size() == cols).
+  std::vector<double> matvec(const std::vector<double>& x) const;
+
+  /// y = Mᵀ x  (x.size() == rows).
+  std::vector<double> matvec_transposed(const std::vector<double>& x) const;
+
+  /// M += outer(u, v) * scale, with u.size()==rows, v.size()==cols.
+  void add_outer(const std::vector<double>& u, const std::vector<double>& v,
+                 double scale = 1.0);
+
+  void fill(double v);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Elementwise helpers over flat vectors (used throughout the nn/rl code).
+void axpy(std::vector<double>& y, double a, const std::vector<double>& x);
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double l2norm(const std::vector<double>& a);
+double linf_norm(const std::vector<double>& a);
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+void scale_inplace(std::vector<double>& a, double s);
+void clamp_inplace(std::vector<double>& a, double lo, double hi);
+
+}  // namespace imap::nn

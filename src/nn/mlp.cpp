@@ -1,0 +1,139 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::nn {
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng, double init_scale)
+    : sizes_(std::move(sizes)) {
+  IMAP_CHECK_MSG(sizes_.size() >= 2, "Mlp needs at least in and out dims");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i + 1 < sizes_.size(); ++i) {
+    LayerView l;
+    l.in = sizes_[i];
+    l.out = sizes_[i + 1];
+    l.w_off = total;
+    total += l.in * l.out;
+    l.b_off = total;
+    total += l.out;
+    layers_.push_back(l);
+  }
+  params_.resize(total);
+  grads_.assign(total, 0.0);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& l = layers_[li];
+    const bool last = (li + 1 == layers_.size());
+    // Orthogonal-ish init is overkill here; scaled Gaussian with fan-in
+    // normalisation trains these tiny nets reliably.
+    const double std = init_scale / std::sqrt(static_cast<double>(l.in)) *
+                       (last ? 0.01 : 1.0);
+    for (std::size_t i = 0; i < l.in * l.out; ++i)
+      params_[l.w_off + i] = rng.normal(0.0, std);
+    for (std::size_t i = 0; i < l.out; ++i) params_[l.b_off + i] = 0.0;
+  }
+}
+
+std::vector<double> Mlp::layer_forward(const LayerView& l,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& block) const {
+  std::vector<double> y(l.out);
+  const double* w = block.data() + l.w_off;
+  const double* b = block.data() + l.b_off;
+  for (std::size_t r = 0; r < l.out; ++r) {
+    double s = b[r];
+    const double* row = w + r * l.in;
+    for (std::size_t c = 0; c < l.in; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  IMAP_CHECK_MSG(x.size() == in_dim(),
+                 "input dim " << x.size() << " != " << in_dim());
+  std::vector<double> h = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    h = layer_forward(layers_[li], h, params_);
+    if (li + 1 < layers_.size())
+      for (double& v : h) v = std::tanh(v);
+  }
+  return h;
+}
+
+std::vector<double> Mlp::forward_tape(const std::vector<double>& x,
+                                      Tape& tape) const {
+  IMAP_CHECK(x.size() == in_dim());
+  tape.pre.assign(layers_.size(), {});
+  tape.post.assign(layers_.size() + 1, {});
+  tape.post[0] = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    tape.pre[li] = layer_forward(layers_[li], tape.post[li], params_);
+    tape.post[li + 1] = tape.pre[li];
+    if (li + 1 < layers_.size())
+      for (double& v : tape.post[li + 1]) v = std::tanh(v);
+  }
+  return tape.post.back();
+}
+
+std::vector<double> Mlp::backward(const Tape& tape,
+                                  const std::vector<double>& grad_out) {
+  IMAP_CHECK(grad_out.size() == out_dim());
+  std::vector<double> g = grad_out;  // dL/d(pre-activation of current layer)
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& l = layers_[li];
+    // Accumulate parameter grads: dL/dW = g ⊗ input, dL/db = g.
+    double* gw = grads_.data() + l.w_off;
+    double* gb = grads_.data() + l.b_off;
+    const auto& in = tape.post[li];
+    for (std::size_t r = 0; r < l.out; ++r) {
+      double* row = gw + r * l.in;
+      const double gr = g[r];
+      for (std::size_t c = 0; c < l.in; ++c) row[c] += gr * in[c];
+      gb[r] += gr;
+    }
+    // Propagate to input: dL/din = Wᵀ g, then through tanh if not first layer.
+    std::vector<double> gin(l.in, 0.0);
+    const double* w = params_.data() + l.w_off;
+    for (std::size_t r = 0; r < l.out; ++r) {
+      const double* row = w + r * l.in;
+      const double gr = g[r];
+      for (std::size_t c = 0; c < l.in; ++c) gin[c] += row[c] * gr;
+    }
+    if (li > 0) {
+      const auto& post = tape.post[li];  // tanh(pre[li-1])
+      for (std::size_t c = 0; c < l.in; ++c)
+        gin[c] *= (1.0 - post[c] * post[c]);
+    }
+    g = std::move(gin);
+  }
+  return g;  // dL/dx
+}
+
+std::vector<double> Mlp::input_gradient(
+    const Tape& tape, const std::vector<double>& grad_out) const {
+  IMAP_CHECK(grad_out.size() == out_dim());
+  std::vector<double> g = grad_out;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& l = layers_[li];
+    std::vector<double> gin(l.in, 0.0);
+    const double* w = params_.data() + l.w_off;
+    for (std::size_t r = 0; r < l.out; ++r) {
+      const double* row = w + r * l.in;
+      const double gr = g[r];
+      for (std::size_t c = 0; c < l.in; ++c) gin[c] += row[c] * gr;
+    }
+    if (li > 0) {
+      const auto& post = tape.post[li];
+      for (std::size_t c = 0; c < l.in; ++c)
+        gin[c] *= (1.0 - post[c] * post[c]);
+    }
+    g = std::move(gin);
+  }
+  return g;
+}
+
+void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+}  // namespace imap::nn

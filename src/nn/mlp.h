@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace imap::nn {
+
+/// Fully-connected network with tanh hidden activations and a linear output
+/// layer, trained by manual backpropagation.
+///
+/// Parameters and gradients live in flat vectors so an optimiser (Adam) can
+/// treat the whole network as one parameter block; per-layer (W, b) views
+/// index into the flats. Forward passes for training cache activations in a
+/// caller-owned Tape so the same network can be used re-entrantly.
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}. Weights ~ N(0, 1/sqrt(fan_in)) scaled by
+  /// `init_scale`; the output layer is additionally shrunk (x0.01) which is
+  /// standard for policy heads.
+  Mlp(std::vector<std::size_t> sizes, Rng& rng, double init_scale = 1.0);
+
+  /// Inference forward (no caching).
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Activation cache for one forward pass.
+  struct Tape {
+    std::vector<std::vector<double>> pre;   ///< pre-activations per layer
+    std::vector<std::vector<double>> post;  ///< post-activations (post[0]=x)
+  };
+
+  /// Forward pass that records activations for a later backward.
+  std::vector<double> forward_tape(const std::vector<double>& x,
+                                   Tape& tape) const;
+
+  /// Accumulate dL/dparams into the gradient buffer given dL/doutput.
+  /// Returns dL/dinput (useful for adversarial perturbation search).
+  std::vector<double> backward(const Tape& tape,
+                               const std::vector<double>& grad_out);
+
+  /// dL/dinput only, without touching parameter gradients (for FGSM-style
+  /// input-gradient computations by the defenses).
+  std::vector<double> input_gradient(const Tape& tape,
+                                     const std::vector<double>& grad_out) const;
+
+  void zero_grad();
+
+  std::vector<double>& params() { return params_; }
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& grads() { return grads_; }
+  const std::vector<double>& grads() const { return grads_; }
+
+  std::size_t in_dim() const { return sizes_.front(); }
+  std::size_t out_dim() const { return sizes_.back(); }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+ private:
+  struct LayerView {
+    std::size_t w_off;  ///< offset of W (out×in, row-major) in the flat block
+    std::size_t b_off;  ///< offset of b (out) in the flat block
+    std::size_t in;
+    std::size_t out;
+  };
+
+  std::vector<double> layer_forward(const LayerView& l,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& block) const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<LayerView> layers_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+};
+
+}  // namespace imap::nn

@@ -1,0 +1,20 @@
+#include "phys/body.h"
+
+#include <algorithm>
+
+namespace imap::phys {
+
+void CircleBody::integrate(double dt) {
+  vel += force * (dt / mass);
+  // Exponential damping keeps top speed bounded under constant thrust.
+  const double decay = std::max(0.0, 1.0 - damping * dt);
+  vel = vel * decay;
+  pos += vel * dt;
+  force = {};
+}
+
+bool CircleBody::overlaps(const CircleBody& other) const {
+  return distance(pos, other.pos) < radius + other.radius;
+}
+
+}  // namespace imap::phys

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "phys/vec2.h"
+
+namespace imap::phys {
+
+/// Dynamic circle body (robots, the ball) integrated with semi-implicit
+/// Euler and linear damping.
+struct CircleBody {
+  Vec2 pos;
+  Vec2 vel;
+  double radius = 0.3;
+  double mass = 1.0;
+  double damping = 2.0;   ///< per-second velocity decay (ground friction)
+  Vec2 force;             ///< accumulated this step, cleared by integrate
+
+  void apply_force(Vec2 f) { force += f; }
+  void integrate(double dt);
+
+  bool overlaps(const CircleBody& other) const;
+};
+
+/// Static wall segment with a thickness used for collision radius.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+  double thickness = 0.05;
+};
+
+}  // namespace imap::phys

@@ -1,0 +1,29 @@
+#include "phys/vec2.h"
+
+#include <algorithm>
+
+namespace imap::phys {
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n < 1e-12) return {};
+  return {x / n, y / n};
+}
+
+Vec2 Vec2::rotated(double angle) const {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * x - s * y, s * x + c * y};
+}
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq < 1e-12) return a;
+  const double t = std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return a + ab * t;
+}
+
+}  // namespace imap::phys

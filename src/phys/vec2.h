@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cmath>
+
+namespace imap::phys {
+
+/// 2-D vector value type for the physics substrate.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2 operator-() const { return {-x, -y}; }
+
+  double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector (zero vector maps to zero).
+  Vec2 normalized() const;
+
+  /// Rotate counter-clockwise by `angle` radians.
+  Vec2 rotated(double angle) const;
+
+  /// Perpendicular (CCW).
+  Vec2 perp() const { return {-y, x}; }
+};
+
+inline Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+double distance(Vec2 a, Vec2 b);
+
+/// Closest point to `p` on segment [a, b].
+Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b);
+
+}  // namespace imap::phys

@@ -1,0 +1,102 @@
+#include "phys/world.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imap::phys {
+
+std::size_t World::add_body(CircleBody body) {
+  bodies_.push_back(body);
+  return bodies_.size() - 1;
+}
+
+void World::add_segment(Segment seg) { segments_.push_back(seg); }
+
+void World::resolve_body_wall(CircleBody& b) {
+  for (const auto& seg : segments_) {
+    const Vec2 cp = closest_point_on_segment(b.pos, seg.a, seg.b);
+    const Vec2 d = b.pos - cp;
+    const double dist = d.norm();
+    const double min_dist = b.radius + seg.thickness;
+    if (dist < min_dist) {
+      // Degenerate case (centre exactly on the wall line): push back against
+      // the incoming velocity rather than in an arbitrary direction.
+      const Vec2 n = dist > 1e-9
+                         ? d / dist
+                         : (b.vel.norm_sq() > 1e-12 ? -b.vel.normalized()
+                                                    : Vec2{0.0, 1.0});
+      b.pos = cp + n * min_dist;
+      const double vn = b.vel.dot(n);
+      if (vn < 0.0) b.vel -= n * vn;  // kill the inward component
+    }
+  }
+}
+
+bool World::resolve_body_body(CircleBody& p, CircleBody& q) {
+  const Vec2 d = q.pos - p.pos;
+  const double dist = d.norm();
+  const double min_dist = p.radius + q.radius;
+  if (dist >= min_dist) return false;
+
+  const Vec2 n = dist > 1e-9 ? d / dist : Vec2{1.0, 0.0};
+  const double overlap = min_dist - dist;
+  const double total_mass = p.mass + q.mass;
+  // Positional correction split by mass.
+  p.pos -= n * (overlap * q.mass / total_mass);
+  q.pos += n * (overlap * p.mass / total_mass);
+  // Inelastic impulse along the normal.
+  const double rel_vn = (q.vel - p.vel).dot(n);
+  if (rel_vn < 0.0) {
+    const double impulse = -rel_vn / (1.0 / p.mass + 1.0 / q.mass);
+    p.vel -= n * (impulse / p.mass);
+    q.vel += n * (impulse / q.mass);
+  }
+  return true;
+}
+
+bool World::step(double dt) {
+  IMAP_CHECK(dt > 0.0);
+  bool contact = false;
+  // Sub-stepping keeps fast bodies from tunnelling through thin walls.
+  constexpr int kSubsteps = 4;
+  const double h = dt / kSubsteps;
+  for (int sub = 0; sub < kSubsteps; ++sub) {
+    for (auto& b : bodies_) {
+      // Re-apply the accumulated force each substep, consume it at the end.
+      const Vec2 f = b.force;
+      b.integrate(h);
+      if (sub + 1 < kSubsteps) b.force = f;
+    }
+    // A couple of relaxation passes keep stacked contacts stable.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < bodies_.size(); ++i)
+        for (std::size_t j = i + 1; j < bodies_.size(); ++j)
+          contact |= resolve_body_body(bodies_[i], bodies_[j]);
+      for (auto& b : bodies_) resolve_body_wall(b);
+    }
+  }
+  return contact;
+}
+
+bool World::path_clear(Vec2 from, Vec2 to, double radius) const {
+  // Sample along the path; fine enough for maze-scale geometry.
+  const double len = distance(from, to);
+  const int samples = std::max(2, static_cast<int>(len / 0.1));
+  for (int i = 0; i <= samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const Vec2 p = from + (to - from) * t;
+    for (const auto& seg : segments_) {
+      const Vec2 cp = closest_point_on_segment(p, seg.a, seg.b);
+      if (distance(p, cp) < radius + seg.thickness) return false;
+    }
+  }
+  return true;
+}
+
+void World::clear() {
+  bodies_.clear();
+  segments_.clear();
+}
+
+}  // namespace imap::phys

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "phys/body.h"
+
+namespace imap::phys {
+
+/// Minimal 2-D world: dynamic circles against each other and static wall
+/// segments. Collisions are resolved by positional projection plus a
+/// restitution-free velocity impulse — enough for maze navigation and for
+/// body-blocking contact in the competitive games.
+class World {
+ public:
+  /// Returns index of the added body.
+  std::size_t add_body(CircleBody body);
+  void add_segment(Segment seg);
+
+  CircleBody& body(std::size_t i) { return bodies_[i]; }
+  const CircleBody& body(std::size_t i) const { return bodies_[i]; }
+  std::size_t body_count() const { return bodies_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Advance the simulation. Returns true if any circle-circle contact
+  /// occurred this step (games use this as the "contact" signal).
+  bool step(double dt);
+
+  /// True if the straight path from `from` to `to` crosses no wall within
+  /// `radius` clearance (used by env observation features and tests).
+  bool path_clear(Vec2 from, Vec2 to, double radius) const;
+
+  void clear();
+
+ private:
+  void resolve_body_wall(CircleBody& b);
+  bool resolve_body_body(CircleBody& p, CircleBody& q);
+
+  std::vector<CircleBody> bodies_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace imap::phys

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/space.h"
+
+namespace imap::rl {
+
+/// Result of one environment step.
+///
+/// `reward` is the task's true (training-time) reward r_E — visible to victim
+/// trainers and to the evaluation harness, but NOT to attackers (the paper's
+/// black-box threat model, Sec. 4.2). `surrogate` is the success indicator
+/// r̂_E = 1{the victim is succeeding} that the attacker IS allowed to observe
+/// (Sec. 4.1); attacks are trained on −surrogate only.
+struct StepResult {
+  std::vector<double> obs;
+  double reward = 0.0;
+  bool done = false;
+  bool truncated = false;   ///< episode ended by the step limit only
+  double surrogate = 0.0;   ///< r̂_E ∈ {0, 1}
+  bool fell = false;        ///< entered an unhealthy/terminal failure state
+  /// Valid on the final step of an episode (done || truncated): did the
+  /// victim complete its task? Drives success rates / ASR in the harness.
+  bool task_completed = false;
+};
+
+/// Single-agent environment interface (the Gym contract, minus Python).
+/// Implementations are small value types; `clone` supports parallel
+/// evaluation and wrapper composition.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual std::size_t obs_dim() const = 0;
+  virtual std::size_t act_dim() const = 0;
+  virtual int max_steps() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Action bounds; trainers clamp sampled actions into this box.
+  virtual const BoxSpace& action_space() const = 0;
+
+  virtual std::vector<double> reset(Rng& rng) = 0;
+  virtual StepResult step(const std::vector<double>& action) = 0;
+
+  virtual std::unique_ptr<Env> clone() const = 0;
+};
+
+/// CRTP helper implementing clone() by copy construction.
+template <class Derived>
+class EnvBase : public Env {
+ public:
+  std::unique_ptr<Env> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace imap::rl

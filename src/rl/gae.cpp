@@ -1,0 +1,60 @@
+#include "rl/gae.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace imap::rl {
+
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values,
+                      const std::vector<unsigned char>& done,
+                      const std::vector<unsigned char>& boundary,
+                      const std::vector<double>& bootstrap_values,
+                      double gamma, double lambda) {
+  const std::size_t n = rewards.size();
+  IMAP_CHECK(values.size() == n && done.size() == n && boundary.size() == n);
+
+  GaeResult out;
+  out.advantages.assign(n, 0.0);
+  out.returns.assign(n, 0.0);
+
+  // Count boundaries so we can walk bootstrap_values from the back.
+  std::size_t n_bounds = 0;
+  for (auto b : boundary) n_bounds += b;
+  IMAP_CHECK_MSG(bootstrap_values.size() == n_bounds,
+                 "one bootstrap value per boundary required");
+
+  double gae = 0.0;
+  std::size_t bi = n_bounds;  // index one past the current boundary value
+  for (std::size_t t = n; t-- > 0;) {
+    double next_value;
+    double next_nonterminal;
+    if (boundary[t]) {
+      --bi;
+      next_value = done[t] ? 0.0 : bootstrap_values[bi];
+      next_nonterminal = done[t] ? 0.0 : 1.0;
+      gae = 0.0;  // segments do not leak into each other
+    } else {
+      next_value = values[t + 1];
+      next_nonterminal = 1.0;
+    }
+    const double delta =
+        rewards[t] + gamma * next_value * next_nonterminal - values[t];
+    gae = delta + gamma * lambda * next_nonterminal * gae;
+    out.advantages[t] = gae;
+    out.returns[t] = gae + values[t];
+  }
+  return out;
+}
+
+void normalize_advantages(std::vector<double>& adv) {
+  if (adv.size() < 2) return;
+  const double m = mean(adv);
+  const double s = stddev(adv);
+  if (s < 1e-8) return;
+  for (double& a : adv) a = (a - m) / s;
+}
+
+}  // namespace imap::rl

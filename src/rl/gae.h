@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+namespace imap::rl {
+
+/// Generalized Advantage Estimation (Schulman et al. 2015), segment-aware.
+///
+/// `rewards`, `values` are per-step; `boundary[t]` marks the last step of a
+/// segment (episode end or rollout truncation); `done[t]` distinguishes true
+/// termination (bootstrap 0) from truncation (bootstrap with
+/// `bootstrap_values` at the corresponding boundary index).
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> returns;  ///< advantage + value, regression targets
+};
+
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values,
+                      const std::vector<unsigned char>& done,
+                      const std::vector<unsigned char>& boundary,
+                      const std::vector<double>& bootstrap_values,
+                      double gamma, double lambda);
+
+/// Standardise advantages in place to zero mean / unit std (no-op for
+/// near-constant input).
+void normalize_advantages(std::vector<double>& adv);
+
+}  // namespace imap::rl

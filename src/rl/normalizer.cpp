@@ -1,0 +1,57 @@
+#include "rl/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace imap::rl {
+
+VecNormalizer::VecNormalizer(std::size_t dim, double clip)
+    : mean_(dim, 0.0), m2_(dim, 0.0), clip_(clip) {}
+
+void VecNormalizer::update(const std::vector<double>& x) {
+  IMAP_CHECK(x.size() == mean_.size());
+  ++n_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double delta = x[i] - mean_[i];
+    mean_[i] += delta / static_cast<double>(n_);
+    m2_[i] += delta * (x[i] - mean_[i]);
+  }
+}
+
+std::vector<double> VecNormalizer::variance() const {
+  std::vector<double> v(mean_.size(), 0.0);
+  if (n_ == 0) return v;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = m2_[i] / static_cast<double>(n_);
+  return v;
+}
+
+std::vector<double> VecNormalizer::normalize(
+    const std::vector<double>& x) const {
+  IMAP_CHECK(x.size() == mean_.size());
+  std::vector<double> y(x.size());
+  const auto var = variance();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = (x[i] - mean_[i]) / std::sqrt(var[i] + 1e-8);
+    y[i] = std::clamp(y[i], -clip_, clip_);
+  }
+  return y;
+}
+
+void ScalarScaler::update(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double ScalarScaler::stddev() const {
+  if (n_ == 0) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+double ScalarScaler::scale(double x) const { return x / (stddev() + 1e-8); }
+
+}  // namespace imap::rl

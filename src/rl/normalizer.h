@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+namespace imap::rl {
+
+/// Per-dimension streaming mean/variance (Welford) with normalisation —
+/// used to keep intrinsic-bonus magnitudes comparable across tasks and by
+/// tests as a reference implementation.
+class VecNormalizer {
+ public:
+  explicit VecNormalizer(std::size_t dim, double clip = 10.0);
+
+  void update(const std::vector<double>& x);
+  std::vector<double> normalize(const std::vector<double>& x) const;
+
+  std::size_t dim() const { return mean_.size(); }
+  std::size_t count() const { return n_; }
+  const std::vector<double>& mean() const { return mean_; }
+  std::vector<double> variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  double clip_;
+};
+
+/// Scalar running scale: divides a stream by its running standard deviation.
+/// Used to scale intrinsic rewards so τ has a task-independent meaning.
+class ScalarScaler {
+ public:
+  void update(double x);
+  double scale(double x) const;  ///< x / (running std + eps)
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace imap::rl

@@ -1,0 +1,243 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace imap::rl {
+
+PpoTrainer::PpoTrainer(const Env& proto, PpoOptions opts, Rng rng)
+    : opts_(opts),
+      env_(proto.clone()),
+      rng_(rng),
+      policy_(std::make_unique<nn::GaussianPolicy>(
+          proto.obs_dim(), proto.act_dim(), opts.hidden, rng_,
+          opts.init_log_std)),
+      value_e_(std::make_unique<nn::ValueNet>(proto.obs_dim(), opts.hidden,
+                                              rng_)),
+      value_i_(std::make_unique<nn::ValueNet>(proto.obs_dim(), opts.hidden,
+                                              rng_)),
+      policy_opt_(policy_->n_params(),
+                  {.lr = opts.lr, .max_grad_norm = opts.max_grad_norm}),
+      value_e_opt_(value_e_->n_params(),
+                   {.lr = opts.lr, .max_grad_norm = opts.max_grad_norm}),
+      value_i_opt_(value_i_->n_params(),
+                   {.lr = opts.lr, .max_grad_norm = opts.max_grad_norm}) {
+  IMAP_CHECK(opts_.steps_per_iter > 0);
+  IMAP_CHECK(opts_.minibatch > 0);
+}
+
+void PpoTrainer::set_env(const Env& proto) {
+  IMAP_CHECK(proto.obs_dim() == env_->obs_dim());
+  IMAP_CHECK(proto.act_dim() == env_->act_dim());
+  env_ = proto.clone();
+  need_reset_ = true;
+}
+
+void PpoTrainer::collect(RolloutBuffer& buf) {
+  buf.clear();
+  buf.reserve(static_cast<std::size_t>(opts_.steps_per_iter));
+  ep_successes_ = 0;
+
+  if (need_reset_) {
+    cur_obs_ = env_->reset(rng_);
+    ep_return_ = ep_surrogate_ = 0.0;
+    ep_len_ = 0;
+    need_reset_ = false;
+  }
+
+  for (int t = 0; t < opts_.steps_per_iter; ++t) {
+    auto action = policy_->act(cur_obs_, rng_);
+    const double lp = policy_->log_prob(cur_obs_, action);
+    const double ve = value_e_->value(cur_obs_);
+    StepResult sr = env_->step(env_->action_space().clamp(action));
+
+    buf.add(cur_obs_, std::move(action), lp, sr.reward, ve);
+    ep_return_ += sr.reward;
+    ep_surrogate_ += sr.surrogate;
+    ++ep_len_;
+
+    const bool boundary = sr.done || sr.truncated;
+    if (boundary) {
+      buf.done.back() = sr.done ? 1 : 0;
+      buf.boundary.back() = 1;
+      // Bootstrap with the value of the post-step state (ignored if done).
+      buf.last_val_e.push_back(sr.done ? 0.0 : value_e_->value(sr.obs));
+      buf.last_val_i.push_back(sr.done ? 0.0 : value_i_->value(sr.obs));
+      buf.episode_returns.push_back(ep_return_);
+      buf.episode_surrogate.push_back(ep_surrogate_);
+      buf.episode_lengths.push_back(ep_len_);
+      if (sr.task_completed) ++ep_successes_;
+      cur_obs_ = env_->reset(rng_);
+      ep_return_ = ep_surrogate_ = 0.0;
+      ep_len_ = 0;
+    } else {
+      cur_obs_ = sr.obs;
+    }
+  }
+
+  // Close the rollout: the last segment bootstraps from the current state.
+  if (!buf.boundary.back()) {
+    buf.boundary.back() = 1;
+    buf.last_val_e.push_back(value_e_->value(cur_obs_));
+    buf.last_val_i.push_back(value_i_->value(cur_obs_));
+  }
+  steps_done_ += opts_.steps_per_iter;
+}
+
+void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
+  const std::size_t n = buf.size();
+
+  // Intrinsic values are only needed when the bonus channel is active.
+  const bool use_intrinsic = intrinsic_ != nullptr;
+  if (use_intrinsic) {
+    for (std::size_t i = 0; i < n; ++i)
+      buf.val_i[i] = value_i_->value(buf.obs[i]);
+  }
+
+  auto gae_e = compute_gae(buf.rew_e, buf.val_e, buf.done, buf.boundary,
+                           buf.last_val_e, opts_.gamma, opts_.gae_lambda);
+  normalize_advantages(gae_e.advantages);
+
+  GaeResult gae_i;
+  if (use_intrinsic) {
+    gae_i = compute_gae(buf.rew_i, buf.val_i, buf.done, buf.boundary,
+                        buf.last_val_i, opts_.gamma, opts_.gae_lambda);
+    normalize_advantages(gae_i.advantages);
+  }
+
+  // Combined advantage Â_E + τ·Â_I (Eq. 14).
+  std::vector<double> adv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    adv[i] = gae_e.advantages[i];
+    if (use_intrinsic) adv[i] += tau * gae_i.advantages[i];
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double pol_loss_acc = 0.0, val_loss_acc = 0.0, kl_acc = 0.0;
+  std::size_t loss_count = 0;
+
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    // Fisher–Yates with our Rng for reproducibility.
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng_.uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    double epoch_kl = 0.0;
+    std::size_t epoch_samples = 0;
+
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(opts_.minibatch)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(opts_.minibatch));
+      const std::vector<std::size_t> batch(order.begin() + start,
+                                           order.begin() + end);
+      const double inv_bs = 1.0 / static_cast<double>(batch.size());
+
+      policy_->zero_grad();
+      value_e_->zero_grad();
+      if (use_intrinsic) value_i_->zero_grad();
+
+      for (const auto idx : batch) {
+        nn::Mlp::Tape tape;
+        policy_->mean_tape(buf.obs[idx], tape);
+        const double lp_new = nn::diag_gaussian::log_prob(
+            buf.act[idx], tape.post.back(), policy_->log_std());
+        const double ratio = std::exp(lp_new - buf.logp[idx]);
+        const double a = adv[idx];
+
+        // Clipped surrogate (Eq. 1): gradient flows only through the
+        // unclipped branch when it is the active minimum.
+        const bool active =
+            (a >= 0.0) ? (ratio < 1.0 + opts_.clip) : (ratio > 1.0 - opts_.clip);
+        if (active) {
+          const double coeff = -a * ratio * inv_bs;  // dL/dlogπ
+          policy_->backward_logp(tape, buf.act[idx], coeff);
+        }
+        pol_loss_acc += -std::min(ratio * a,
+                                  std::clamp(ratio, 1.0 - opts_.clip,
+                                             1.0 + opts_.clip) *
+                                      a);
+        epoch_kl += buf.logp[idx] - lp_new;
+        ++epoch_samples;
+
+        // Extrinsic critic regression.
+        nn::Mlp::Tape vtape;
+        const double v = value_e_->value_tape(buf.obs[idx], vtape);
+        const double verr = v - gae_e.returns[idx];
+        value_e_->backward(vtape, opts_.vf_coef * verr * inv_bs);
+        val_loss_acc += 0.5 * verr * verr;
+
+        if (use_intrinsic) {
+          nn::Mlp::Tape vitape;
+          const double vi = value_i_->value_tape(buf.obs[idx], vitape);
+          const double vierr = vi - gae_i.returns[idx];
+          value_i_->backward(vitape, opts_.vf_coef * vierr * inv_bs);
+        }
+        ++loss_count;
+      }
+
+      if (opts_.ent_coef > 0.0) policy_->backward_entropy(-opts_.ent_coef);
+      if (reg_) reg_(*policy_, buf, batch);
+
+      auto p = policy_->flat_params();
+      policy_opt_.step(p, policy_->flat_grads());
+      policy_->set_flat_params(p);
+      policy_->clamp_log_std();
+
+      value_e_opt_.step(value_e_->params(), value_e_->grads());
+      if (use_intrinsic) value_i_opt_.step(value_i_->params(), value_i_->grads());
+    }
+
+    const double mean_kl =
+        epoch_samples ? epoch_kl / static_cast<double>(epoch_samples) : 0.0;
+    kl_acc = mean_kl;
+    if (opts_.target_kl > 0.0 && mean_kl > opts_.target_kl) break;
+  }
+
+  stats.policy_loss =
+      loss_count ? pol_loss_acc / static_cast<double>(loss_count) : 0.0;
+  stats.value_loss =
+      loss_count ? val_loss_acc / static_cast<double>(loss_count) : 0.0;
+  stats.approx_kl = kl_acc;
+  stats.entropy = policy_->entropy();
+}
+
+IterStats PpoTrainer::iterate() {
+  RolloutBuffer buf;
+  collect(buf);
+
+  double tau = 0.0;
+  if (intrinsic_) tau = intrinsic_(buf);
+
+  IterStats stats;
+  stats.iter = iter_++;
+  stats.total_steps = steps_done_;
+  stats.mean_return = mean(buf.episode_returns);
+  stats.mean_surrogate = mean(buf.episode_surrogate);
+  stats.episodes = static_cast<int>(buf.episode_returns.size());
+  stats.success_rate =
+      stats.episodes
+          ? static_cast<double>(ep_successes_) / stats.episodes
+          : 0.0;
+  stats.mean_intrinsic = mean(buf.rew_i);
+  stats.tau = tau;
+
+  update(buf, tau, stats);
+  return stats;
+}
+
+std::vector<IterStats> PpoTrainer::train(long long total_steps) {
+  std::vector<IterStats> out;
+  while (steps_done_ < total_steps) out.push_back(iterate());
+  return out;
+}
+
+}  // namespace imap::rl

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/gaussian.h"
+#include "rl/env.h"
+#include "rl/gae.h"
+#include "rl/rollout.h"
+
+namespace imap::rl {
+
+struct PpoOptions {
+  std::vector<std::size_t> hidden{32, 32};
+  int steps_per_iter = 2048;
+  int epochs = 6;
+  int minibatch = 128;
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip = 0.2;        ///< ε in Eq. (1)
+  double lr = 1e-3;
+  double vf_coef = 0.5;
+  double ent_coef = 0.0;
+  double init_log_std = -0.5;
+  double max_grad_norm = 0.5;
+  double target_kl = 0.05;  ///< early-stop the update epochs past this KL
+};
+
+/// Per-iteration diagnostics.
+struct IterStats {
+  int iter = 0;
+  long long total_steps = 0;
+  double mean_return = 0.0;     ///< completed-episode extrinsic return
+  double mean_surrogate = 0.0;  ///< completed-episode surrogate (r̂) sum
+  double success_rate = 0.0;    ///< fraction of completed episodes succeeding
+  int episodes = 0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double approx_kl = 0.0;
+  double entropy = 0.0;
+  double mean_intrinsic = 0.0;  ///< mean per-step intrinsic bonus
+  double tau = 0.0;             ///< temperature used this iteration
+};
+
+/// Proximal Policy Optimization (Eq. 1) with GAE and an optional second,
+/// intrinsically-motivated reward channel (Eq. 14's Â_E + τ·Â_I).
+///
+/// The same trainer drives:
+///  * victim training (extrinsic = task reward, no intrinsic hook),
+///  * SA-RL / AP-MARL attack baselines (extrinsic = −r̂ via a threat-model
+///    wrapper env, no intrinsic hook),
+///  * IMAP (intrinsic hook installed by core::ImapTrainer, which also sets τ
+///    per iteration — Algorithm 1).
+class PpoTrainer {
+ public:
+  /// Called after each sampling stage with the fresh rollout. Fills
+  /// buf.rew_i and returns the temperature τ_k for this iteration.
+  using IntrinsicHook = std::function<double(RolloutBuffer&)>;
+
+  /// Robust-training hook (defense methods): called once per minibatch with
+  /// the batch indices; must accumulate extra gradients into the policy.
+  using RegularizerHook = std::function<void(
+      nn::GaussianPolicy&, const RolloutBuffer&,
+      const std::vector<std::size_t>&)>;
+
+  PpoTrainer(const Env& proto, PpoOptions opts, Rng rng);
+
+  /// One sampling + optimizing stage.
+  IterStats iterate();
+
+  /// Run iterations until at least `total_steps` environment steps have been
+  /// consumed; returns per-iteration stats.
+  std::vector<IterStats> train(long long total_steps);
+
+  nn::GaussianPolicy& policy() { return *policy_; }
+  const nn::GaussianPolicy& policy() const { return *policy_; }
+  nn::ValueNet& value_e() { return *value_e_; }
+  nn::ValueNet& value_i() { return *value_i_; }
+  Env& env() { return *env_; }
+  Rng& rng() { return rng_; }
+  const PpoOptions& options() const { return opts_; }
+  long long steps_done() const { return steps_done_; }
+  int iterations_done() const { return iter_; }
+
+  void set_intrinsic_hook(IntrinsicHook hook) { intrinsic_ = std::move(hook); }
+  void set_regularizer_hook(RegularizerHook hook) { reg_ = std::move(hook); }
+
+  /// Swap the training environment (must have identical spaces). Used by
+  /// alternating adversarial training (ATLA), where the victim keeps its
+  /// parameters while the wrapping adversary changes between rounds.
+  void set_env(const Env& proto);
+
+ private:
+  void collect(RolloutBuffer& buf);
+  void update(RolloutBuffer& buf, double tau, IterStats& stats);
+
+  PpoOptions opts_;
+  std::unique_ptr<Env> env_;
+  Rng rng_;
+  std::unique_ptr<nn::GaussianPolicy> policy_;
+  std::unique_ptr<nn::ValueNet> value_e_;
+  std::unique_ptr<nn::ValueNet> value_i_;
+  nn::Adam policy_opt_;
+  nn::Adam value_e_opt_;
+  nn::Adam value_i_opt_;
+  IntrinsicHook intrinsic_;
+  RegularizerHook reg_;
+
+  // Persistent episode state across iterate() calls.
+  std::vector<double> cur_obs_;
+  double ep_return_ = 0.0;
+  double ep_surrogate_ = 0.0;
+  int ep_len_ = 0;
+  bool need_reset_ = true;
+
+  long long steps_done_ = 0;
+  int iter_ = 0;
+  int ep_successes_ = 0;  // per-iteration counter
+};
+
+}  // namespace imap::rl

@@ -1,0 +1,48 @@
+#include "rl/rollout.h"
+
+namespace imap::rl {
+
+void RolloutBuffer::clear() {
+  obs.clear();
+  act.clear();
+  logp.clear();
+  rew_e.clear();
+  rew_i.clear();
+  val_e.clear();
+  val_i.clear();
+  done.clear();
+  boundary.clear();
+  last_val_e.clear();
+  last_val_i.clear();
+  boundary_at.clear();
+  episode_returns.clear();
+  episode_surrogate.clear();
+  episode_lengths.clear();
+}
+
+void RolloutBuffer::reserve(std::size_t n) {
+  obs.reserve(n);
+  act.reserve(n);
+  logp.reserve(n);
+  rew_e.reserve(n);
+  rew_i.reserve(n);
+  val_e.reserve(n);
+  val_i.reserve(n);
+  done.reserve(n);
+  boundary.reserve(n);
+}
+
+void RolloutBuffer::add(std::vector<double> o, std::vector<double> a,
+                        double lp, double re, double ve) {
+  obs.push_back(std::move(o));
+  act.push_back(std::move(a));
+  logp.push_back(lp);
+  rew_e.push_back(re);
+  rew_i.push_back(0.0);
+  val_e.push_back(ve);
+  val_i.push_back(0.0);
+  done.push_back(0);
+  boundary.push_back(0);
+}
+
+}  // namespace imap::rl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+namespace imap::rl {
+
+/// On-policy rollout storage for PPO (one sampling stage of Algorithm 1).
+///
+/// Two reward channels are kept: extrinsic (the adversary's objective,
+/// −r̂_E for attacks; the task reward for victim training) and intrinsic
+/// (the adversarial intrinsic bonus r_I, Eq. 13; zero for plain PPO).
+struct RolloutBuffer {
+  std::vector<std::vector<double>> obs;
+  std::vector<std::vector<double>> act;
+  std::vector<double> logp;
+  std::vector<double> rew_e;
+  std::vector<double> rew_i;
+  std::vector<double> val_e;
+  std::vector<double> val_i;
+  /// done[t] marks s_{t+1} terminal (true termination, not truncation);
+  /// boundary[t] marks the end of a segment for GAE (done OR truncated).
+  std::vector<unsigned char> done;
+  std::vector<unsigned char> boundary;
+  /// Bootstrap values for the state after each boundary (0 if done).
+  std::vector<double> last_val_e;
+  std::vector<double> last_val_i;
+  /// Index into last_val_* for each boundary occurrence, parallel arrays.
+  std::vector<std::size_t> boundary_at;
+
+  /// Completed-episode statistics gathered during collection.
+  std::vector<double> episode_returns;     ///< sum of rew_e per episode
+  std::vector<double> episode_surrogate;   ///< sum of surrogate per episode
+  std::vector<int> episode_lengths;
+
+  std::size_t size() const { return obs.size(); }
+
+  void clear();
+  void reserve(std::size_t n);
+
+  void add(std::vector<double> o, std::vector<double> a, double lp, double re,
+           double ve);
+};
+
+}  // namespace imap::rl

@@ -1,0 +1,40 @@
+#include "rl/space.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imap::rl {
+
+BoxSpace::BoxSpace(std::size_t dim, double bound)
+    : low_(dim, -bound), high_(dim, bound) {
+  IMAP_CHECK(bound >= 0.0);
+}
+
+BoxSpace::BoxSpace(std::vector<double> low, std::vector<double> high)
+    : low_(std::move(low)), high_(std::move(high)) {
+  IMAP_CHECK(low_.size() == high_.size());
+  for (std::size_t i = 0; i < low_.size(); ++i) IMAP_CHECK(low_[i] <= high_[i]);
+}
+
+std::vector<double> BoxSpace::clamp(std::vector<double> x) const {
+  IMAP_CHECK(x.size() == dim());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], low_[i], high_[i]);
+  return x;
+}
+
+bool BoxSpace::contains(const std::vector<double>& x, double tol) const {
+  if (x.size() != dim()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] < low_[i] - tol || x[i] > high_[i] + tol) return false;
+  return true;
+}
+
+std::vector<double> BoxSpace::sample(Rng& rng) const {
+  std::vector<double> x(dim());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(low_[i], high_[i]);
+  return x;
+}
+
+}  // namespace imap::rl

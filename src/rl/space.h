@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace imap::rl {
+
+/// Axis-aligned box in R^n — action spaces for all environments here.
+class BoxSpace {
+ public:
+  BoxSpace() = default;
+
+  /// Symmetric box [-bound, bound]^dim.
+  BoxSpace(std::size_t dim, double bound);
+
+  BoxSpace(std::vector<double> low, std::vector<double> high);
+
+  std::size_t dim() const { return low_.size(); }
+  const std::vector<double>& low() const { return low_; }
+  const std::vector<double>& high() const { return high_; }
+
+  /// Project a point into the box (componentwise clamp).
+  std::vector<double> clamp(std::vector<double> x) const;
+
+  bool contains(const std::vector<double>& x, double tol = 1e-9) const;
+
+  std::vector<double> sample(Rng& rng) const;
+
+ private:
+  std::vector<double> low_;
+  std::vector<double> high_;
+};
+
+}  // namespace imap::rl

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/bias_reduction.h"
+
+namespace imap::core {
+namespace {
+
+TEST(BiasReduction, DisabledKeepsFixedTau) {
+  BiasReduction br(false, 1.0, 0.7);
+  EXPECT_DOUBLE_EQ(br.tau(), 0.7);
+  br.observe(-1.0);
+  br.observe(-5.0);  // severe degradation — still fixed
+  EXPECT_DOUBLE_EQ(br.tau(), 0.7);
+}
+
+TEST(BiasReduction, StartsAtTauOne) {
+  BiasReduction br(true, 1.0);
+  EXPECT_DOUBLE_EQ(br.tau(), 1.0);  // λ₀ = 0 ⇒ τ₀ = 1 (Sec. 5.4)
+  EXPECT_DOUBLE_EQ(br.lambda(), 0.0);
+}
+
+TEST(BiasReduction, FirstObservationOnlySetsBaseline) {
+  BiasReduction br(true, 1.0);
+  br.observe(-0.9);
+  EXPECT_DOUBLE_EQ(br.tau(), 1.0);
+}
+
+TEST(BiasReduction, DegradationGrowsLambdaAndShrinksTau) {
+  BiasReduction br(true, 2.0);
+  br.observe(-0.2);
+  br.observe(-0.5);  // J_AP dropped by 0.3 ⇒ λ += η·0.3 = 0.6
+  EXPECT_NEAR(br.lambda(), 0.6, 1e-12);
+  EXPECT_NEAR(br.tau(), 1.0 / 1.6, 1e-12);
+}
+
+TEST(BiasReduction, ImprovementNeverPushesLambdaNegative) {
+  BiasReduction br(true, 1.0);
+  br.observe(-0.9);
+  br.observe(-0.1);  // big improvement
+  EXPECT_DOUBLE_EQ(br.lambda(), 0.0);  // clamped at the dual-feasible floor
+  EXPECT_DOUBLE_EQ(br.tau(), 1.0);
+}
+
+TEST(BiasReduction, RecoveryUnwindsLambda) {
+  BiasReduction br(true, 1.0);
+  br.observe(-0.1);
+  br.observe(-0.6);  // λ = 0.5
+  br.observe(-0.3);  // improvement of 0.3 ⇒ λ = 0.2
+  EXPECT_NEAR(br.lambda(), 0.2, 1e-12);
+  br.observe(0.0);   // improvement of 0.3 ⇒ λ = 0 (clamped)
+  EXPECT_DOUBLE_EQ(br.lambda(), 0.0);
+}
+
+TEST(BiasReduction, TauAlwaysInUnitInterval) {
+  BiasReduction br(true, 5.0);
+  Rng rng(3);
+  double j = -0.5;
+  br.observe(j);
+  for (int i = 0; i < 1000; ++i) {
+    j += rng.normal(0.0, 0.2);
+    br.observe(j);
+    EXPECT_GT(br.tau(), 0.0);
+    EXPECT_LE(br.tau(), 1.0);
+    EXPECT_GE(br.lambda(), 0.0);
+  }
+}
+
+TEST(BiasReduction, LargerEtaReactsFaster) {
+  BiasReduction slow(true, 0.5), fast(true, 4.0);
+  for (auto* br : {&slow, &fast}) {
+    br->observe(-0.1);
+    br->observe(-0.4);
+  }
+  EXPECT_GT(fast.lambda(), slow.lambda());
+  EXPECT_LT(fast.tau(), slow.tau());
+}
+
+TEST(BiasReduction, RejectsNegativeEta) {
+  EXPECT_THROW(BiasReduction(true, -1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace imap::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/fetch_reach.h"
+
+namespace imap::env {
+namespace {
+
+TEST(FetchReach, ForwardKinematicsKnownPoses) {
+  // All joints at 0: arm stretched along +x, reach = sum of link lengths.
+  const auto ee = FetchReachEnv::forward_kinematics({0.0, 0.0, 0.0});
+  EXPECT_NEAR(ee[0], 1.2, 1e-12);
+  EXPECT_NEAR(ee[1], 0.0, 1e-12);
+  // First joint at 90°: arm along +y.
+  const auto up = FetchReachEnv::forward_kinematics({M_PI / 2, 0.0, 0.0});
+  EXPECT_NEAR(up[0], 0.0, 1e-9);
+  EXPECT_NEAR(up[1], 1.2, 1e-9);
+}
+
+TEST(FetchReach, TargetAlwaysReachable) {
+  FetchReachEnv env(FetchReachEnv::Mode::Sparse);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto obs = env.reset(rng);
+    // Target offset is the last two observation entries; reconstruct the
+    // absolute target and check it lies inside the annulus.
+    const auto ee = env.end_effector();
+    const double tx = ee[0] + obs[6], ty = ee[1] + obs[7];
+    const double r = std::sqrt(tx * tx + ty * ty);
+    EXPECT_GE(r, 0.45);
+    EXPECT_LE(r, 1.05);
+    EXPECT_GT(ty, 0.0);  // upper half-plane
+  }
+}
+
+TEST(FetchReach, VelocityCommandsMoveJoints) {
+  FetchReachEnv env(FetchReachEnv::Mode::Sparse);
+  Rng rng(3);
+  const auto before = env.reset(rng);
+  const auto after = env.step({1.0, 0.0, 0.0}).obs;
+  EXPECT_GT(after[0], before[0]);        // q0 increased
+  EXPECT_NEAR(after[2], before[2], 0.1); // q2 nearly unchanged
+}
+
+TEST(FetchReach, JointLimitEndsSparseEpisodeWithPenalty) {
+  FetchReachEnv env(FetchReachEnv::Mode::Sparse);
+  Rng rng(3);
+  env.reset(rng);
+  rl::StepResult last;
+  for (int i = 0; i < 100; ++i) {
+    last = env.step({1.0, 1.0, 1.0});  // slam into the limit
+    if (last.done) break;
+  }
+  ASSERT_TRUE(last.done);
+  EXPECT_TRUE(last.fell);
+  EXPECT_DOUBLE_EQ(last.reward, -0.1);
+  EXPECT_FALSE(last.task_completed);
+}
+
+TEST(FetchReach, GreedyJacobianControllerReaches) {
+  // A hand-built resolved-rate controller validates the task is solvable
+  // within the step limit (the property the victim zoo relies on).
+  FetchReachEnv env(FetchReachEnv::Mode::Sparse);
+  Rng rng(5);
+  int successes = 0;
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto obs = env.reset(rng);
+    for (int t = 0; t < 100; ++t) {
+      // Numerical Jacobian-transpose step toward the target.
+      const std::array<double, 3> q{obs[0], obs[1], obs[2]};
+      const double ex = obs[6], ey = obs[7];  // target − ee
+      std::vector<double> u(3);
+      const double h = 1e-4;
+      for (int j = 0; j < 3; ++j) {
+        auto qp = q;
+        qp[j] += h;
+        const auto eep = FetchReachEnv::forward_kinematics(qp);
+        const auto ee = FetchReachEnv::forward_kinematics(q);
+        const double jx = (eep[0] - ee[0]) / h, jy = (eep[1] - ee[1]) / h;
+        u[j] = std::clamp(1.2 * (jx * ex + jy * ey), -1.0, 1.0);
+      }
+      const auto sr = env.step(u);
+      if (sr.done || sr.truncated) {
+        if (sr.task_completed) ++successes;
+        break;
+      }
+      obs = sr.obs;
+    }
+  }
+  EXPECT_GE(successes, 5) << "resolved-rate controller should usually reach";
+}
+
+TEST(FetchReach, DenseRewardIsNegativeDistance) {
+  FetchReachEnv env(FetchReachEnv::Mode::Dense);
+  Rng rng(3);
+  const auto obs = env.reset(rng);
+  const double d0 = std::sqrt(obs[6] * obs[6] + obs[7] * obs[7]);
+  const auto sr = env.step({0.0, 0.0, 0.0});
+  EXPECT_NEAR(sr.reward, -d0, 0.15);
+}
+
+TEST(FetchReach, Names) {
+  EXPECT_EQ(make_fetch_reach()->name(), "FetchReach");
+  EXPECT_EQ(make_fetch_reach_dense()->name(), "FetchReachDense");
+}
+
+}  // namespace
+}  // namespace imap::env

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "env/ant.h"
+#include "env/half_cheetah.h"
+#include "env/hopper.h"
+#include "env/locomotor.h"
+#include "env/walker2d.h"
+
+namespace imap::env {
+namespace {
+
+TEST(Locomotor, ObservationDimsMatchPaper) {
+  // Hopper and Walker2d match the MuJoCo observation widths cited in
+  // Table 1 (11-D and 17-D).
+  EXPECT_EQ(make_hopper()->obs_dim(), 11u);
+  EXPECT_EQ(make_walker2d()->obs_dim(), 17u);
+  EXPECT_EQ(make_half_cheetah()->obs_dim(), 15u);
+  EXPECT_EQ(make_ant()->obs_dim(), 19u);
+}
+
+TEST(Locomotor, ActionDims) {
+  EXPECT_EQ(make_hopper()->act_dim(), 3u);
+  EXPECT_EQ(make_walker2d()->act_dim(), 6u);
+  EXPECT_EQ(make_ant()->act_dim(), 8u);
+}
+
+TEST(Locomotor, ResetIsNearCanonicalInitialState) {
+  auto env = make_hopper();
+  Rng rng(3);
+  const auto obs = env->reset(rng);
+  ASSERT_EQ(obs.size(), env->obs_dim());
+  for (const double x : obs) EXPECT_LT(std::abs(x), 0.3);
+}
+
+TEST(Locomotor, DeterministicUnderSameSeed) {
+  auto a = make_walker2d();
+  auto b = make_walker2d();
+  Rng ra(5), rb(5);
+  auto oa = a->reset(ra);
+  auto ob = b->reset(rb);
+  EXPECT_EQ(oa, ob);
+  const std::vector<double> act(a->act_dim(), 0.3);
+  for (int i = 0; i < 20; ++i) {
+    const auto sa = a->step(act);
+    const auto sb = b->step(act);
+    EXPECT_EQ(sa.obs, sb.obs);
+    EXPECT_DOUBLE_EQ(sa.reward, sb.reward);
+  }
+}
+
+TEST(Locomotor, CloneReproducesState) {
+  auto env = make_hopper();
+  Rng rng(7);
+  env->reset(rng);
+  const std::vector<double> act{0.5, -0.2, 0.1};
+  for (int i = 0; i < 10; ++i) env->step(act);
+  auto copy = env->clone();
+  const auto s1 = env->step(act);
+  const auto s2 = copy->step(act);
+  EXPECT_EQ(s1.obs, s2.obs);
+}
+
+TEST(Locomotor, ThrustAccelerates) {
+  LocomotorParams p = hopper_params();
+  p.posture_noise = 0.0;
+  LocomotorEnv env(p);
+  Rng rng(3);
+  env.reset(rng);
+  // Push along the thrust direction c (posture-neutral is not needed for a
+  // few steps with zero noise and near-zero θ).
+  std::vector<double> u{1.0, 0.7, 0.4};
+  for (int i = 0; i < 5; ++i) env.step(u);
+  EXPECT_GT(env.forward_velocity(), 0.3);
+  EXPECT_GT(env.forward_position(), 0.0);
+}
+
+TEST(Locomotor, UnstablePostureDivergesWithoutControl) {
+  LocomotorParams p = hopper_params();
+  p.posture_noise = 0.0;
+  p.init_noise = 0.0;
+  LocomotorEnv env(p);
+  Rng rng(3);
+  env.reset(rng);
+  // A pure-thrust policy drives speed up; the speed-dependent instability
+  // must then blow up the posture and terminate the episode.
+  const std::vector<double> u{1.0, 1.0, 1.0};  // thrust + posture coupling
+  bool fell = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto sr = env.step(u);
+    if (sr.done) {
+      fell = sr.fell;
+      break;
+    }
+  }
+  EXPECT_TRUE(fell);
+}
+
+TEST(Locomotor, FeedbackStabilizes) {
+  LocomotorParams p = hopper_params();
+  LocomotorEnv env(p);
+  Rng rng(11);
+  auto obs = env.reset(rng);
+  // Hand-built controller: moderate thrust + posture feedback through d.
+  int survived = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double theta = obs[0], omega = obs[1];
+    std::vector<double> u(p.n_joints);
+    for (std::size_t j = 0; j < p.n_joints; ++j)
+      u[j] = 0.25 * p.c[j] - 3.0 * (theta + 0.4 * omega) * p.d[j];
+    const auto sr = env.step(u);
+    ++survived;
+    if (sr.done) break;
+    obs = sr.obs;
+  }
+  EXPECT_EQ(survived, 500);
+}
+
+TEST(Locomotor, SurrogateIsSpeedFractionAndBlackBoxSafe) {
+  LocomotorParams p = hopper_params();
+  p.posture_noise = 0.0;
+  LocomotorEnv env(p);
+  Rng rng(3);
+  env.reset(rng);
+  const auto sr = env.step({0.0, 0.0, 0.0});
+  // Near-zero speed ⇒ near-zero surrogate; always within [0, 1].
+  EXPECT_GE(sr.surrogate, 0.0);
+  EXPECT_LE(sr.surrogate, 1.0);
+}
+
+TEST(Locomotor, HalfCheetahNeverTerminates) {
+  auto env = make_half_cheetah();
+  Rng rng(3);
+  env->reset(rng);
+  Rng arng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto sr = env->step(arng.uniform_vec(6, -1.0, 1.0));
+    EXPECT_FALSE(sr.done);
+    if (i < 499)
+      EXPECT_FALSE(sr.truncated);
+    else
+      EXPECT_TRUE(sr.truncated);
+  }
+}
+
+TEST(Locomotor, TrainingCheetahTerminates) {
+  // The victim-training variant restores the fall signal (see
+  // half_cheetah.h for why).
+  const auto p = half_cheetah_training_params();
+  EXPECT_TRUE(p.terminates);
+  EXPECT_GT(p.alive_bonus, 0.0);
+  // Same deployment dynamics otherwise.
+  const auto q = half_cheetah_params();
+  EXPECT_EQ(p.c, q.c);
+  EXPECT_EQ(p.d, q.d);
+  EXPECT_EQ(p.instab, q.instab);
+}
+
+TEST(Locomotor, RewardDecomposition) {
+  LocomotorParams p = walker2d_params();
+  p.posture_noise = 0.0;
+  p.init_noise = 0.0;
+  LocomotorEnv env(p);
+  Rng rng(3);
+  env.reset(rng);
+  const std::vector<double> zero(p.n_joints, 0.0);
+  const auto sr = env.step(zero);
+  // Zero action from rest: reward ≈ alive bonus (v ≈ 0, no control cost).
+  EXPECT_NEAR(sr.reward, p.alive_bonus, 0.05);
+}
+
+TEST(Locomotor, RejectsWrongActionWidth) {
+  auto env = make_hopper();
+  Rng rng(3);
+  env->reset(rng);
+  EXPECT_THROW(env->step({0.0}), CheckError);
+}
+
+TEST(Locomotor, PointOfNoReturnExistsAtSpeed) {
+  // Analytic property the attack relies on: at the vanilla victim's cruising
+  // speed, ‖d‖₁ / instab_eff < θ_max, i.e. there is an irrecoverable
+  // posture band below the termination threshold.
+  for (const auto& p : {hopper_params(), walker2d_params()}) {
+    double d1 = 0.0;
+    for (double d : p.d) d1 += std::abs(d);
+    const double v_fast = 4.5;
+    const double instab_eff = p.instab + p.instab_v * v_fast;
+    EXPECT_LT(d1 / instab_eff, p.theta_max) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace imap::env

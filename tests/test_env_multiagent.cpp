@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/kick_and_defend.h"
+#include "env/multiagent.h"
+#include "env/you_shall_not_pass.h"
+
+namespace imap::env {
+namespace {
+
+std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+TEST(YouShallNotPass, ObservationDimsAndRanges) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  const auto [obs_v, obs_a] = env.reset(rng);
+  EXPECT_EQ(obs_v.size(), 9u);
+  EXPECT_EQ(obs_a.size(), 11u);
+  const auto [vb, ve] = env.victim_obs_range();
+  const auto [ab, ae] = env.adversary_obs_range();
+  EXPECT_LT(ve, ae);  // disjoint projections
+  EXPECT_EQ(ve - vb, 4u);
+  EXPECT_EQ(ae - ab, 4u);
+}
+
+TEST(YouShallNotPass, UnopposedRunnerWins) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  MaStepResult r;
+  for (int i = 0; i < 150; ++i) {
+    r = env.step({-1.0, 0.0}, {0.0, 0.0});  // run left; blocker idle
+    if (r.done || r.truncated) break;
+  }
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.victim_won);
+}
+
+TEST(YouShallNotPass, IdleRunnerTimesOutAndLoses) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  MaStepResult r;
+  for (int i = 0; i < 150; ++i) {
+    r = env.step({0.0, 0.0}, {0.0, 0.0});
+    if (r.done || r.truncated) break;
+  }
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.victim_won);
+}
+
+TEST(YouShallNotPass, BracedBlockerWinsTheMomentumContest) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  // Runner sprints left; blocker sprints right into the collision. The
+  // blocker is heavier, so a symmetric-speed head-on impact floors the
+  // runner (and possibly both) — the interception skill IMAP learns.
+  MaStepResult r;
+  for (int i = 0; i < 150; ++i) {
+    const double dy = env.runner().pos.y - env.blocker().pos.y;
+    r = env.step({-1.0, 0.0}, {1.0, std::clamp(4.0 * dy, -1.0, 1.0)});
+    if (r.done || r.truncated) break;
+  }
+  EXPECT_TRUE(env.runner_fallen());
+  EXPECT_FALSE(r.victim_won);
+}
+
+TEST(YouShallNotPass, StandingStillBlockerGetsRunOver) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  // Put the blocker directly in the runner's lane by resetting until they
+  // are aligned, then have the runner charge: the runner carries the
+  // momentum, so the *blocker* falls (the AP-MARL "collapse" strategy is
+  // weak in a momentum contest).
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    env.reset(rng);
+    if (std::abs(env.runner().pos.y - env.blocker().pos.y) < 0.2) break;
+  }
+  if (std::abs(env.runner().pos.y - env.blocker().pos.y) >= 0.2)
+    GTEST_SKIP() << "no aligned reset found";
+  MaStepResult r;
+  for (int i = 0; i < 150; ++i) {
+    r = env.step({-1.0, 0.0}, {0.0, 0.0});
+    if (r.done || r.truncated) break;
+  }
+  EXPECT_FALSE(env.runner_fallen());
+}
+
+TEST(YouShallNotPass, WallsConfineBothAgents) {
+  YouShallNotPassEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  for (int i = 0; i < 200; ++i) env.step({0.0, 1.0}, {0.0, -1.0});
+  EXPECT_LE(std::abs(env.runner().pos.y),
+            YouShallNotPassEnv::kFieldY - env.runner().radius + 1e-6);
+  EXPECT_LE(std::abs(env.blocker().pos.y),
+            YouShallNotPassEnv::kFieldY - env.blocker().radius + 1e-6);
+}
+
+TEST(KickAndDefend, StraightKickScoresPastIdleGoalieSometimes) {
+  KickAndDefendEnv env;
+  Rng rng(9);
+  int goals = 0, trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    env.reset(rng);
+    MaStepResult r;
+    for (int i = 0; i < 150; ++i) {
+      // Kicker runs through the ball toward the gate.
+      const double ball_rel_y = env.ball().pos.y - env.kicker().pos.y;
+      r = env.step({-1.0, std::clamp(4.0 * ball_rel_y, -1.0, 1.0)},
+                   {0.0, 0.0});
+      if (r.done || r.truncated) break;
+    }
+    if (r.victim_won) ++goals;
+  }
+  // With a stationary goalie covering part of the gate, a straight dribble
+  // should score a decent fraction of the time.
+  EXPECT_GE(goals, trials / 4);
+}
+
+TEST(KickAndDefend, GoalieStaysInItsBox) {
+  KickAndDefendEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  for (int i = 0; i < 150; ++i) {
+    env.step({0.0, 0.0}, {-1.0, 1.0});  // goalie pushes out of the box
+  }
+  EXPECT_GE(env.goalie().pos.x, KickAndDefendEnv::kBoxXMin - 1e-9);
+  EXPECT_LE(std::abs(env.goalie().pos.y),
+            KickAndDefendEnv::kBoxYMax + 1e-9);
+}
+
+TEST(KickAndDefend, SaveEndsEpisodeForAdversary) {
+  KickAndDefendEnv env;
+  Rng rng(3);
+  env.reset(rng);
+  // Kick straight at the goalie's y: the goalie just holds its line.
+  MaStepResult r;
+  bool ended = false;
+  for (int i = 0; i < 150; ++i) {
+    const double goalie_y = env.goalie().pos.y;
+    const double ball_y = env.ball().pos.y;
+    const double chase = std::clamp(3.0 * (ball_y - goalie_y), -1.0, 1.0);
+    const double aim = std::clamp(
+        4.0 * (env.ball().pos.y - env.kicker().pos.y), -1.0, 1.0);
+    r = env.step({-1.0, aim}, {0.0, chase});
+    if (r.done || r.truncated) {
+      ended = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(ended);
+}
+
+TEST(VictimSideEnv, AdaptsGameToSingleAgent) {
+  const auto game = make_you_shall_not_pass();
+  VictimSideEnv env(*game, YouShallNotPassEnv::victim_training_pool());
+  Rng rng(3);
+  const auto obs = env.reset(rng);
+  EXPECT_EQ(obs.size(), game->victim_obs_dim());
+  EXPECT_EQ(env.act_dim(), game->victim_act_dim());
+  // Run left → should win against scripted opponents most of the time and
+  // produce positive shaping.
+  double total = 0.0;
+  rl::StepResult sr;
+  for (int i = 0; i < 150; ++i) {
+    sr = env.step({-1.0, 0.0});
+    total += sr.reward;
+    if (sr.done || sr.truncated) break;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(VictimSideEnv, CloneIsIndependent) {
+  const auto game = make_you_shall_not_pass();
+  VictimSideEnv env(*game, YouShallNotPassEnv::victim_training_pool());
+  Rng rng(3);
+  env.reset(rng);
+  auto copy = env.clone();
+  env.step({-1.0, 0.0});
+  // Stepping the original must not advance the clone.
+  const auto sr = copy->step({-1.0, 0.0});
+  EXPECT_EQ(sr.obs.size(), env.obs_dim());
+}
+
+TEST(Games, CloneRoundTrip) {
+  for (const auto* name : {"YouShallNotPass", "KickAndDefend"}) {
+    const auto game = name == std::string("YouShallNotPass")
+                          ? make_you_shall_not_pass()
+                          : make_kick_and_defend();
+    auto c = game->clone();
+    EXPECT_EQ(c->name(), game->name());
+    EXPECT_EQ(c->adversary_obs_dim(), game->adversary_obs_dim());
+  }
+}
+
+}  // namespace
+}  // namespace imap::env

@@ -1,0 +1,144 @@
+// Parameterized property suite: contracts every registered single-agent
+// environment must satisfy (the Gym-style API invariants the trainers and
+// threat-model wrappers rely on).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "env/registry.h"
+
+namespace imap::env {
+namespace {
+
+class EnvContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EnvContract, SpecExistsWithPositiveEpsilon) {
+  const auto& s = spec(GetParam());
+  EXPECT_EQ(s.name, GetParam());
+  EXPECT_GT(s.epsilon, 0.0);
+}
+
+TEST_P(EnvContract, ResetReturnsCorrectWidth) {
+  auto env = make_env(GetParam());
+  Rng rng(3);
+  const auto obs = env->reset(rng);
+  EXPECT_EQ(obs.size(), env->obs_dim());
+  for (const double x : obs) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST_P(EnvContract, StepContract) {
+  auto env = make_env(GetParam());
+  Rng rng(5);
+  env->reset(rng);
+  Rng arng(7);
+  for (int episode = 0; episode < 2; ++episode) {
+    int steps = 0;
+    while (true) {
+      const auto a = env->action_space().sample(arng);
+      const auto sr = env->step(a);
+      ++steps;
+      EXPECT_EQ(sr.obs.size(), env->obs_dim());
+      for (const double x : sr.obs) ASSERT_TRUE(std::isfinite(x));
+      ASSERT_TRUE(std::isfinite(sr.reward));
+      EXPECT_GE(sr.surrogate, 0.0);
+      EXPECT_LE(sr.surrogate, 1.0);
+      // done and truncated are mutually exclusive in this library.
+      EXPECT_FALSE(sr.done && sr.truncated);
+      if (sr.done || sr.truncated) break;
+      ASSERT_LE(steps, env->max_steps() + 1) << "episode never ended";
+    }
+    EXPECT_LE(steps, env->max_steps() + 1);
+    env->reset(rng);
+  }
+}
+
+TEST_P(EnvContract, DeterministicUnderSeed) {
+  auto a = make_env(GetParam());
+  auto b = make_env(GetParam());
+  Rng ra(11), rb(11);
+  auto oa = a->reset(ra);
+  auto ob = b->reset(rb);
+  ASSERT_EQ(oa, ob);
+  Rng act_rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const auto act = a->action_space().sample(act_rng);
+    const auto sa = a->step(act);
+    const auto sb = b->step(act);
+    ASSERT_EQ(sa.obs, sb.obs);
+    ASSERT_DOUBLE_EQ(sa.reward, sb.reward);
+    ASSERT_EQ(sa.done, sb.done);
+    if (sa.done || sa.truncated) {
+      a->reset(ra);
+      b->reset(rb);
+    }
+  }
+}
+
+TEST_P(EnvContract, CloneDivergesIndependently) {
+  auto env = make_env(GetParam());
+  Rng rng(17);
+  env->reset(rng);
+  auto copy = env->clone();
+  const auto a0 = env->action_space().clamp(
+      std::vector<double>(env->act_dim(), 0.5));
+  const auto s1 = env->step(a0);
+  const auto s2 = copy->step(a0);
+  EXPECT_EQ(s1.obs, s2.obs);  // same state ⇒ same transition
+}
+
+TEST_P(EnvContract, ActionSpaceIsSane) {
+  auto env = make_env(GetParam());
+  const auto& box = env->action_space();
+  EXPECT_EQ(box.dim(), env->act_dim());
+  for (std::size_t i = 0; i < box.dim(); ++i)
+    EXPECT_LT(box.low()[i], box.high()[i]);
+}
+
+TEST_P(EnvContract, TrainingEnvSharesActionInterface) {
+  auto deploy = make_env(GetParam());
+  auto train = make_training_env(GetParam());
+  // The deployed victim network must be pluggable into both.
+  EXPECT_EQ(deploy->obs_dim(), train->obs_dim());
+  EXPECT_EQ(deploy->act_dim(), train->act_dim());
+}
+
+std::vector<std::string> all_single_agent_names() {
+  std::vector<std::string> names;
+  for (const auto& s : single_agent_specs()) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvContract,
+                         ::testing::ValuesIn(all_single_agent_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Registry, ThirteenSingleAgentTasks) {
+  EXPECT_EQ(single_agent_specs().size(), 13u);  // as in the paper
+  EXPECT_EQ(multi_agent_specs().size(), 2u);
+}
+
+TEST(Registry, PaperEpsilons) {
+  EXPECT_DOUBLE_EQ(spec("Hopper").epsilon, 0.075);
+  EXPECT_DOUBLE_EQ(spec("Walker2d").epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(spec("HalfCheetah").epsilon, 0.15);
+  EXPECT_DOUBLE_EQ(spec("Ant").epsilon, 0.15);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_env("NotAnEnv"), CheckError);
+  EXPECT_THROW(make_multiagent_env("Hopper"), CheckError);
+  EXPECT_THROW(spec("NotAnEnv"), CheckError);
+}
+
+TEST(Registry, MultiAgentFactoryWorks) {
+  for (const auto& s : multi_agent_specs()) {
+    auto game = make_multiagent_env(s.name);
+    EXPECT_EQ(game->name(), s.name);
+    EXPECT_FALSE(victim_training_pool(s.name).empty());
+  }
+}
+
+}  // namespace
+}  // namespace imap::env

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "env/hopper.h"
+#include "env/humanoid.h"
+#include "env/sparse.h"
+
+namespace imap::env {
+namespace {
+
+// A sparse env around a noise-free hopper so outcomes are scripted.
+SparseLocomotionEnv make_test_sparse(double goal, int max_steps) {
+  LocomotorParams p = hopper_params();
+  p.posture_noise = 0.0;
+  p.init_noise = 0.0;
+  return SparseLocomotionEnv(p, goal, max_steps);
+}
+
+// Thrust with posture feedback — reliably runs forward.
+std::vector<double> runner_action(const std::vector<double>& obs) {
+  const auto p = hopper_params();
+  const double theta = obs[0], omega = obs[1];
+  std::vector<double> u(p.n_joints);
+  for (std::size_t j = 0; j < p.n_joints; ++j)
+    u[j] = 0.3 * p.c[j] - 3.0 * (theta + 0.4 * omega) * p.d[j];
+  return u;
+}
+
+TEST(SparseLocomotion, SuccessRewardIncludesTimePenalty) {
+  auto env = make_test_sparse(2.0, 300);
+  Rng rng(3);
+  auto obs = env.reset(rng);
+  double final_reward = 0.0;
+  int t = 0;
+  bool completed = false;
+  while (true) {
+    const auto sr = env.step(runner_action(obs));
+    ++t;
+    if (sr.done || sr.truncated) {
+      final_reward = sr.reward;
+      completed = sr.task_completed;
+      EXPECT_DOUBLE_EQ(sr.surrogate, completed ? 1.0 : 0.0);
+      break;
+    }
+    EXPECT_DOUBLE_EQ(sr.reward, 0.0);    // zero reward before the goal
+    EXPECT_DOUBLE_EQ(sr.surrogate, 0.0); // r̂ fires only at the crossing
+    obs = sr.obs;
+  }
+  ASSERT_TRUE(completed);
+  EXPECT_NEAR(final_reward, 1.0 - 0.05 * static_cast<double>(t) / 300, 1e-12);
+  EXPECT_GT(final_reward, 0.9);
+}
+
+TEST(SparseLocomotion, TimeoutGivesZero) {
+  auto env = make_test_sparse(1e6, 50);  // unreachable goal
+  Rng rng(3);
+  auto obs = env.reset(rng);
+  for (int i = 0; i < 49; ++i) obs = env.step(runner_action(obs)).obs;
+  const auto sr = env.step(runner_action(obs));
+  EXPECT_TRUE(sr.truncated);
+  EXPECT_FALSE(sr.done);
+  EXPECT_DOUBLE_EQ(sr.reward, 0.0);
+  EXPECT_FALSE(sr.task_completed);
+}
+
+TEST(SparseLocomotion, FallGivesPenalty) {
+  auto env = make_test_sparse(1e6, 300);
+  Rng rng(3);
+  env.reset(rng);
+  // Full thrust destabilises via the speed-dependent instability.
+  rl::StepResult last;
+  for (int i = 0; i < 300; ++i) {
+    last = env.step({1.0, 1.0, 1.0});
+    if (last.done) break;
+  }
+  ASSERT_TRUE(last.done);
+  EXPECT_TRUE(last.fell);
+  EXPECT_DOUBLE_EQ(last.reward, -0.05);
+}
+
+TEST(SparseLocomotion, NamesAndFactories) {
+  EXPECT_EQ(make_sparse_hopper()->name(), "SparseHopper");
+  EXPECT_EQ(make_sparse_walker2d()->name(), "SparseWalker2d");
+  EXPECT_EQ(make_sparse_half_cheetah()->name(), "SparseHalfCheetah");
+  EXPECT_EQ(make_sparse_ant()->name(), "SparseAnt");
+  EXPECT_EQ(make_sparse_humanoid()->name(), "SparseHumanoid");
+  EXPECT_EQ(make_sparse_humanoid_standup()->name(), "SparseHumanoidStandup");
+}
+
+TEST(HumanoidStandup, StandsWithStrongLift) {
+  HumanoidStandupEnv env(HumanoidStandupEnv::Mode::Sparse);
+  Rng rng(3);
+  auto obs = env.reset(rng);
+  EXPECT_LT(env.height(), 0.3);
+  bool stood = false;
+  for (int i = 0; i < 300; ++i) {
+    // Lift with posture feedback (kPosture = {0.5,-0.35,0.25,-0.15}).
+    const double theta = obs[2], omega = obs[3];
+    const double fb = -3.0 * (theta + 0.4 * omega);
+    const std::vector<double> u{0.6 + 0.5 * fb, 0.6 - 0.35 * fb,
+                                0.6 + 0.25 * fb, 0.6 - 0.15 * fb};
+    const auto sr = env.step(u);
+    if (sr.task_completed) {
+      stood = true;
+      EXPECT_GT(sr.reward, 0.8);
+      EXPECT_TRUE(sr.done);
+      break;
+    }
+    obs = sr.obs;
+  }
+  EXPECT_TRUE(stood);
+}
+
+TEST(HumanoidStandup, ZeroActionNeverStands) {
+  HumanoidStandupEnv env(HumanoidStandupEnv::Mode::Sparse);
+  Rng rng(3);
+  env.reset(rng);
+  const std::vector<double> zero(4, 0.0);
+  for (int i = 0; i < 300; ++i) {
+    const auto sr = env.step(zero);
+    EXPECT_FALSE(sr.task_completed);
+    if (sr.done || sr.truncated) break;
+  }
+  EXPECT_LT(env.height(), 0.5);
+}
+
+TEST(HumanoidStandup, DenseModeShapesHeight) {
+  HumanoidStandupEnv env(HumanoidStandupEnv::Mode::Dense);
+  Rng rng(3);
+  env.reset(rng);
+  const auto low = env.step({0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(low.reward, 0.0);  // height term + alive
+  EXPECT_LT(low.reward, 1.5);
+}
+
+}  // namespace
+}  // namespace imap::env

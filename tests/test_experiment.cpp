@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/check.h"
+#include "core/experiment.h"
+
+namespace imap::core {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.zoo_dir = "/tmp/imap_test_exp";
+    cfg_.scale = 0.01;  // smoke-scale budgets
+    cfg_.seed = 7;
+    std::filesystem::remove_all(cfg_.zoo_dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(cfg_.zoo_dir); }
+  BenchConfig cfg_;
+};
+
+TEST(AttackKindNames, RoundTripAndClassification) {
+  EXPECT_EQ(to_string(AttackKind::SaRl), "SA-RL");
+  EXPECT_EQ(to_string(AttackKind::ImapPC), "IMAP-PC");
+  EXPECT_TRUE(is_imap(AttackKind::ImapR));
+  EXPECT_FALSE(is_imap(AttackKind::Random));
+  EXPECT_EQ(imap_attacks().size(), 4u);
+  EXPECT_EQ(regularizer_of(AttackKind::ImapD), RegularizerType::D);
+  EXPECT_THROW(regularizer_of(AttackKind::SaRl), CheckError);
+}
+
+TEST_F(ExperimentTest, NoAttackProducesCleanEvaluation) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.env_name = "FetchReach";
+  plan.attack = AttackKind::None;
+  plan.eval_episodes = 10;
+  const auto out = runner.run(plan);
+  EXPECT_EQ(out.victim_eval.episode_returns.size(), 10u);
+  EXPECT_TRUE(out.curve.empty());
+}
+
+TEST_F(ExperimentTest, ImapAttackProducesCurve) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.env_name = "FetchReach";
+  plan.attack = AttackKind::ImapPC;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 5;
+  const auto out = runner.run(plan);
+  EXPECT_FALSE(out.curve.empty());
+  EXPECT_EQ(out.curve.back().steps, 4096);
+}
+
+TEST_F(ExperimentTest, ResultsAreCachedOnDisk) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.env_name = "FetchReach";
+  plan.attack = AttackKind::SaRl;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 5;
+  const auto first = runner.run(plan);
+  ASSERT_TRUE(std::filesystem::exists(cfg_.zoo_dir + "/results"));
+
+  // A fresh runner must serve the identical result from the cache.
+  ExperimentRunner runner2(cfg_);
+  const auto second = runner2.run(plan);
+  EXPECT_DOUBLE_EQ(second.victim_eval.returns.mean,
+                   first.victim_eval.returns.mean);
+  EXPECT_EQ(second.curve.size(), first.curve.size());
+  EXPECT_EQ(second.victim_eval.episode_returns,
+            first.victim_eval.episode_returns);
+}
+
+TEST_F(ExperimentTest, CacheKeySeparatesPlans) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan a, b;
+  a.env_name = b.env_name = "FetchReach";
+  a.attack = b.attack = AttackKind::ImapPC;
+  b.bias_reduction = true;
+  EXPECT_NE(runner.cache_key(a, 1000, 10), runner.cache_key(b, 1000, 10));
+  AttackPlan c = a;
+  c.eta = 2.0;
+  EXPECT_NE(runner.cache_key(a, 1000, 10), runner.cache_key(c, 1000, 10));
+  EXPECT_NE(runner.cache_key(a, 1000, 10), runner.cache_key(a, 2000, 10));
+}
+
+TEST_F(ExperimentTest, DefaultBudgetsScaleAndFloor) {
+  ExperimentRunner runner(cfg_);
+  EXPECT_GE(runner.default_attack_steps("Hopper"), 4096);
+  EXPECT_GE(runner.default_eval_episodes("Hopper"), 10);
+  BenchConfig big = cfg_;
+  big.scale = 1.0;
+  ExperimentRunner full(big);
+  EXPECT_GT(full.default_attack_steps("Hopper"),
+            runner.default_attack_steps("Hopper"));
+}
+
+TEST_F(ExperimentTest, MultiAgentPlanRoutesToOpponentAttack) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.env_name = "YouShallNotPass";
+  plan.attack = AttackKind::ApMarl;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 10;
+  const auto out = runner.run(plan);
+  EXPECT_GE(out.asr(), 0.0);
+  EXPECT_LE(out.asr(), 1.0);
+  EXPECT_FALSE(out.curve.empty());
+}
+
+TEST_F(ExperimentTest, SingleAgentRejectsApMarl) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.env_name = "Hopper";
+  plan.attack = AttackKind::ApMarl;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 5;
+  EXPECT_THROW(runner.run(plan), CheckError);
+}
+
+}  // namespace
+}  // namespace imap::core

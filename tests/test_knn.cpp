@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/knn.h"
+
+namespace imap::core {
+namespace {
+
+TEST(Knn, ExactDistancesSmallSet) {
+  Rng rng(3);
+  KnnBuffer buf(1, 16, 1, rng);
+  for (const double x : {0.0, 1.0, 3.0}) buf.add(std::vector<double>{x});
+  EXPECT_DOUBLE_EQ(buf.knn_distance(std::vector<double>{0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(buf.knn_distance(std::vector<double>{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(buf.knn_distance(std::vector<double>{10.0}), 7.0);
+}
+
+TEST(Knn, KthNearestNotFirst) {
+  Rng rng(3);
+  KnnBuffer buf(1, 16, 3, rng);
+  for (const double x : {0.0, 1.0, 2.0, 10.0}) buf.add(std::vector<double>{x});
+  // 3rd nearest of 0.1: distances {0.1, 0.9, 1.9, 9.9} → 1.9.
+  EXPECT_DOUBLE_EQ(buf.knn_distance(std::vector<double>{0.1}), 1.9);
+}
+
+TEST(Knn, UnderfilledReportsInfinityAndZeroDensity) {
+  Rng rng(3);
+  KnnBuffer buf(2, 16, 3, rng);
+  buf.add(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(std::isinf(buf.knn_distance(std::vector<double>{1.0, 1.0})));
+  EXPECT_DOUBLE_EQ(buf.density({1.0, 1.0}), 0.0);
+}
+
+TEST(Knn, DensityInverseOfDistance) {
+  Rng rng(3);
+  KnnBuffer buf(1, 8, 1, rng);
+  buf.add(std::vector<double>{0.0});
+  EXPECT_NEAR(buf.density({2.0}), 0.5, 1e-5);
+  EXPECT_GT(buf.density({0.1}), buf.density({1.0}));
+}
+
+TEST(Knn, MatchesBruteForceOnRandomData) {
+  Rng rng(7);
+  const std::size_t dim = 5, n = 200, k = 3;
+  KnnBuffer buf(dim, n, k, rng.split(1));
+  std::vector<std::vector<double>> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.push_back(rng.normal_vec(dim));
+    buf.add(data.back());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = rng.normal_vec(dim);
+    std::vector<double> dists;
+    for (const auto& p : data) {
+      double sq = 0;
+      for (std::size_t c = 0; c < dim; ++c) sq += (p[c] - q[c]) * (p[c] - q[c]);
+      dists.push_back(std::sqrt(sq));
+    }
+    std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+    EXPECT_NEAR(buf.knn_distance(q), dists[k - 1], 1e-9);
+  }
+}
+
+TEST(Knn, ReservoirKeepsCapacityAndTotal) {
+  Rng rng(9);
+  KnnBuffer buf(2, 50, 3, rng);
+  for (int i = 0; i < 500; ++i) buf.add(rng.normal_vec(2));
+  EXPECT_EQ(buf.size(), 50u);
+  EXPECT_EQ(buf.total_added(), 500u);
+}
+
+TEST(Knn, ReservoirIsApproximatelyUniform) {
+  // Feed two phases with distinguishable distributions; a correct reservoir
+  // keeps ≈ half from each, while naive ring-replacement would keep only
+  // the second phase.
+  Rng rng(11);
+  KnnBuffer buf(1, 200, 1, rng);
+  for (int i = 0; i < 1000; ++i) buf.add(std::vector<double>{0.0});
+  for (int i = 0; i < 1000; ++i) buf.add(std::vector<double>{100.0});
+  // Query near 0: if any phase-1 points survived, distance ≈ 0.
+  EXPECT_LT(buf.knn_distance(std::vector<double>{0.0}), 1.0);
+  EXPECT_LT(buf.knn_distance(std::vector<double>{100.0}), 1.0);
+}
+
+TEST(Knn, ClearResets) {
+  Rng rng(3);
+  KnnBuffer buf(1, 8, 1, rng);
+  buf.add(std::vector<double>{1.0});
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total_added(), 0u);
+}
+
+TEST(Knn, RejectsBadConfig) {
+  Rng rng(3);
+  EXPECT_THROW(KnnBuffer(0, 8, 1, rng), CheckError);
+  EXPECT_THROW(KnnBuffer(2, 2, 3, rng), CheckError);  // capacity < k
+}
+
+TEST(Knn, RejectsWrongDim) {
+  Rng rng(3);
+  KnnBuffer buf(3, 8, 1, rng);
+  EXPECT_THROW(buf.add(std::vector<double>{1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace imap::core

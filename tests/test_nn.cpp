@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "nn/adam.h"
+#include "nn/checkpoint.h"
+#include "nn/gaussian.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+
+namespace imap::nn {
+namespace {
+
+TEST(Matrix, MatvecAndTranspose) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  const auto y = m.matvec({1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  const auto yt = m.matvec_transposed({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[1], 7.0);
+  EXPECT_DOUBLE_EQ(yt[2], 9.0);
+}
+
+TEST(Matrix, AddOuter) {
+  Matrix m(2, 2);
+  m.add_outer({1.0, 2.0}, {3.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(VectorOps, Basics) {
+  std::vector<double> y{1, 2};
+  axpy(y, 2.0, {3, 4});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(l2norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(linf_norm({-7, 3}), 7.0);
+}
+
+// Finite-difference check of the MLP backward pass — the foundation every
+// trainer in the library rests on.
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  Mlp net({4, 8, 3}, rng);
+  const auto x = rng.normal_vec(4);
+  const std::vector<double> w{0.7, -1.3, 0.4};  // loss = w · out
+
+  Mlp::Tape tape;
+  net.forward_tape(x, tape);
+  net.zero_grad();
+  const auto gin = net.backward(tape, w);
+  const auto analytic = net.grads();
+
+  auto loss = [&](const std::vector<double>& input) {
+    const auto out = net.forward(input);
+    double l = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) l += w[i] * out[i];
+    return l;
+  };
+
+  const double h = 1e-6;
+  // Parameter gradients (spot-check a spread of indices).
+  for (std::size_t i = 0; i < net.params().size(); i += 7) {
+    const double orig = net.params()[i];
+    net.params()[i] = orig + h;
+    const double lp = loss(x);
+    net.params()[i] = orig - h;
+    const double lm = loss(x);
+    net.params()[i] = orig;
+    EXPECT_NEAR(analytic[i], (lp - lm) / (2 * h), 1e-4)
+        << "param index " << i;
+  }
+  // Input gradients.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    EXPECT_NEAR(gin[i], (loss(xp) - loss(xm)) / (2 * h), 1e-4);
+  }
+}
+
+TEST(Mlp, InputGradientMatchesBackward) {
+  Rng rng(5);
+  Mlp net({3, 6, 2}, rng);
+  const auto x = rng.normal_vec(3);
+  Mlp::Tape tape;
+  net.forward_tape(x, tape);
+  net.zero_grad();
+  const auto g1 = net.backward(tape, {1.0, -2.0});
+  const auto g2 = net.input_gradient(tape, {1.0, -2.0});
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_NEAR(g1[i], g2[i], 1e-12);
+}
+
+TEST(Mlp, RejectsWrongInputDim) {
+  Rng rng(1);
+  Mlp net({3, 4, 2}, rng);
+  EXPECT_THROW(net.forward({1.0, 2.0}), CheckError);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  std::vector<double> p{5.0, -3.0};
+  Adam opt(2, {.lr = 0.05, .max_grad_norm = 0.0});
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> g{2.0 * (p[0] - 1.0), 2.0 * (p[1] + 2.0)};
+    opt.step(p, g);
+  }
+  EXPECT_NEAR(p[0], 1.0, 1e-2);
+  EXPECT_NEAR(p[1], -2.0, 1e-2);
+}
+
+TEST(Adam, ClipsGlobalNorm) {
+  std::vector<double> p{0.0};
+  Adam opt(1, {.lr = 1.0, .max_grad_norm = 0.5});
+  opt.step(p, {1e9});
+  // With clipping the first Adam step is ≈ −lr regardless of magnitude, and
+  // never catastrophically large.
+  EXPECT_LT(std::abs(p[0]), 2.0);
+}
+
+TEST(DiagGaussian, LogProbMatchesClosedForm) {
+  // 1-D standard normal at 0: log(1/sqrt(2π)).
+  EXPECT_NEAR(diag_gaussian::log_prob({0.0}, {0.0}, {0.0}),
+              -0.5 * std::log(2 * M_PI), 1e-12);
+  // Scaling: N(0, e²) at x=e has logp = -0.5 - 1 - 0.5 ln 2π.
+  EXPECT_NEAR(diag_gaussian::log_prob({std::exp(1.0)}, {0.0}, {1.0}),
+              -0.5 - 1.0 - 0.5 * std::log(2 * M_PI), 1e-12);
+}
+
+TEST(DiagGaussian, EntropyAndKl) {
+  EXPECT_NEAR(diag_gaussian::entropy({0.0}),
+              0.5 * std::log(2 * M_PI * std::exp(1.0)), 1e-12);
+  // KL(p‖p) = 0.
+  EXPECT_NEAR(diag_gaussian::kl({1.0, 2.0}, {0.1, -0.2}, {1.0, 2.0},
+                                {0.1, -0.2}),
+              0.0, 1e-12);
+  // KL between unit Gaussians with mean shift δ is δ²/2.
+  EXPECT_NEAR(diag_gaussian::kl({1.0}, {0.0}, {0.0}, {0.0}), 0.5, 1e-12);
+  EXPECT_GT(diag_gaussian::kl({0.0}, {1.0}, {0.0}, {0.0}), 0.0);
+}
+
+TEST(DiagGaussian, LogProbGradientsMatchFiniteDifferences) {
+  const std::vector<double> a{0.3, -1.1}, mean{0.1, 0.4}, ls{-0.2, 0.5};
+  const auto gm = diag_gaussian::dlogp_dmean(a, mean, ls);
+  const auto gs = diag_gaussian::dlogp_dlogstd(a, mean, ls);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto mp = mean, mm = mean;
+    mp[i] += h;
+    mm[i] -= h;
+    EXPECT_NEAR(gm[i],
+                (diag_gaussian::log_prob(a, mp, ls) -
+                 diag_gaussian::log_prob(a, mm, ls)) /
+                    (2 * h),
+                1e-6);
+    auto lp = ls, lm = ls;
+    lp[i] += h;
+    lm[i] -= h;
+    EXPECT_NEAR(gs[i],
+                (diag_gaussian::log_prob(a, mean, lp) -
+                 diag_gaussian::log_prob(a, mean, lm)) /
+                    (2 * h),
+                1e-6);
+  }
+}
+
+TEST(GaussianPolicy, SampleStatisticsMatchParameters) {
+  Rng rng(9);
+  GaussianPolicy pi(3, 2, {16}, rng, /*init_log_std=*/-0.5);
+  const auto obs = rng.normal_vec(3);
+  const auto mu = pi.mean_action(obs);
+  std::vector<double> acc(2, 0.0), acc2(2, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto a = pi.act(obs, rng);
+    for (int d = 0; d < 2; ++d) {
+      acc[d] += a[d];
+      acc2[d] += (a[d] - mu[d]) * (a[d] - mu[d]);
+    }
+  }
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_NEAR(acc[d] / n, mu[d], 0.02);
+    EXPECT_NEAR(std::sqrt(acc2[d] / n), std::exp(-0.5), 0.02);
+  }
+}
+
+TEST(GaussianPolicy, BackwardLogpMatchesFiniteDifferences) {
+  Rng rng(13);
+  GaussianPolicy pi(3, 2, {8}, rng);
+  const auto obs = rng.normal_vec(3);
+  const auto act = rng.normal_vec(2);
+
+  Mlp::Tape tape;
+  pi.mean_tape(obs, tape);
+  pi.zero_grad();
+  pi.backward_logp(tape, act, 1.0);
+  const auto analytic = pi.flat_grads();
+
+  auto params = pi.flat_params();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 5) {
+    auto p = params;
+    p[i] += h;
+    pi.set_flat_params(p);
+    const double lp = pi.log_prob(obs, act);
+    p[i] = params[i] - h;
+    pi.set_flat_params(p);
+    const double lm = pi.log_prob(obs, act);
+    pi.set_flat_params(params);
+    EXPECT_NEAR(analytic[i], (lp - lm) / (2 * h), 1e-4) << "param " << i;
+  }
+}
+
+TEST(GaussianPolicy, ClampLogStd) {
+  Rng rng(1);
+  GaussianPolicy pi(2, 2, {4}, rng, /*init_log_std=*/5.0);
+  pi.clamp_log_std(-3.0, 1.0);
+  for (const double ls : pi.log_std()) EXPECT_LE(ls, 1.0);
+}
+
+TEST(ValueNet, BackwardMatchesFiniteDifferences) {
+  Rng rng(17);
+  ValueNet v(4, {8}, rng);
+  const auto obs = rng.normal_vec(4);
+  Mlp::Tape tape;
+  v.value_tape(obs, tape);
+  v.zero_grad();
+  v.backward(tape, 1.0);
+  const auto analytic = v.grads();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < v.params().size(); i += 3) {
+    const double orig = v.params()[i];
+    v.params()[i] = orig + h;
+    const double vp = v.value(obs);
+    v.params()[i] = orig - h;
+    const double vm = v.value(obs);
+    v.params()[i] = orig;
+    EXPECT_NEAR(analytic[i], (vp - vm) / (2 * h), 1e-4);
+  }
+}
+
+TEST(Checkpoint, PolicyRoundTrip) {
+  Rng rng(21);
+  GaussianPolicy pi(5, 3, {16, 16}, rng);
+  const std::string path = "/tmp/imap_test_policy.pol";
+  ASSERT_TRUE(save_policy(path, pi));
+  const auto loaded = load_policy(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->obs_dim(), 5u);
+  EXPECT_EQ(loaded->act_dim(), 3u);
+  const auto obs = rng.normal_vec(5);
+  EXPECT_EQ(loaded->mean_action(obs), pi.mean_action(obs));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingPolicyIsNullopt) {
+  EXPECT_FALSE(load_policy("/tmp/not_a_policy_anywhere.pol").has_value());
+}
+
+TEST(Checkpoint, ValueNetRoundTrip) {
+  Rng rng(23);
+  ValueNet v(4, {8}, rng);
+  BinaryWriter w;
+  write_value_net(w, v);
+  BinaryReader r(std::vector<std::uint8_t>(w.buffer()));
+  const auto v2 = read_value_net(r);
+  const auto obs = rng.normal_vec(4);
+  EXPECT_DOUBLE_EQ(v2.value(obs), v.value(obs));
+}
+
+}  // namespace
+}  // namespace imap::nn

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/body.h"
+#include "phys/vec2.h"
+#include "phys/world.h"
+
+namespace imap::phys {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_DOUBLE_EQ(Vec2{}.normalized().norm(), 0.0);
+  const auto n = Vec2{0, 5}.normalized();
+  EXPECT_DOUBLE_EQ(n.y, 1.0);
+}
+
+TEST(Vec2, Rotation) {
+  const auto r = Vec2{1, 0}.rotated(M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  const auto p = Vec2{1, 0}.perp();
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 1.0);
+}
+
+TEST(Vec2, ClosestPointOnSegment) {
+  const Vec2 a{0, 0}, b{10, 0};
+  EXPECT_DOUBLE_EQ(closest_point_on_segment({5, 3}, a, b).x, 5.0);
+  EXPECT_DOUBLE_EQ(closest_point_on_segment({-5, 3}, a, b).x, 0.0);  // clamp
+  EXPECT_DOUBLE_EQ(closest_point_on_segment({15, 3}, a, b).x, 10.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(closest_point_on_segment({1, 1}, a, a).x, 0.0);
+}
+
+TEST(Body, IntegrationWithDamping) {
+  CircleBody b;
+  b.damping = 0.0;
+  b.apply_force({2.0, 0.0});
+  b.integrate(0.5);
+  EXPECT_DOUBLE_EQ(b.vel.x, 1.0);
+  EXPECT_DOUBLE_EQ(b.pos.x, 0.5);
+  EXPECT_DOUBLE_EQ(b.force.x, 0.0);  // force cleared
+
+  CircleBody damped;
+  damped.damping = 2.0;
+  damped.vel = {10.0, 0.0};
+  damped.integrate(0.1);
+  EXPECT_NEAR(damped.vel.x, 8.0, 1e-12);
+}
+
+TEST(Body, TerminalVelocityBounded) {
+  CircleBody b;
+  b.damping = 2.0;
+  for (int i = 0; i < 2000; ++i) {
+    b.apply_force({10.0, 0.0});
+    b.integrate(0.05);
+  }
+  // Discrete steady state: v = F·dt·(1−d·dt)/(m·d·dt) = 4.5 at these
+  // parameters (the continuous limit is F/(m·d) = 5).
+  EXPECT_NEAR(b.vel.x, 4.5, 0.3);
+}
+
+TEST(World, BodiesSeparateAfterOverlap) {
+  World w;
+  CircleBody a, b;
+  a.pos = {0, 0};
+  b.pos = {0.3, 0};
+  a.radius = b.radius = 0.3;
+  w.add_body(a);
+  w.add_body(b);
+  const bool contact = w.step(0.01);
+  EXPECT_TRUE(contact);
+  EXPECT_GE(distance(w.body(0).pos, w.body(1).pos), 0.6 - 1e-9);
+}
+
+TEST(World, MomentumConservedInCollision) {
+  World w;
+  CircleBody a, b;
+  a.pos = {0, 0};
+  a.vel = {2.0, 0.0};
+  a.damping = 0.0;
+  b.pos = {0.65, 0};
+  b.damping = 0.0;
+  w.add_body(a);
+  w.add_body(b);
+  for (int i = 0; i < 10; ++i) w.step(0.02);
+  const double px = w.body(0).mass * w.body(0).vel.x +
+                    w.body(1).mass * w.body(1).vel.x;
+  EXPECT_NEAR(px, 2.0, 1e-9);
+  // Inelastic contact: the bodies end up moving together.
+  EXPECT_NEAR(w.body(0).vel.x, w.body(1).vel.x, 1e-6);
+}
+
+TEST(World, WallStopsBody) {
+  World w;
+  w.add_segment({{1.0, -5.0}, {1.0, 5.0}, 0.05});
+  CircleBody b;
+  b.pos = {0, 0};
+  b.vel = {5.0, 0.0};
+  b.damping = 0.0;
+  b.radius = 0.2;
+  w.add_body(b);
+  for (int i = 0; i < 100; ++i) w.step(0.05);
+  EXPECT_LE(w.body(0).pos.x, 1.0 - 0.2 + 1e-6);
+}
+
+TEST(World, PathClear) {
+  World w;
+  w.add_segment({{5.0, -1.0}, {5.0, 1.0}, 0.05});
+  EXPECT_FALSE(w.path_clear({0, 0}, {10, 0}, 0.2));
+  EXPECT_TRUE(w.path_clear({0, 0}, {4, 0}, 0.2));
+  EXPECT_TRUE(w.path_clear({0, 3}, {10, 3}, 0.2));  // above the wall
+}
+
+TEST(World, ClearResets) {
+  World w;
+  w.add_body({});
+  w.add_segment({{0, 0}, {1, 0}});
+  w.clear();
+  EXPECT_EQ(w.body_count(), 0u);
+  EXPECT_TRUE(w.segments().empty());
+}
+
+}  // namespace
+}  // namespace imap::phys

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/rnd.h"
+
+namespace imap::core {
+namespace {
+
+rl::RolloutBuffer cluster(double center, std::size_t n, Rng& rng) {
+  rl::RolloutBuffer buf;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = rng.normal_vec(3, 0.0, 0.1);
+    s[0] += center;
+    buf.add(std::move(s), {0.0}, 0.0, 0.0, 0.0);
+  }
+  return buf;
+}
+
+TEST(Rnd, NoveltyIsNonNegative) {
+  Rng rng(3);
+  RndNovelty rnd(3, 8, rng);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_GE(rnd.novelty(rng.normal_vec(3)), 0.0);
+}
+
+TEST(Rnd, FamiliarityReducesNovelty) {
+  Rng rng(5);
+  RndNovelty rnd(3, 8, rng);
+  auto buf = cluster(0.0, 256, rng);
+  const double before = mean([&] {
+    std::vector<double> v;
+    for (const auto& s : buf.obs) v.push_back(rnd.novelty(s));
+    return v;
+  }());
+  for (int pass = 0; pass < 30; ++pass) rnd.update(buf);
+  const double after = mean([&] {
+    std::vector<double> v;
+    for (const auto& s : buf.obs) v.push_back(rnd.novelty(s));
+    return v;
+  }());
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(Rnd, NovelRegionStaysNovel) {
+  Rng rng(7);
+  RndNovelty rnd(3, 8, rng);
+  auto buf = cluster(0.0, 256, rng);
+  for (int pass = 0; pass < 30; ++pass) rnd.update(buf);
+
+  // States far from the training cluster keep a larger error than the
+  // cluster itself.
+  double familiar = 0.0, novel = 0.0;
+  Rng qrng(9);
+  for (int i = 0; i < 32; ++i) {
+    auto near = qrng.normal_vec(3, 0.0, 0.1);
+    auto far = qrng.normal_vec(3, 0.0, 0.1);
+    far[0] += 4.0;
+    familiar += rnd.novelty(near);
+    novel += rnd.novelty(far);
+  }
+  EXPECT_GT(novel, familiar);
+}
+
+TEST(Rnd, ComputeFillsIntrinsicChannel) {
+  Rng rng(11);
+  RndNovelty rnd(3, 8, rng);
+  auto buf = cluster(0.0, 64, rng);
+  rnd.compute(buf);
+  EXPECT_GT(mean(buf.rew_i), 0.0);
+}
+
+TEST(Rnd, ExhibitsTheForgettingProblem) {
+  // The failure mode the paper cites as the reason to prefer KNN: after the
+  // predictor is re-trained on a NEW region, the OLD region's novelty creeps
+  // back up (catastrophic forgetting), which would re-reward already
+  // explored states.
+  Rng rng(13);
+  RndNovelty rnd(3, 8, rng);
+  auto region_a = cluster(0.0, 256, rng);
+  for (int pass = 0; pass < 150; ++pass) rnd.update(region_a);
+  auto mean_novelty_a = [&] {
+    double acc = 0.0;
+    for (int i = 0; i < 64; ++i) acc += rnd.novelty(region_a.obs[i]);
+    return acc / 64.0;
+  };
+  const double a_when_fresh = mean_novelty_a();
+
+  auto region_b = cluster(6.0, 256, rng);
+  for (int pass = 0; pass < 150; ++pass) rnd.update(region_b);
+  const double a_after_b = mean_novelty_a();
+
+  EXPECT_GT(a_after_b, 1.2 * a_when_fresh);
+}
+
+}  // namespace
+}  // namespace imap::core
