@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ppo.dir/bench_micro_ppo.cpp.o"
+  "CMakeFiles/bench_micro_ppo.dir/bench_micro_ppo.cpp.o.d"
+  "bench_micro_ppo"
+  "bench_micro_ppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

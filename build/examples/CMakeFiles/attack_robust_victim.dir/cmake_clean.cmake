@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_robust_victim.dir/attack_robust_victim.cpp.o"
+  "CMakeFiles/attack_robust_victim.dir/attack_robust_victim.cpp.o.d"
+  "attack_robust_victim"
+  "attack_robust_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_robust_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

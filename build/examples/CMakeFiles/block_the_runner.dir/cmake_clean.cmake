@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_the_runner.dir/block_the_runner.cpp.o"
+  "CMakeFiles/block_the_runner.dir/block_the_runner.cpp.o.d"
+  "block_the_runner"
+  "block_the_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_the_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

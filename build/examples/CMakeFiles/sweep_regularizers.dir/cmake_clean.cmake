@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_regularizers.dir/sweep_regularizers.cpp.o"
+  "CMakeFiles/sweep_regularizers.dir/sweep_regularizers.cpp.o.d"
+  "sweep_regularizers"
+  "sweep_regularizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_regularizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/ap_marl.cpp" "src/CMakeFiles/imap.dir/attack/ap_marl.cpp.o" "gcc" "src/CMakeFiles/imap.dir/attack/ap_marl.cpp.o.d"
+  "/root/repo/src/attack/gradient_attack.cpp" "src/CMakeFiles/imap.dir/attack/gradient_attack.cpp.o" "gcc" "src/CMakeFiles/imap.dir/attack/gradient_attack.cpp.o.d"
+  "/root/repo/src/attack/random_attack.cpp" "src/CMakeFiles/imap.dir/attack/random_attack.cpp.o" "gcc" "src/CMakeFiles/imap.dir/attack/random_attack.cpp.o.d"
+  "/root/repo/src/attack/sa_rl.cpp" "src/CMakeFiles/imap.dir/attack/sa_rl.cpp.o" "gcc" "src/CMakeFiles/imap.dir/attack/sa_rl.cpp.o.d"
+  "/root/repo/src/attack/threat_model.cpp" "src/CMakeFiles/imap.dir/attack/threat_model.cpp.o" "gcc" "src/CMakeFiles/imap.dir/attack/threat_model.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/imap.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/imap.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/imap.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/imap.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/CMakeFiles/imap.dir/common/serialize.cpp.o" "gcc" "src/CMakeFiles/imap.dir/common/serialize.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/imap.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/imap.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/imap.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/imap.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/bias_reduction.cpp" "src/CMakeFiles/imap.dir/core/bias_reduction.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/bias_reduction.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/imap.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/imap_trainer.cpp" "src/CMakeFiles/imap.dir/core/imap_trainer.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/imap_trainer.cpp.o.d"
+  "/root/repo/src/core/knn.cpp" "src/CMakeFiles/imap.dir/core/knn.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/knn.cpp.o.d"
+  "/root/repo/src/core/mimic.cpp" "src/CMakeFiles/imap.dir/core/mimic.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/mimic.cpp.o.d"
+  "/root/repo/src/core/regularizer.cpp" "src/CMakeFiles/imap.dir/core/regularizer.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/regularizer.cpp.o.d"
+  "/root/repo/src/core/rnd.cpp" "src/CMakeFiles/imap.dir/core/rnd.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/rnd.cpp.o.d"
+  "/root/repo/src/core/zoo.cpp" "src/CMakeFiles/imap.dir/core/zoo.cpp.o" "gcc" "src/CMakeFiles/imap.dir/core/zoo.cpp.o.d"
+  "/root/repo/src/defense/atla.cpp" "src/CMakeFiles/imap.dir/defense/atla.cpp.o" "gcc" "src/CMakeFiles/imap.dir/defense/atla.cpp.o.d"
+  "/root/repo/src/defense/radial.cpp" "src/CMakeFiles/imap.dir/defense/radial.cpp.o" "gcc" "src/CMakeFiles/imap.dir/defense/radial.cpp.o.d"
+  "/root/repo/src/defense/sa_regularizer.cpp" "src/CMakeFiles/imap.dir/defense/sa_regularizer.cpp.o" "gcc" "src/CMakeFiles/imap.dir/defense/sa_regularizer.cpp.o.d"
+  "/root/repo/src/defense/victim_trainer.cpp" "src/CMakeFiles/imap.dir/defense/victim_trainer.cpp.o" "gcc" "src/CMakeFiles/imap.dir/defense/victim_trainer.cpp.o.d"
+  "/root/repo/src/defense/wocar.cpp" "src/CMakeFiles/imap.dir/defense/wocar.cpp.o" "gcc" "src/CMakeFiles/imap.dir/defense/wocar.cpp.o.d"
+  "/root/repo/src/env/ant.cpp" "src/CMakeFiles/imap.dir/env/ant.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/ant.cpp.o.d"
+  "/root/repo/src/env/fetch_reach.cpp" "src/CMakeFiles/imap.dir/env/fetch_reach.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/fetch_reach.cpp.o.d"
+  "/root/repo/src/env/half_cheetah.cpp" "src/CMakeFiles/imap.dir/env/half_cheetah.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/half_cheetah.cpp.o.d"
+  "/root/repo/src/env/hopper.cpp" "src/CMakeFiles/imap.dir/env/hopper.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/hopper.cpp.o.d"
+  "/root/repo/src/env/humanoid.cpp" "src/CMakeFiles/imap.dir/env/humanoid.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/humanoid.cpp.o.d"
+  "/root/repo/src/env/kick_and_defend.cpp" "src/CMakeFiles/imap.dir/env/kick_and_defend.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/kick_and_defend.cpp.o.d"
+  "/root/repo/src/env/locomotor.cpp" "src/CMakeFiles/imap.dir/env/locomotor.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/locomotor.cpp.o.d"
+  "/root/repo/src/env/maze.cpp" "src/CMakeFiles/imap.dir/env/maze.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/maze.cpp.o.d"
+  "/root/repo/src/env/multiagent.cpp" "src/CMakeFiles/imap.dir/env/multiagent.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/multiagent.cpp.o.d"
+  "/root/repo/src/env/registry.cpp" "src/CMakeFiles/imap.dir/env/registry.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/registry.cpp.o.d"
+  "/root/repo/src/env/sparse.cpp" "src/CMakeFiles/imap.dir/env/sparse.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/sparse.cpp.o.d"
+  "/root/repo/src/env/walker2d.cpp" "src/CMakeFiles/imap.dir/env/walker2d.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/walker2d.cpp.o.d"
+  "/root/repo/src/env/you_shall_not_pass.cpp" "src/CMakeFiles/imap.dir/env/you_shall_not_pass.cpp.o" "gcc" "src/CMakeFiles/imap.dir/env/you_shall_not_pass.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/imap.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/imap.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/CMakeFiles/imap.dir/nn/checkpoint.cpp.o" "gcc" "src/CMakeFiles/imap.dir/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/gaussian.cpp" "src/CMakeFiles/imap.dir/nn/gaussian.cpp.o" "gcc" "src/CMakeFiles/imap.dir/nn/gaussian.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/imap.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/imap.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/imap.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/imap.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/phys/body.cpp" "src/CMakeFiles/imap.dir/phys/body.cpp.o" "gcc" "src/CMakeFiles/imap.dir/phys/body.cpp.o.d"
+  "/root/repo/src/phys/vec2.cpp" "src/CMakeFiles/imap.dir/phys/vec2.cpp.o" "gcc" "src/CMakeFiles/imap.dir/phys/vec2.cpp.o.d"
+  "/root/repo/src/phys/world.cpp" "src/CMakeFiles/imap.dir/phys/world.cpp.o" "gcc" "src/CMakeFiles/imap.dir/phys/world.cpp.o.d"
+  "/root/repo/src/rl/evaluate.cpp" "src/CMakeFiles/imap.dir/rl/evaluate.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/evaluate.cpp.o.d"
+  "/root/repo/src/rl/gae.cpp" "src/CMakeFiles/imap.dir/rl/gae.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/gae.cpp.o.d"
+  "/root/repo/src/rl/normalizer.cpp" "src/CMakeFiles/imap.dir/rl/normalizer.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/normalizer.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/CMakeFiles/imap.dir/rl/ppo.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/ppo.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/CMakeFiles/imap.dir/rl/rollout.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/rollout.cpp.o.d"
+  "/root/repo/src/rl/space.cpp" "src/CMakeFiles/imap.dir/rl/space.cpp.o" "gcc" "src/CMakeFiles/imap.dir/rl/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

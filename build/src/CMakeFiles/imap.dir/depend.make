@@ -1,0 +1,2 @@
+# Empty dependencies file for imap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attack.cpp" "tests/CMakeFiles/imap_tests.dir/test_attack.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_attack.cpp.o.d"
+  "/root/repo/tests/test_bias_reduction.cpp" "tests/CMakeFiles/imap_tests.dir/test_bias_reduction.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_bias_reduction.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/imap_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_defense.cpp" "tests/CMakeFiles/imap_tests.dir/test_defense.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_defense.cpp.o.d"
+  "/root/repo/tests/test_env_fetch.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_fetch.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_fetch.cpp.o.d"
+  "/root/repo/tests/test_env_locomotor.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_locomotor.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_locomotor.cpp.o.d"
+  "/root/repo/tests/test_env_maze.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_maze.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_maze.cpp.o.d"
+  "/root/repo/tests/test_env_multiagent.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_multiagent.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_multiagent.cpp.o.d"
+  "/root/repo/tests/test_env_properties.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_properties.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_properties.cpp.o.d"
+  "/root/repo/tests/test_env_sparse.cpp" "tests/CMakeFiles/imap_tests.dir/test_env_sparse.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_env_sparse.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/imap_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/imap_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gradient_attack.cpp" "tests/CMakeFiles/imap_tests.dir/test_gradient_attack.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_gradient_attack.cpp.o.d"
+  "/root/repo/tests/test_imap_trainer.cpp" "tests/CMakeFiles/imap_tests.dir/test_imap_trainer.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_imap_trainer.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/imap_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_knn.cpp" "tests/CMakeFiles/imap_tests.dir/test_knn.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_knn.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/imap_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_phys.cpp" "tests/CMakeFiles/imap_tests.dir/test_phys.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_phys.cpp.o.d"
+  "/root/repo/tests/test_regularizer.cpp" "tests/CMakeFiles/imap_tests.dir/test_regularizer.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_regularizer.cpp.o.d"
+  "/root/repo/tests/test_rl.cpp" "tests/CMakeFiles/imap_tests.dir/test_rl.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_rl.cpp.o.d"
+  "/root/repo/tests/test_rnd.cpp" "tests/CMakeFiles/imap_tests.dir/test_rnd.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_rnd.cpp.o.d"
+  "/root/repo/tests/test_zoo.cpp" "tests/CMakeFiles/imap_tests.dir/test_zoo.cpp.o" "gcc" "tests/CMakeFiles/imap_tests.dir/test_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
