@@ -9,8 +9,13 @@
 //  C. State-density estimator: the paper's KNN choice vs an RND
 //     prediction-error bonus (Sec. 5.2 argues KNN; this measures it).
 //  D. KNN k: sensitivity of IMAP-SC to the neighbour count.
+//
+// All cells and custom jobs are independent — their Rngs are split up front
+// (Rng::split is pure, so the pre-split streams match the old serial code) —
+// and run through the parallel grid harness.
 
 #include <iostream>
+#include <memory>
 
 #include "attack/gradient_attack.h"
 #include "attack/sa_rl.h"
@@ -19,6 +24,7 @@
 #include "core/experiment.h"
 #include "core/rnd.h"
 #include "env/registry.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -35,33 +41,110 @@ int main() {
   const int episodes = runner.default_eval_episodes(env_name);
   Rng rng(cfg.seed + 1000);
 
+  bench::GridRunner grid(runner, "bench_ablation");
+
+  // Plan cells shared with bench_table1's cache: A uses the first four, B
+  // re-reads the SA-RL cell, C the IMAP-SC cell.
+  const std::vector<AttackKind> plan_kinds = {
+      AttackKind::None, AttackKind::Random, AttackKind::SaRl,
+      AttackKind::ImapPC, AttackKind::ImapSC};
+  std::vector<core::AttackPlan> plans;
+  for (const auto kind : plan_kinds) {
+    core::AttackPlan plan;
+    plan.env_name = env_name;
+    plan.attack = kind;
+    plans.push_back(plan);
+  }
+  const auto outcomes = grid.run_plans(plans);
+  const auto& sarl_outcome = outcomes[2];
+  const auto& imap_sc_outcome = outcomes[4];
+
+  // Custom jobs: each owns its env clone and a pre-split Rng stream.
+  rl::EvalStats fgsm_eval, mad_eval, relaxed_eval, rnd_eval;
+  const std::vector<std::size_t> ks = {1, 3, 8};
+  std::vector<rl::EvalStats> k_evals(ks.size());
+
+  std::vector<std::pair<std::string, std::function<void()>>> jobs;
+  jobs.emplace_back("A/FGSM", [&, env = std::shared_ptr<rl::Env>(deploy_env->clone())] {
+    Rng er(17);
+    fgsm_eval = attack::evaluate_attack(
+        *env, victim, attack::make_fgsm_attack(victim_policy, eps), eps,
+        episodes, er);
+  });
+  jobs.emplace_back("A/MAD", [&, env = std::shared_ptr<rl::Env>(deploy_env->clone())] {
+    Rng er(17);
+    mad_eval = attack::evaluate_attack(
+        *env, victim, attack::make_mad_attack(victim_policy, eps, 3), eps,
+        episodes, er);
+  });
+  jobs.emplace_back(
+      "B/relaxed-SA-RL",
+      [&, env = std::shared_ptr<rl::Env>(deploy_env->clone()), job_rng = rng.split(1)]() mutable {
+        attack::SaRl relaxed(*env, victim, eps, {}, job_rng,
+                             /*relaxed=*/true);
+        relaxed.train(steps);
+        Rng er(17);
+        relaxed_eval = attack::evaluate_attack(*env, victim,
+                                               relaxed.adversary(), eps,
+                                               episodes, er);
+      });
+  jobs.emplace_back(
+      "C/RND",
+      [&, env = std::shared_ptr<rl::Env>(deploy_env->clone()), trainer_rng = rng.split(2),
+       rnd_rng = rng.split(3)]() mutable {
+        attack::StatePerturbationEnv attack_env(*env, victim, eps,
+                                                attack::RewardMode::Adversary);
+        rl::PpoTrainer trainer(attack_env, rl::PpoOptions{}, trainer_rng);
+        core::RndNovelty rnd(attack_env.obs_dim(), 16, rnd_rng);
+        trainer.set_intrinsic_hook([&rnd](rl::RolloutBuffer& buf) {
+          rnd.compute(buf);
+          return 1.0;  // fixed τ, mirroring IMAP-SC without BR
+        });
+        trainer.train(steps);
+        auto snapshot = std::make_shared<nn::GaussianPolicy>(trainer.policy());
+        Rng er(17);
+        rnd_eval = attack::evaluate_attack(
+            *env, victim,
+            [snapshot](const std::vector<double>& o) {
+              return snapshot->mean_action(o);
+            },
+            eps, episodes, er);
+      });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::size_t k = ks[i];
+    jobs.emplace_back(
+        "D/knn-k=" + std::to_string(k),
+        [&, i, k, env = std::shared_ptr<rl::Env>(deploy_env->clone()),
+         job_rng = rng.split(100 + k)]() mutable {
+          core::ImapOptions opts;
+          opts.reg.type = core::RegularizerType::SC;
+          opts.reg.knn_k = k;
+          opts.surrogate_scale = env->max_steps();
+          core::ImapTrainer attacker(*env, victim, eps, opts, job_rng);
+          attacker.train(steps);
+          Rng er(17);
+          k_evals[i] = attack::evaluate_attack(*env, victim,
+                                               attacker.adversary(), eps,
+                                               episodes, er);
+        });
+  }
+  grid.run_jobs(std::move(jobs));
+
   // ---------------------------------------------------------------- A
   Table a({"Attack", "Access", "Victim reward"});
-  {
-    auto cell = [&](const std::string& name, const std::string& access,
-                    const rl::ActionFn& adv) {
-      Rng er(17);
-      const auto e = attack::evaluate_attack(*deploy_env, victim, adv, eps,
-                                             episodes, er);
-      a.add_row({name, access, Table::pm(e.returns.mean, e.returns.stddev)});
-      std::cerr << "  [A] " << name << " -> " << e.returns.mean << "\n";
-    };
-    cell("FGSM", "white-box", attack::make_fgsm_attack(victim_policy, eps));
-    cell("MAD (3-step PGD)", "white-box",
-         attack::make_mad_attack(victim_policy, eps, 3));
-    for (const auto kind : {AttackKind::None, AttackKind::Random,
-                            AttackKind::SaRl, AttackKind::ImapPC}) {
-      core::AttackPlan plan;
-      plan.env_name = env_name;
-      plan.attack = kind;
-      const auto out = runner.run(plan);  // shared with bench_table1's cache
-      a.add_row({core::to_string(kind),
-                 kind == AttackKind::None || kind == AttackKind::Random
-                     ? "—"
-                     : "black-box",
-                 Table::pm(out.victim_eval.returns.mean,
-                           out.victim_eval.returns.stddev)});
-    }
+  a.add_row({"FGSM", "white-box",
+             Table::pm(fgsm_eval.returns.mean, fgsm_eval.returns.stddev)});
+  a.add_row({"MAD (3-step PGD)", "white-box",
+             Table::pm(mad_eval.returns.mean, mad_eval.returns.stddev)});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto kind = plan_kinds[i];
+    const auto& out = outcomes[i];
+    a.add_row({core::to_string(kind),
+               kind == AttackKind::None || kind == AttackKind::Random
+                   ? "—"
+                   : "black-box",
+               Table::pm(out.victim_eval.returns.mean,
+                         out.victim_eval.returns.stddev)});
   }
   std::cout << "Ablation A — attack classes on the vanilla " << env_name
             << " victim:\n\n"
@@ -69,82 +152,34 @@ int main() {
 
   // ---------------------------------------------------------------- B
   Table b({"SA-RL objective", "Victim reward"});
-  {
-    std::cerr << "  [B] training relaxed SA-RL (true-reward objective)...\n";
-    attack::SaRl relaxed(*deploy_env, victim, eps, {}, rng.split(1),
-                         /*relaxed=*/true);
-    relaxed.train(steps);
-    Rng er(17);
-    const auto e = attack::evaluate_attack(*deploy_env, victim,
-                                           relaxed.adversary(), eps,
-                                           episodes, er);
-    b.add_row({"-r_E (relaxed, original SA-RL)",
-               Table::pm(e.returns.mean, e.returns.stddev)});
-    core::AttackPlan plan;
-    plan.env_name = env_name;
-    plan.attack = AttackKind::SaRl;
-    const auto surrogate = runner.run(plan);
-    b.add_row({"-r_hat (black-box surrogate, ours)",
-               Table::pm(surrogate.victim_eval.returns.mean,
-                         surrogate.victim_eval.returns.stddev)});
-  }
+  b.add_row({"-r_E (relaxed, original SA-RL)",
+             Table::pm(relaxed_eval.returns.mean,
+                       relaxed_eval.returns.stddev)});
+  b.add_row({"-r_hat (black-box surrogate, ours)",
+             Table::pm(sarl_outcome.victim_eval.returns.mean,
+                       sarl_outcome.victim_eval.returns.stddev)});
   std::cout << "Ablation B — threat-model relaxation:\n\n"
             << b.to_string() << "\n";
 
   // ---------------------------------------------------------------- C
   Table c({"Density estimator", "Victim reward"});
-  {
-    std::cerr << "  [C] training RND-driven intrinsic adversary...\n";
-    attack::StatePerturbationEnv attack_env(*deploy_env, victim, eps,
-                                            attack::RewardMode::Adversary);
-    rl::PpoTrainer trainer(attack_env, rl::PpoOptions{}, rng.split(2));
-    core::RndNovelty rnd(attack_env.obs_dim(), 16, rng.split(3));
-    trainer.set_intrinsic_hook([&rnd](rl::RolloutBuffer& buf) {
-      rnd.compute(buf);
-      return 1.0;  // fixed τ, mirroring IMAP-SC without BR
-    });
-    trainer.train(steps);
-    auto snapshot = std::make_shared<nn::GaussianPolicy>(trainer.policy());
-    Rng er(17);
-    const auto e = attack::evaluate_attack(
-        *deploy_env, victim,
-        [snapshot](const std::vector<double>& o) {
-          return snapshot->mean_action(o);
-        },
-        eps, episodes, er);
-    c.add_row({"RND prediction error",
-               Table::pm(e.returns.mean, e.returns.stddev)});
-    core::AttackPlan plan;
-    plan.env_name = env_name;
-    plan.attack = AttackKind::ImapSC;
-    const auto knn = runner.run(plan);
-    c.add_row({"KNN (paper / ours)",
-               Table::pm(knn.victim_eval.returns.mean,
-                         knn.victim_eval.returns.stddev)});
-  }
+  c.add_row({"RND prediction error",
+             Table::pm(rnd_eval.returns.mean, rnd_eval.returns.stddev)});
+  c.add_row({"KNN (paper / ours)",
+             Table::pm(imap_sc_outcome.victim_eval.returns.mean,
+                       imap_sc_outcome.victim_eval.returns.stddev)});
   std::cout << "Ablation C — intrinsic-bonus density estimator:\n\n"
             << c.to_string() << "\n";
 
   // ---------------------------------------------------------------- D
   Table d({"KNN k", "Victim reward"});
-  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
-    std::cerr << "  [D] IMAP-SC with k=" << k << "...\n";
-    core::ImapOptions opts;
-    opts.reg.type = core::RegularizerType::SC;
-    opts.reg.knn_k = k;
-    opts.surrogate_scale = deploy_env->max_steps();
-    core::ImapTrainer attacker(*deploy_env, victim, eps, opts,
-                               rng.split(100 + k));
-    attacker.train(steps);
-    Rng er(17);
-    const auto e = attack::evaluate_attack(*deploy_env, victim,
-                                           attacker.adversary(), eps,
-                                           episodes, er);
-    d.add_row({std::to_string(k), Table::pm(e.returns.mean, e.returns.stddev)});
-  }
+  for (std::size_t i = 0; i < ks.size(); ++i)
+    d.add_row({std::to_string(ks[i]),
+               Table::pm(k_evals[i].returns.mean, k_evals[i].returns.stddev)});
   std::cout << "Ablation D — KNN neighbour count (IMAP-SC):\n\n"
             << d.to_string();
 
+  grid.write_report();
   a.save_csv("ablation_attack_class.csv");
   b.save_csv("ablation_threat_model.csv");
   c.save_csv("ablation_density.csv");

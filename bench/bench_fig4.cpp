@@ -7,6 +7,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -27,15 +28,22 @@ int main() {
 
   Table series({"Env", "Attack", "Steps", "VictimSuccess"});
 
-  for (const auto& env : kEnvs) {
-    std::cout << "== " << env << " ==\n";
+  std::vector<core::AttackPlan> plans;
+  for (const auto& env : kEnvs)
     for (const auto attack : kAttacks) {
       core::AttackPlan plan;
       plan.env_name = env;
       plan.attack = attack;
-      std::cerr << "  running " << env << " / " << core::to_string(attack)
-                << "...\n";
-      const auto outcome = runner.run(plan);
+      plans.push_back(plan);
+    }
+  bench::GridRunner grid(runner, "bench_fig4");
+  const auto outcomes = grid.run_plans(plans);
+
+  std::size_t cell = 0;
+  for (const auto& env : kEnvs) {
+    std::cout << "== " << env << " ==\n";
+    for (const auto attack : kAttacks) {
+      const auto& outcome = outcomes[cell++];
 
       // Print ~8 evenly spaced curve points per series.
       const auto& c = outcome.curve;
@@ -55,6 +63,7 @@ int main() {
     }
   }
 
+  grid.write_report();
   series.save_csv("fig4.csv");
   std::cout << "\nSeries CSV written to fig4.csv (victim success vs adversary "
                "samples; paper Fig. 4)\n";

@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -19,17 +20,26 @@ int main() {
   Table series({"Game", "Attack", "Steps", "ASR"});
   Table final_table({"Game", "AP-MARL ASR", "IMAP-PC+BR ASR"});
 
-  for (const std::string game : {"YouShallNotPass", "KickAndDefend"}) {
-    std::cout << "== " << game << " ==\n";
-    std::vector<std::string> final_row{game};
+  const std::vector<std::string> games = {"YouShallNotPass", "KickAndDefend"};
+  std::vector<core::AttackPlan> plans;
+  for (const auto& game : games)
     for (const bool imap : {false, true}) {
       core::AttackPlan plan;
       plan.env_name = game;
       plan.attack = imap ? AttackKind::ImapPC : AttackKind::ApMarl;
       plan.bias_reduction = imap;
+      plans.push_back(plan);
+    }
+  bench::GridRunner grid(runner, "bench_fig5");
+  const auto outcomes = grid.run_plans(plans);
+
+  std::size_t cell = 0;
+  for (const auto& game : games) {
+    std::cout << "== " << game << " ==\n";
+    std::vector<std::string> final_row{game};
+    for (const bool imap : {false, true}) {
       const std::string label = imap ? "IMAP-PC+BR" : "AP-MARL";
-      std::cerr << "  running " << game << " / " << label << "...\n";
-      const auto outcome = runner.run(plan);
+      const auto& outcome = outcomes[cell++];
 
       std::cout << "  " << label << " ASR curve:";
       const auto& c = outcome.curve;
@@ -53,6 +63,7 @@ int main() {
   std::cout << "\nFinal attacking success rates (paper: YSNP 59.64% vs "
                "83.91%; KAD 47.02% vs 56.96%):\n\n"
             << final_table.to_string();
+  grid.write_report();
   series.save_csv("fig5.csv");
   std::cout << "Series CSV written to fig5.csv\n";
   return 0;

@@ -7,6 +7,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -18,16 +19,25 @@ int main() {
   const std::vector<double> etas = {0.5, 1.0, 2.0, 5.0};
   Table table({"Task", "eta", "Victim performance", "Attack metric"});
 
-  for (const std::string env : {"SparseHopper", "YouShallNotPass"}) {
-    std::cout << "== " << env << " (IMAP-PC+BR, sweeping eta) ==\n";
+  const std::vector<std::string> envs = {"SparseHopper", "YouShallNotPass"};
+  std::vector<core::AttackPlan> plans;
+  for (const auto& env : envs)
     for (const double eta : etas) {
       core::AttackPlan plan;
       plan.env_name = env;
       plan.attack = AttackKind::ImapPC;
       plan.bias_reduction = true;
       plan.eta = eta;
-      std::cerr << "  running " << env << " eta=" << eta << "...\n";
-      const auto outcome = runner.run(plan);
+      plans.push_back(plan);
+    }
+  bench::GridRunner grid(runner, "bench_fig6");
+  const auto outcomes = grid.run_plans(plans);
+
+  std::size_t cell = 0;
+  for (const auto& env : envs) {
+    std::cout << "== " << env << " (IMAP-PC+BR, sweeping eta) ==\n";
+    for (const double eta : etas) {
+      const auto& outcome = outcomes[cell++];
       const bool game = env == "YouShallNotPass";
       const double metric = game ? outcome.asr()
                                  : outcome.victim_eval.returns.mean;
@@ -45,6 +55,7 @@ int main() {
   }
 
   std::cout << "\n" << table.to_string();
+  grid.write_report();
   table.save_csv("fig6.csv");
   std::cout << "CSV written to fig6.csv (paper Fig. 6: robust to eta)\n";
   return 0;

@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -19,16 +20,25 @@ int main() {
   const std::vector<double> xis = {0.0, 0.25, 0.5, 0.75, 1.0};
   Table table({"Game", "xi", "ASR"});
 
-  for (const std::string game : {"YouShallNotPass", "KickAndDefend"}) {
-    std::cout << "== " << game << " (IMAP-PC+BR, sweeping xi) ==\n";
+  const std::vector<std::string> games = {"YouShallNotPass", "KickAndDefend"};
+  std::vector<core::AttackPlan> plans;
+  for (const auto& game : games)
     for (const double xi : xis) {
       core::AttackPlan plan;
       plan.env_name = game;
       plan.attack = AttackKind::ImapPC;
       plan.bias_reduction = true;
       plan.xi = xi;
-      std::cerr << "  running " << game << " xi=" << xi << "...\n";
-      const auto outcome = runner.run(plan);
+      plans.push_back(plan);
+    }
+  bench::GridRunner grid(runner, "bench_fig7");
+  const auto outcomes = grid.run_plans(plans);
+
+  std::size_t cell = 0;
+  for (const auto& game : games) {
+    std::cout << "== " << game << " (IMAP-PC+BR, sweeping xi) ==\n";
+    for (const double xi : xis) {
+      const auto& outcome = outcomes[cell++];
       std::cout << "  xi=" << xi
                 << ": ASR=" << Table::num(100 * outcome.asr(), 2) << "%\n";
       table.add_row(
@@ -37,6 +47,7 @@ int main() {
   }
 
   std::cout << "\n" << table.to_string();
+  grid.write_report();
   table.save_csv("fig7.csv");
   std::cout << "CSV written to fig7.csv (paper Fig. 7: robust to xi)\n";
   return 0;

@@ -1,9 +1,21 @@
 // Micro-benchmarks of the RL substrate: environment stepping and PPO
 // training throughput — the cost model behind the bench budgets.
+//
+// The custom main() first runs a parallel-speedup probe: the same PPO
+// configuration (4 rollout workers, auto gradient shards) timed once pinned
+// serial (ScopedSerial) and once on a dedicated 4-thread pool (ScopedPool),
+// verifying the traces match bit-for-bit and recording the timings in
+// BENCH_parallel.json. The google-benchmark suites then run as usual.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "common/thread_pool.h"
 #include "env/registry.h"
+#include "grid_runner.h"
 #include "rl/ppo.h"
 
 using namespace imap;
@@ -49,4 +61,84 @@ void BM_PpoIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_PpoIteration)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+// Parallel PPO iteration: 4 rollout workers + auto gradient shards on the
+// process pool (serial unless IMAP_THREADS / the core count allows more).
+void BM_PpoIterationParallel(benchmark::State& state) {
+  auto env = env::make_env("Hopper");
+  rl::PpoOptions opts;
+  opts.steps_per_iter = static_cast<int>(state.range(0));
+  opts.num_workers = 4;
+  opts.grad_shards = 0;  // auto from minibatch
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  for (auto _ : state) {
+    auto stats = trainer.iterate();
+    benchmark::DoNotOptimize(stats.mean_return);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PpoIterationParallel)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+/// Run `iters` PPO iterations with the parallel options; returns (seconds,
+/// final mean_return) so the serial/pool traces can be compared.
+std::pair<double, double> probe_run(int iters) {
+  auto env = env::make_env("Hopper");
+  rl::PpoOptions opts;
+  opts.steps_per_iter = 2048;
+  opts.num_workers = 4;
+  opts.grad_shards = 0;
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  const auto t0 = std::chrono::steady_clock::now();
+  double last = 0.0;
+  for (int i = 0; i < iters; ++i) last = trainer.iterate().mean_return;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return {secs, last};
+}
+
+void speedup_probe() {
+  constexpr int kIters = 3;
+  double serial_s = 0.0, pool_s = 0.0, serial_ret = 0.0, pool_ret = 0.0;
+  {
+    ScopedSerial serial;
+    std::tie(serial_s, serial_ret) = probe_run(kIters);
+  }
+  {
+    ThreadPool pool(4);
+    ScopedPool scope(pool);
+    std::tie(pool_s, pool_ret) = probe_run(kIters);
+  }
+  const double speedup = pool_s > 0.0 ? serial_s / pool_s : 1.0;
+  const bool identical = serial_ret == pool_ret;
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"iters\": " << kIters << ", \"steps_per_iter\": 2048"
+     << ", \"workers\": 4, \"serial_s\": " << serial_s
+     << ", \"pool4_s\": " << pool_s << ", \"speedup\": " << speedup
+     << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ", \"traces_identical\": " << (identical ? "true" : "false") << "}";
+  bench::write_parallel_report_entry("bench_micro_ppo", os.str());
+  std::cerr << "bench_micro_ppo speedup probe: serial " << serial_s
+            << "s vs 4-thread pool " << pool_s << "s (" << speedup
+            << "x on " << std::thread::hardware_concurrency()
+            << " hardware threads); traces "
+            << (identical ? "identical" : "DIVERGED")
+            << " -> BENCH_parallel.json\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  speedup_probe();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "env/registry.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -43,23 +44,33 @@ int main() {
   Table table({"Env", "Victim", "No Attack", "Random", "SA-RL", "IMAP-SC",
                "IMAP-PC", "IMAP-R", "IMAP-D"});
 
+  // The whole grid is enumerable up front; the cells are independent, so
+  // run them through the parallel grid harness and format afterwards.
+  std::vector<core::AttackPlan> plans;
+  for (const auto& env : kEnvs)
+    for (const auto& victim : victims_for(env))
+      for (const auto attack : kAttacks) {
+        core::AttackPlan plan;
+        plan.env_name = env;
+        plan.defense = victim;
+        plan.attack = attack;
+        plans.push_back(plan);
+      }
+  bench::GridRunner grid(runner, "bench_table1");
+  const auto outcomes = grid.run_plans(plans);
+
   // mean_of[env][victim][attack] = mean reward.
   std::map<std::string, std::map<std::string, std::map<std::string, double>>>
       mean_of;
 
+  std::size_t cell = 0;
   for (const auto& env : kEnvs) {
     std::map<std::string, double> column_sum;
     const auto victims = victims_for(env);
     for (const auto& victim : victims) {
       std::vector<std::string> row{env, victim};
       for (const auto attack : kAttacks) {
-        core::AttackPlan plan;
-        plan.env_name = env;
-        plan.defense = victim;
-        plan.attack = attack;
-        std::cerr << "  running " << env << " / " << victim << " / "
-                  << core::to_string(attack) << "...\n";
-        const auto outcome = runner.run(plan);
+        const auto& outcome = outcomes[cell++];
         row.push_back(Table::pm(outcome.victim_eval.returns.mean,
                                 outcome.victim_eval.returns.stddev));
         mean_of[env][victim][core::to_string(attack)] =
@@ -75,6 +86,7 @@ int main() {
           column_sum[core::to_string(attack)] / victims.size(), 0));
     table.add_row(std::move(avg));
   }
+  grid.write_report();
 
   std::cout << "Table 1 — dense-reward tasks: victim episode rewards under "
                "attack (mean ± std)\n\n";

@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -30,26 +31,35 @@ int main() {
   const std::vector<AttackKind> plain = {AttackKind::None, AttackKind::Random,
                                          AttackKind::SaRl};
 
+  // Per env: 3 plain, 4 IMAP, 4 IMAP+BR cells, in column order.
+  std::vector<core::AttackPlan> plans;
   for (const auto& env : kEnvs) {
-    std::vector<std::string> row{env};
-    auto run_cell = [&](AttackKind attack, bool br) {
+    auto add_cell = [&](AttackKind attack, bool br) {
       core::AttackPlan plan;
       plan.env_name = env;
       plan.attack = attack;
       plan.bias_reduction = br;
-      std::cerr << "  running " << env << " / " << core::to_string(attack)
-                << (br ? "+BR" : "") << "...\n";
-      return runner.run(plan);
+      plans.push_back(plan);
     };
+    for (const auto attack : plain) add_cell(attack, false);
+    for (const auto attack : core::imap_attacks()) add_cell(attack, false);
+    for (const auto attack : core::imap_attacks()) add_cell(attack, true);
+  }
+  bench::GridRunner grid(runner, "bench_table2");
+  const auto outcomes = grid.run_plans(plans);
+
+  std::size_t cell = 0;
+  for (const auto& env : kEnvs) {
+    std::vector<std::string> row{env};
 
     for (const auto attack : plain) {
-      const auto outcome = run_cell(attack, false);
+      const auto& outcome = outcomes[cell++];
       row.push_back(Table::pm(outcome.victim_eval.returns.mean,
                               outcome.victim_eval.returns.stddev, 2));
       column_sum[core::to_string(attack)] += outcome.victim_eval.returns.mean;
     }
     for (const auto attack : core::imap_attacks()) {
-      const auto outcome = run_cell(attack, false);
+      const auto& outcome = outcomes[cell++];
       row.push_back(Table::pm(outcome.victim_eval.returns.mean,
                               outcome.victim_eval.returns.stddev, 2));
       column_sum[core::to_string(attack)] += outcome.victim_eval.returns.mean;
@@ -58,7 +68,7 @@ int main() {
     double best = 1e18, best_std = 0.0;
     std::string best_name;
     for (const auto attack : core::imap_attacks()) {
-      const auto outcome = run_cell(attack, true);
+      const auto& outcome = outcomes[cell++];
       if (outcome.victim_eval.returns.mean < best) {
         best = outcome.victim_eval.returns.mean;
         best_std = outcome.victim_eval.returns.stddev;
@@ -69,6 +79,7 @@ int main() {
     column_sum["IMAP+BR"] += best;
     table.add_row(std::move(row));
   }
+  grid.write_report();
 
   std::vector<std::string> avg{"Average"};
   for (const std::string col : {"No Attack", "Random", "SA-RL", "IMAP-SC",

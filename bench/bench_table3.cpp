@@ -6,6 +6,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "grid_runner.h"
 
 using namespace imap;
 using core::AttackKind;
@@ -24,36 +25,46 @@ int main() {
   Table table({"Env", "SA-RL", "IMAP-SC", "IMAP-PC", "IMAP-R", "IMAP-D",
                "IMAP-SC+BR", "IMAP-PC+BR", "IMAP-R+BR", "IMAP-D+BR"});
 
-  int br_improves = 0, br_cells = 0;
+  // Per env: SA-RL, 4 IMAP, 4 IMAP+BR cells, in column order.
+  std::vector<core::AttackPlan> plans;
   for (const auto& env : kEnvs) {
-    std::vector<std::string> row{env};
-    auto cell = [&](AttackKind attack, bool br) {
+    auto add_cell = [&](AttackKind attack, bool br) {
       core::AttackPlan plan;
       plan.env_name = env;
       plan.attack = attack;
       plan.bias_reduction = br;
-      std::cerr << "  running " << env << " / " << core::to_string(attack)
-                << (br ? "+BR" : "") << "...\n";
-      return runner.run(plan).victim_eval.returns;
+      plans.push_back(plan);
     };
+    add_cell(AttackKind::SaRl, false);
+    for (const auto attack : core::imap_attacks()) add_cell(attack, false);
+    for (const auto attack : core::imap_attacks()) add_cell(attack, true);
+  }
+  bench::GridRunner grid(runner, "bench_table3");
+  const auto outcomes = grid.run_plans(plans);
 
-    row.push_back(Table::pm(cell(AttackKind::SaRl, false).mean,
-                            cell(AttackKind::SaRl, false).stddev, 2));
+  int br_improves = 0, br_cells = 0;
+  std::size_t cell = 0;
+  for (const auto& env : kEnvs) {
+    std::vector<std::string> row{env};
+
+    const auto& sarl = outcomes[cell++].victim_eval.returns;
+    row.push_back(Table::pm(sarl.mean, sarl.stddev, 2));
     std::vector<double> plain_means;
-    for (const auto attack : core::imap_attacks()) {
-      const auto r = cell(attack, false);
+    for (std::size_t i = 0; i < core::imap_attacks().size(); ++i) {
+      const auto& r = outcomes[cell++].victim_eval.returns;
       plain_means.push_back(r.mean);
       row.push_back(Table::pm(r.mean, r.stddev, 2));
     }
     std::size_t i = 0;
-    for (const auto attack : core::imap_attacks()) {
-      const auto r = cell(attack, true);
+    for (std::size_t j = 0; j < core::imap_attacks().size(); ++j) {
+      const auto& r = outcomes[cell++].victim_eval.returns;
       row.push_back(Table::pm(r.mean, r.stddev, 2));
       ++br_cells;
       if (r.mean < plain_means[i++] - 1e-9) ++br_improves;
     }
     table.add_row(std::move(row));
   }
+  grid.write_report();
 
   std::cout << "Table 3 — sparse-reward tasks: the full IMAP / IMAP+BR grid\n\n";
   std::cout << table.to_string() << "\n";

@@ -3,16 +3,51 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace imap::core {
+
+namespace {
+
+/// Rows scanned per parallel chunk; below one chunk the scan stays serial.
+constexpr std::size_t kParallelRowChunk = 512;
+
+constexpr std::size_t kMaxK = 16;
+
+/// Scan rows [rb, re) and fold their squared distances to `s` into the
+/// sorted top-k buffer `best` (ascending, size k).
+void scan_rows(const double* data, std::size_t dim, std::size_t rb,
+               std::size_t re, const double* s, std::size_t k, double* best) {
+  for (std::size_t r = rb; r < re; ++r) {
+    const double* row = data + r * dim;
+    double sq = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double d = row[c] - s[c];
+      sq += d * d;
+    }
+    if (sq < best[k - 1]) {
+      // Insertion into the sorted top-k.
+      std::size_t pos = k - 1;
+      while (pos > 0 && best[pos - 1] > sq) {
+        best[pos] = best[pos - 1];
+        --pos;
+      }
+      best[pos] = sq;
+    }
+  }
+}
+
+}  // namespace
 
 KnnBuffer::KnnBuffer(std::size_t dim, std::size_t capacity, std::size_t k,
                      Rng rng)
     : dim_(dim), capacity_(capacity), k_(k), rng_(rng) {
   IMAP_CHECK(dim_ > 0);
   IMAP_CHECK(capacity_ >= k_ && k_ >= 1);
+  IMAP_CHECK(k_ <= kMaxK);
   data_.reserve(capacity_ * dim_);
 }
 
@@ -35,24 +70,39 @@ void KnnBuffer::add(const std::vector<double>& s) {
   add(s.data());
 }
 
-double KnnBuffer::knn_distance(const double* s) const {
+double KnnBuffer::knn_distance_sq(const double* s) const {
   if (size_ < k_) return std::numeric_limits<double>::infinity();
-  // Track the k smallest squared distances with a tiny insertion buffer —
-  // k is small (≤ 8), so this beats a heap or nth_element.
-  constexpr std::size_t kMaxK = 16;
-  IMAP_CHECK(k_ <= kMaxK);
+
+  if (size_ < 2 * kParallelRowChunk || effective_concurrency() <= 1) {
+    double best[kMaxK];
+    std::fill(best, best + k_, std::numeric_limits<double>::infinity());
+    scan_rows(data_.data(), dim_, 0, size_, s, k_, best);
+    return best[k_ - 1];
+  }
+
+  // Parallel scan: each chunk keeps its own exact top-k over its row range,
+  // then the per-chunk lists are merged. The global k-th smallest distance
+  // is exact regardless of how the rows were partitioned, so the result is
+  // identical to the serial scan (and to any thread count).
+  const std::size_t nchunks = (size_ + kParallelRowChunk - 1) /
+                              kParallelRowChunk;
+  std::vector<double> chunk_best(nchunks * k_,
+                                 std::numeric_limits<double>::infinity());
+  parallel_for(
+      nchunks,
+      [&](std::size_t i) {
+        const std::size_t rb = i * size_ / nchunks;
+        const std::size_t re = (i + 1) * size_ / nchunks;
+        scan_rows(data_.data(), dim_, rb, re, s, k_,
+                  chunk_best.data() + i * k_);
+      },
+      /*grain=*/1);
+
   double best[kMaxK];
   std::fill(best, best + k_, std::numeric_limits<double>::infinity());
-
-  for (std::size_t r = 0; r < size_; ++r) {
-    const double* row = data_.data() + r * dim_;
-    double sq = 0.0;
-    for (std::size_t c = 0; c < dim_; ++c) {
-      const double d = row[c] - s[c];
-      sq += d * d;
-    }
+  for (std::size_t i = 0; i < nchunks * k_; ++i) {
+    const double sq = chunk_best[i];
     if (sq < best[k_ - 1]) {
-      // Insertion into the sorted top-k.
       std::size_t pos = k_ - 1;
       while (pos > 0 && best[pos - 1] > sq) {
         best[pos] = best[pos - 1];
@@ -61,7 +111,11 @@ double KnnBuffer::knn_distance(const double* s) const {
       best[pos] = sq;
     }
   }
-  return std::sqrt(best[k_ - 1]);
+  return best[k_ - 1];
+}
+
+double KnnBuffer::knn_distance(const double* s) const {
+  return std::sqrt(knn_distance_sq(s));
 }
 
 double KnnBuffer::knn_distance(const std::vector<double>& s) const {
@@ -69,10 +123,16 @@ double KnnBuffer::knn_distance(const std::vector<double>& s) const {
   return knn_distance(s.data());
 }
 
+double KnnBuffer::knn_distance_sq(const std::vector<double>& s) const {
+  IMAP_CHECK(s.size() == dim_);
+  return knn_distance_sq(s.data());
+}
+
 double KnnBuffer::density(const std::vector<double>& s) const {
-  const double d = knn_distance(s);
-  if (!std::isfinite(d)) return 0.0;
-  return 1.0 / (d + 1e-6);
+  const double sq = knn_distance_sq(s);
+  if (!std::isfinite(sq)) return 0.0;
+  // One scalar sqrt per query; the row scan itself stays sqrt-free.
+  return 1.0 / (std::sqrt(sq) + 1e-6);
 }
 
 void KnnBuffer::clear() {

@@ -23,9 +23,17 @@ class KnnBuffer {
   void add(const std::vector<double>& s);
 
   /// Euclidean distance from `s` to its k-th nearest stored neighbour.
-  /// Returns +inf when fewer than k states are stored.
+  /// Returns +inf when fewer than k states are stored. Large buffers are
+  /// scanned in parallel chunks with an exact per-chunk top-k merge, so the
+  /// result is identical to the serial scan for any thread count.
   double knn_distance(const double* s) const;
   double knn_distance(const std::vector<double>& s) const;
+
+  /// Squared k-th-neighbour distance — the sqrt-free inner kernel behind
+  /// knn_distance(); preferred where the caller applies its own transform
+  /// (density() uses this to keep the row scan sqrt-free).
+  double knn_distance_sq(const double* s) const;
+  double knn_distance_sq(const std::vector<double>& s) const;
 
   /// KNN density estimate 1 / (knn_distance + eps); 0 when under-filled.
   double density(const std::vector<double>& s) const;

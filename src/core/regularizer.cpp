@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace imap::core {
 
@@ -48,10 +49,13 @@ void add_sc_term(rl::RolloutBuffer& buf, const ObsSlice& slice, double weight,
     proj[i] = slice.project(buf.obs[i]);
     dk.add(proj[i]);
   }
-  for (std::size_t i = 0; i < buf.size(); ++i) {
-    const double dist = dk.knn_distance(proj[i]);
-    buf.rew_i[i] += weight * finite_or_zero(std::log1p(dist));
-  }
+  // Queries are independent and each writes only its own rew_i slot.
+  parallel_for_chunked(buf.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double dist = dk.knn_distance(proj[i]);
+      buf.rew_i[i] += weight * finite_or_zero(std::log1p(dist));
+    }
+  });
 }
 
 class ScRegularizer final : public AdversarialRegularizer {
@@ -101,18 +105,22 @@ class PcMarginal {
       proj[i] = slice_.project(buf.obs[i]);
       dk.add(proj[i]);
     }
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-      const double dist_dk = dk.knn_distance(proj[i]);
-      // ∇ of Σ√(d/ρ) with d ≈ 1/dist_{D_k}, ρ ≈ 1/dist_B gives a bonus
-      // ∝ √(dist_{D_k} · dist_B): large where BOTH the fresh policy and the
-      // whole explored region ρ^α are thin — novelty beyond the frontier.
-      const double dist_b = union_buffer_.size() >= k_
-                                ? union_buffer_.knn_distance(proj[i])
-                                : dist_dk;
-      buf.rew_i[i] += weight * finite_or_zero(
-                                   std::sqrt(std::max(0.0, dist_dk) *
-                                             std::max(0.0, dist_b)));
-    }
+    // Queries are independent and each writes only its own rew_i slot; the
+    // union buffer is read-only until the fold below.
+    parallel_for_chunked(buf.size(), 0, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const double dist_dk = dk.knn_distance(proj[i]);
+        // ∇ of Σ√(d/ρ) with d ≈ 1/dist_{D_k}, ρ ≈ 1/dist_B gives a bonus
+        // ∝ √(dist_{D_k} · dist_B): large where BOTH the fresh policy and the
+        // whole explored region ρ^α are thin — novelty beyond the frontier.
+        const double dist_b = union_buffer_.size() >= k_
+                                  ? union_buffer_.knn_distance(proj[i])
+                                  : dist_dk;
+        buf.rew_i[i] += weight * finite_or_zero(
+                                     std::sqrt(std::max(0.0, dist_dk) *
+                                               std::max(0.0, dist_b)));
+      }
+    });
     // Only now fold the fresh trajectories into B (they represent π_k).
     for (std::size_t i = 0; i < buf.size(); ++i) union_buffer_.add(proj[i]);
   }

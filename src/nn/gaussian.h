@@ -77,6 +77,9 @@ class GaussianPolicy {
   std::vector<double> flat_params() const;
   void set_flat_params(const std::vector<double>& p);
   std::vector<double> flat_grads() const;
+  /// Add a flat gradient vector (same layout as flat_grads) into the
+  /// gradient buffers — used to fold sharded accumulators back in.
+  void accumulate_flat_grads(const std::vector<double>& g);
   void zero_grad();
 
   /// Keep the exploration noise in a sane range after optimiser steps.

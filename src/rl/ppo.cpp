@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace imap::rl {
 
@@ -28,6 +29,8 @@ PpoTrainer::PpoTrainer(const Env& proto, PpoOptions opts, Rng rng)
                    {.lr = opts.lr, .max_grad_norm = opts.max_grad_norm}) {
   IMAP_CHECK(opts_.steps_per_iter > 0);
   IMAP_CHECK(opts_.minibatch > 0);
+  IMAP_CHECK(opts_.num_workers >= 1);
+  IMAP_CHECK(opts_.grad_shards >= 0);
 }
 
 void PpoTrainer::set_env(const Env& proto) {
@@ -35,11 +38,108 @@ void PpoTrainer::set_env(const Env& proto) {
   IMAP_CHECK(proto.act_dim() == env_->act_dim());
   env_ = proto.clone();
   need_reset_ = true;
+  for (auto& w : workers_) {
+    w.env = proto.clone();
+    w.need_reset = true;
+  }
+}
+
+void PpoTrainer::ensure_workers() {
+  if (workers_.size() == static_cast<std::size_t>(opts_.num_workers)) return;
+  workers_.clear();
+  workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    RolloutWorker rw;
+    rw.env = env_->clone();
+    // Independent child stream per worker, derived from the trainer seed —
+    // the trace depends on K but never on the thread count.
+    rw.rng = rng_.split(0x6b1dc0deULL + static_cast<std::uint64_t>(w));
+    workers_.push_back(std::move(rw));
+  }
+}
+
+void PpoTrainer::collect_worker(RolloutWorker& w, int steps) {
+  w.buf.clear();
+  w.buf.reserve(static_cast<std::size_t>(steps));
+  w.buf.reserve_step(w.env->obs_dim(), w.env->act_dim());
+  w.ep_successes = 0;
+
+  if (w.need_reset) {
+    w.cur_obs = w.env->reset(w.rng);
+    w.ep_return = w.ep_surrogate = 0.0;
+    w.ep_len = 0;
+    w.need_reset = false;
+  }
+
+  for (int t = 0; t < steps; ++t) {
+    auto action = policy_->act(w.cur_obs, w.rng);
+    const double lp = policy_->log_prob(w.cur_obs, action);
+    const double ve = value_e_->value(w.cur_obs);
+    StepResult sr = w.env->step(w.env->action_space().clamp(action));
+
+    w.buf.add(w.cur_obs, action, lp, sr.reward, ve);
+    w.ep_return += sr.reward;
+    w.ep_surrogate += sr.surrogate;
+    ++w.ep_len;
+
+    const bool boundary = sr.done || sr.truncated;
+    if (boundary) {
+      w.buf.done.back() = sr.done ? 1 : 0;
+      w.buf.boundary.back() = 1;
+      w.buf.last_val_e.push_back(sr.done ? 0.0 : value_e_->value(sr.obs));
+      w.buf.last_val_i.push_back(sr.done ? 0.0 : value_i_->value(sr.obs));
+      w.buf.episode_returns.push_back(w.ep_return);
+      w.buf.episode_surrogate.push_back(w.ep_surrogate);
+      w.buf.episode_lengths.push_back(w.ep_len);
+      if (sr.task_completed) ++w.ep_successes;
+      w.cur_obs = w.env->reset(w.rng);
+      w.ep_return = w.ep_surrogate = 0.0;
+      w.ep_len = 0;
+    } else {
+      w.cur_obs = sr.obs;
+    }
+  }
+
+  if (!w.buf.boundary.back()) {
+    w.buf.boundary.back() = 1;
+    w.buf.last_val_e.push_back(value_e_->value(w.cur_obs));
+    w.buf.last_val_i.push_back(value_i_->value(w.cur_obs));
+  }
 }
 
 void PpoTrainer::collect(RolloutBuffer& buf) {
+  if (opts_.num_workers <= 1) {
+    collect_serial(buf);
+    return;
+  }
+  ensure_workers();
+  const int k = opts_.num_workers;
+  std::vector<int> budget(static_cast<std::size_t>(k),
+                          opts_.steps_per_iter / k);
+  for (int w = 0; w < opts_.steps_per_iter % k; ++w) ++budget[w];
+
+  // Workers touch disjoint state (own env, rng, buffer); the policy and
+  // value nets are read-only during sampling.
+  parallel_for(
+      static_cast<std::size_t>(k),
+      [&](std::size_t w) { collect_worker(workers_[w], budget[w]); },
+      /*grain=*/1);
+
   buf.clear();
   buf.reserve(static_cast<std::size_t>(opts_.steps_per_iter));
+  buf.reserve_step(env_->obs_dim(), env_->act_dim());
+  ep_successes_ = 0;
+  for (auto& w : workers_) {
+    buf.append(w.buf);
+    ep_successes_ += w.ep_successes;
+  }
+  steps_done_ += opts_.steps_per_iter;
+}
+
+void PpoTrainer::collect_serial(RolloutBuffer& buf) {
+  buf.clear();
+  buf.reserve(static_cast<std::size_t>(opts_.steps_per_iter));
+  buf.reserve_step(env_->obs_dim(), env_->act_dim());
   ep_successes_ = 0;
 
   if (need_reset_) {
@@ -55,7 +155,7 @@ void PpoTrainer::collect(RolloutBuffer& buf) {
     const double ve = value_e_->value(cur_obs_);
     StepResult sr = env_->step(env_->action_space().clamp(action));
 
-    buf.add(cur_obs_, std::move(action), lp, sr.reward, ve);
+    buf.add(cur_obs_, action, lp, sr.reward, ve);
     ep_return_ += sr.reward;
     ep_surrogate_ += sr.surrogate;
     ++ep_len_;
@@ -88,14 +188,95 @@ void PpoTrainer::collect(RolloutBuffer& buf) {
   steps_done_ += opts_.steps_per_iter;
 }
 
+int PpoTrainer::shard_count() const {
+  if (opts_.grad_shards > 0) return opts_.grad_shards;
+  // Auto: one shard per ~16 samples, capped — derived from the minibatch
+  // option only, never from the thread count (determinism contract).
+  return std::clamp(opts_.minibatch / 16, 1, 16);
+}
+
+void PpoTrainer::ensure_shards(int n_shards) {
+  if (shards_.size() == static_cast<std::size_t>(n_shards)) return;
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s)
+    shards_.push_back(ShardScratch{*policy_, *value_e_, *value_i_, {}, {}});
+}
+
+PpoTrainer::BatchPartial PpoTrainer::process_range(
+    nn::GaussianPolicy& pol, nn::ValueNet& ve, nn::ValueNet* vi,
+    const RolloutBuffer& buf, const std::vector<std::size_t>& order,
+    std::size_t b, std::size_t e, const std::vector<double>& adv,
+    const GaeResult& gae_e, const GaeResult* gae_i, double inv_bs) const {
+  BatchPartial out;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::size_t idx = order[i];
+    nn::Mlp::Tape tape;
+    pol.mean_tape(buf.obs[idx], tape);
+    const double lp_new = nn::diag_gaussian::log_prob(
+        buf.act[idx], tape.post.back(), pol.log_std());
+    const double ratio = std::exp(lp_new - buf.logp[idx]);
+    const double a = adv[idx];
+
+    // Clipped surrogate (Eq. 1): gradient flows only through the
+    // unclipped branch when it is the active minimum.
+    const bool active =
+        (a >= 0.0) ? (ratio < 1.0 + opts_.clip) : (ratio > 1.0 - opts_.clip);
+    if (active) {
+      const double coeff = -a * ratio * inv_bs;  // dL/dlogπ
+      pol.backward_logp(tape, buf.act[idx], coeff);
+    }
+    out.pol_loss += -std::min(ratio * a,
+                              std::clamp(ratio, 1.0 - opts_.clip,
+                                         1.0 + opts_.clip) *
+                                  a);
+    out.kl += buf.logp[idx] - lp_new;
+    ++out.samples;
+
+    // Extrinsic critic regression.
+    nn::Mlp::Tape vtape;
+    const double v = ve.value_tape(buf.obs[idx], vtape);
+    const double verr = v - gae_e.returns[idx];
+    ve.backward(vtape, opts_.vf_coef * verr * inv_bs);
+    out.val_loss += 0.5 * verr * verr;
+
+    if (vi) {
+      nn::Mlp::Tape vitape;
+      const double viv = vi->value_tape(buf.obs[idx], vitape);
+      const double vierr = viv - gae_i->returns[idx];
+      vi->backward(vitape, opts_.vf_coef * vierr * inv_bs);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// In-place pairwise tree reduction of per-shard vectors, in a fixed order
+/// that depends only on the shard count: identical for any thread count.
+template <class Get>
+void tree_reduce(std::size_t n_shards, const Get& vec_of) {
+  for (std::size_t stride = 1; stride < n_shards; stride <<= 1) {
+    for (std::size_t i = 0; i + stride < n_shards; i += 2 * stride) {
+      auto& dst = vec_of(i);
+      const auto& src = vec_of(i + stride);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    }
+  }
+}
+
+}  // namespace
+
 void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
   const std::size_t n = buf.size();
 
   // Intrinsic values are only needed when the bonus channel is active.
   const bool use_intrinsic = intrinsic_ != nullptr;
   if (use_intrinsic) {
-    for (std::size_t i = 0; i < n; ++i)
-      buf.val_i[i] = value_i_->value(buf.obs[i]);
+    parallel_for_chunked(n, 0, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i)
+        buf.val_i[i] = value_i_->value(buf.obs[i]);
+    });
   }
 
   auto gae_e = compute_gae(buf.rew_e, buf.val_e, buf.done, buf.boundary,
@@ -119,6 +300,9 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
+  const int n_shards = shard_count();
+  if (n_shards > 1) ensure_shards(n_shards);
+
   double pol_loss_acc = 0.0, val_loss_acc = 0.0, kl_acc = 0.0;
   std::size_t loss_count = 0;
 
@@ -137,55 +321,88 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
          start += static_cast<std::size_t>(opts_.minibatch)) {
       const std::size_t end =
           std::min(n, start + static_cast<std::size_t>(opts_.minibatch));
-      const std::vector<std::size_t> batch(order.begin() + start,
-                                           order.begin() + end);
-      const double inv_bs = 1.0 / static_cast<double>(batch.size());
+      const std::size_t bs = end - start;
+      const double inv_bs = 1.0 / static_cast<double>(bs);
 
-      policy_->zero_grad();
-      value_e_->zero_grad();
-      if (use_intrinsic) value_i_->zero_grad();
+      if (n_shards <= 1) {
+        // Legacy serial accumulation on the master networks.
+        policy_->zero_grad();
+        value_e_->zero_grad();
+        if (use_intrinsic) value_i_->zero_grad();
+        const BatchPartial p = process_range(
+            *policy_, *value_e_, use_intrinsic ? value_i_.get() : nullptr,
+            buf, order, start, end, adv, gae_e,
+            use_intrinsic ? &gae_i : nullptr, inv_bs);
+        pol_loss_acc += p.pol_loss;
+        val_loss_acc += p.val_loss;
+        epoch_kl += p.kl;
+        epoch_samples += p.samples;
+        loss_count += p.samples;
+      } else {
+        // Sharded accumulation: shard s owns batch slice
+        // [s·bs/S, (s+1)·bs/S) and its own gradient buffers; shard buffers
+        // are then tree-reduced in a fixed order. The slice map and the
+        // reduction tree depend only on (bs, S) — never the thread count.
+        const auto master_params = policy_->flat_params();
+        parallel_for(
+            static_cast<std::size_t>(n_shards),
+            [&](std::size_t s) {
+              auto& sh = shards_[s];
+              sh.policy.set_flat_params(master_params);
+              sh.policy.zero_grad();
+              sh.value_e.net().params() = value_e_->net().params();
+              sh.value_e.zero_grad();
+              if (use_intrinsic) {
+                sh.value_i.net().params() = value_i_->net().params();
+                sh.value_i.zero_grad();
+              }
+              const std::size_t sb =
+                  start + s * bs / static_cast<std::size_t>(n_shards);
+              const std::size_t se =
+                  start + (s + 1) * bs / static_cast<std::size_t>(n_shards);
+              sh.partial = process_range(
+                  sh.policy, sh.value_e,
+                  use_intrinsic ? &sh.value_i : nullptr, buf, order, sb, se,
+                  adv, gae_e, use_intrinsic ? &gae_i : nullptr, inv_bs);
+              sh.pol_grads = sh.policy.flat_grads();
+            },
+            /*grain=*/1);
 
-      for (const auto idx : batch) {
-        nn::Mlp::Tape tape;
-        policy_->mean_tape(buf.obs[idx], tape);
-        const double lp_new = nn::diag_gaussian::log_prob(
-            buf.act[idx], tape.post.back(), policy_->log_std());
-        const double ratio = std::exp(lp_new - buf.logp[idx]);
-        const double a = adv[idx];
+        const auto ns = static_cast<std::size_t>(n_shards);
+        tree_reduce(ns, [&](std::size_t i) -> std::vector<double>& {
+          return shards_[i].pol_grads;
+        });
+        tree_reduce(ns, [&](std::size_t i) -> std::vector<double>& {
+          return shards_[i].value_e.grads();
+        });
+        if (use_intrinsic)
+          tree_reduce(ns, [&](std::size_t i) -> std::vector<double>& {
+            return shards_[i].value_i.grads();
+          });
 
-        // Clipped surrogate (Eq. 1): gradient flows only through the
-        // unclipped branch when it is the active minimum.
-        const bool active =
-            (a >= 0.0) ? (ratio < 1.0 + opts_.clip) : (ratio > 1.0 - opts_.clip);
-        if (active) {
-          const double coeff = -a * ratio * inv_bs;  // dL/dlogπ
-          policy_->backward_logp(tape, buf.act[idx], coeff);
-        }
-        pol_loss_acc += -std::min(ratio * a,
-                                  std::clamp(ratio, 1.0 - opts_.clip,
-                                             1.0 + opts_.clip) *
-                                      a);
-        epoch_kl += buf.logp[idx] - lp_new;
-        ++epoch_samples;
-
-        // Extrinsic critic regression.
-        nn::Mlp::Tape vtape;
-        const double v = value_e_->value_tape(buf.obs[idx], vtape);
-        const double verr = v - gae_e.returns[idx];
-        value_e_->backward(vtape, opts_.vf_coef * verr * inv_bs);
-        val_loss_acc += 0.5 * verr * verr;
-
+        policy_->zero_grad();
+        policy_->accumulate_flat_grads(shards_[0].pol_grads);
+        value_e_->zero_grad();
+        value_e_->grads() = shards_[0].value_e.grads();
         if (use_intrinsic) {
-          nn::Mlp::Tape vitape;
-          const double vi = value_i_->value_tape(buf.obs[idx], vitape);
-          const double vierr = vi - gae_i.returns[idx];
-          value_i_->backward(vitape, opts_.vf_coef * vierr * inv_bs);
+          value_i_->zero_grad();
+          value_i_->grads() = shards_[0].value_i.grads();
         }
-        ++loss_count;
+        for (const auto& sh : shards_) {
+          pol_loss_acc += sh.partial.pol_loss;
+          val_loss_acc += sh.partial.val_loss;
+          epoch_kl += sh.partial.kl;
+          epoch_samples += sh.partial.samples;
+          loss_count += sh.partial.samples;
+        }
       }
 
       if (opts_.ent_coef > 0.0) policy_->backward_entropy(-opts_.ent_coef);
-      if (reg_) reg_(*policy_, buf, batch);
+      if (reg_) {
+        const std::vector<std::size_t> batch(order.begin() + start,
+                                             order.begin() + end);
+        reg_(*policy_, buf, batch);
+      }
 
       auto p = policy_->flat_params();
       policy_opt_.step(p, policy_->flat_grads());
@@ -211,26 +428,25 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
 }
 
 IterStats PpoTrainer::iterate() {
-  RolloutBuffer buf;
-  collect(buf);
+  collect(rollout_);
 
   double tau = 0.0;
-  if (intrinsic_) tau = intrinsic_(buf);
+  if (intrinsic_) tau = intrinsic_(rollout_);
 
   IterStats stats;
   stats.iter = iter_++;
   stats.total_steps = steps_done_;
-  stats.mean_return = mean(buf.episode_returns);
-  stats.mean_surrogate = mean(buf.episode_surrogate);
-  stats.episodes = static_cast<int>(buf.episode_returns.size());
+  stats.mean_return = mean(rollout_.episode_returns);
+  stats.mean_surrogate = mean(rollout_.episode_surrogate);
+  stats.episodes = static_cast<int>(rollout_.episode_returns.size());
   stats.success_rate =
       stats.episodes
           ? static_cast<double>(ep_successes_) / stats.episodes
           : 0.0;
-  stats.mean_intrinsic = mean(buf.rew_i);
+  stats.mean_intrinsic = mean(rollout_.rew_i);
   stats.tau = tau;
 
-  update(buf, tau, stats);
+  update(rollout_, tau, stats);
   return stats;
 }
 

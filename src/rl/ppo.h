@@ -26,6 +26,18 @@ struct PpoOptions {
   double init_log_std = -0.5;
   double max_grad_norm = 0.5;
   double target_kl = 0.05;  ///< early-stop the update epochs past this KL
+
+  /// K parallel rollout workers, each with its own env clone, Rng stream
+  /// (split from the trainer seed) and rollout buffer, merged in
+  /// worker-index order. K fixes the numeric trace; the thread count does
+  /// not. K = 1 is the legacy serial path, bit-identical to older builds.
+  int num_workers = 1;
+  /// Gradient-accumulation shards per minibatch: each shard back-propagates
+  /// a fixed contiguous slice of the batch into its own gradient buffer and
+  /// the shard buffers are reduced in a fixed tree order, so the result is
+  /// identical for any thread count. 1 = legacy serial accumulation
+  /// (bit-identical to older builds); 0 = pick from the minibatch size.
+  int grad_shards = 1;
 };
 
 /// Per-iteration diagnostics.
@@ -93,8 +105,55 @@ class PpoTrainer {
   void set_env(const Env& proto);
 
  private:
+  /// One parallel rollout worker's persistent episode state.
+  struct RolloutWorker {
+    std::unique_ptr<Env> env;
+    Rng rng{0};
+    std::vector<double> cur_obs;
+    double ep_return = 0.0;
+    double ep_surrogate = 0.0;
+    int ep_len = 0;
+    bool need_reset = true;
+    int ep_successes = 0;
+    RolloutBuffer buf;
+  };
+
+  /// Partial sums of one contiguous batch slice's losses.
+  struct BatchPartial {
+    double pol_loss = 0.0;
+    double val_loss = 0.0;
+    double kl = 0.0;
+    std::size_t samples = 0;
+  };
+
+  /// One gradient-accumulation shard's scratch networks and outputs.
+  struct ShardScratch {
+    nn::GaussianPolicy policy;
+    nn::ValueNet value_e;
+    nn::ValueNet value_i;
+    std::vector<double> pol_grads;
+    BatchPartial partial;
+  };
+
   void collect(RolloutBuffer& buf);
+  void collect_serial(RolloutBuffer& buf);
+  void collect_worker(RolloutWorker& w, int steps);
+  void ensure_workers();
   void update(RolloutBuffer& buf, double tau, IterStats& stats);
+  int shard_count() const;
+  void ensure_shards(int n_shards);
+
+  /// Accumulate policy/value gradients and loss partials for
+  /// order[b..e) into the given networks. Shared by the serial path
+  /// (master networks) and the sharded path (scratch clones); the math and
+  /// per-sample order are identical in both.
+  BatchPartial process_range(nn::GaussianPolicy& pol, nn::ValueNet& ve,
+                             nn::ValueNet* vi, const RolloutBuffer& buf,
+                             const std::vector<std::size_t>& order,
+                             std::size_t b, std::size_t e,
+                             const std::vector<double>& adv,
+                             const GaeResult& gae_e, const GaeResult* gae_i,
+                             double inv_bs) const;
 
   PpoOptions opts_;
   std::unique_ptr<Env> env_;
@@ -108,12 +167,16 @@ class PpoTrainer {
   IntrinsicHook intrinsic_;
   RegularizerHook reg_;
 
-  // Persistent episode state across iterate() calls.
+  // Persistent episode state across iterate() calls (serial K=1 path).
   std::vector<double> cur_obs_;
   double ep_return_ = 0.0;
   double ep_surrogate_ = 0.0;
   int ep_len_ = 0;
   bool need_reset_ = true;
+
+  std::vector<RolloutWorker> workers_;   ///< K>1 rollout workers
+  std::vector<ShardScratch> shards_;     ///< gradient shards (lazy)
+  RolloutBuffer rollout_;                ///< reused across iterations
 
   long long steps_done_ = 0;
   int iter_ = 0;

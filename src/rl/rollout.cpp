@@ -3,8 +3,8 @@
 namespace imap::rl {
 
 void RolloutBuffer::clear() {
-  obs.clear();
-  act.clear();
+  // obs/act keep their rows (and row capacity); n_ marks the valid prefix.
+  n_ = 0;
   logp.clear();
   rew_e.clear();
   rew_i.clear();
@@ -32,10 +32,25 @@ void RolloutBuffer::reserve(std::size_t n) {
   boundary.reserve(n);
 }
 
-void RolloutBuffer::add(std::vector<double> o, std::vector<double> a,
-                        double lp, double re, double ve) {
-  obs.push_back(std::move(o));
-  act.push_back(std::move(a));
+void RolloutBuffer::reserve_step(std::size_t dim_obs, std::size_t dim_act) {
+  dim_obs_ = dim_obs;
+  dim_act_ = dim_act;
+}
+
+void RolloutBuffer::add(const std::vector<double>& o,
+                        const std::vector<double>& a, double lp, double re,
+                        double ve) {
+  if (n_ == obs.size()) {
+    obs.emplace_back();
+    if (dim_obs_) obs.back().reserve(dim_obs_);
+  }
+  if (n_ == act.size()) {
+    act.emplace_back();
+    if (dim_act_) act.back().reserve(dim_act_);
+  }
+  obs[n_].assign(o.begin(), o.end());
+  act[n_].assign(a.begin(), a.end());
+  ++n_;
   logp.push_back(lp);
   rew_e.push_back(re);
   rew_i.push_back(0.0);
@@ -43,6 +58,28 @@ void RolloutBuffer::add(std::vector<double> o, std::vector<double> a,
   val_i.push_back(0.0);
   done.push_back(0);
   boundary.push_back(0);
+}
+
+void RolloutBuffer::append(const RolloutBuffer& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    add(other.obs[i], other.act[i], other.logp[i], other.rew_e[i],
+        other.val_e[i]);
+    rew_i.back() = other.rew_i[i];
+    val_i.back() = other.val_i[i];
+    done.back() = other.done[i];
+    boundary.back() = other.boundary[i];
+  }
+  last_val_e.insert(last_val_e.end(), other.last_val_e.begin(),
+                    other.last_val_e.end());
+  last_val_i.insert(last_val_i.end(), other.last_val_i.begin(),
+                    other.last_val_i.end());
+  episode_returns.insert(episode_returns.end(), other.episode_returns.begin(),
+                         other.episode_returns.end());
+  episode_surrogate.insert(episode_surrogate.end(),
+                           other.episode_surrogate.begin(),
+                           other.episode_surrogate.end());
+  episode_lengths.insert(episode_lengths.end(), other.episode_lengths.begin(),
+                         other.episode_lengths.end());
 }
 
 }  // namespace imap::rl

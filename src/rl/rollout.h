@@ -9,6 +9,12 @@ namespace imap::rl {
 /// Two reward channels are kept: extrinsic (the adversary's objective,
 /// −r̂_E for attacks; the task reward for victim training) and intrinsic
 /// (the adversarial intrinsic bonus r_I, Eq. 13; zero for plain PPO).
+///
+/// Storage note: `obs`/`act` retain their inner vectors (and their heap
+/// blocks) across clear() and are overwritten in place by add(), so a
+/// trainer that reuses one buffer allocates nothing in the hot rollout loop
+/// after the first iteration. Only the first size() rows are valid — always
+/// bound loops by size(), not by obs.size().
 struct RolloutBuffer {
   std::vector<std::vector<double>> obs;
   std::vector<std::vector<double>> act;
@@ -32,13 +38,28 @@ struct RolloutBuffer {
   std::vector<double> episode_surrogate;   ///< sum of surrogate per episode
   std::vector<int> episode_lengths;
 
-  std::size_t size() const { return obs.size(); }
+  std::size_t size() const { return n_; }
 
   void clear();
   void reserve(std::size_t n);
 
-  void add(std::vector<double> o, std::vector<double> a, double lp, double re,
-           double ve);
+  /// Capacity hint for the per-step obs/act rows: rows created by add() are
+  /// pre-reserved to these dims, cutting per-step allocations in the hot
+  /// rollout loop.
+  void reserve_step(std::size_t dim_obs, std::size_t dim_act);
+
+  void add(const std::vector<double>& o, const std::vector<double>& a,
+           double lp, double re, double ve);
+
+  /// Append another buffer's steps, bootstrap values and episode stats in
+  /// order. Used to merge per-worker rollouts in worker-index order; the
+  /// source must be segment-closed (its last step marked as a boundary).
+  void append(const RolloutBuffer& other);
+
+ private:
+  std::size_t n_ = 0;         ///< valid steps; obs/act may hold spare rows
+  std::size_t dim_obs_ = 0;   ///< reserve_step hints (0 = none)
+  std::size_t dim_act_ = 0;
 };
 
 }  // namespace imap::rl

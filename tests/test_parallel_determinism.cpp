@@ -1,0 +1,155 @@
+// The determinism contract of the parallel execution layer: structural
+// options (worker count K, gradient shards S) fix the numeric trace, the
+// thread count never does. Everything here compares serial execution
+// (ScopedSerial) against a real 4-thread pool (ScopedPool) bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/experiment.h"
+#include "core/knn.h"
+#include "env/registry.h"
+#include "rl/ppo.h"
+
+namespace imap {
+namespace {
+
+std::vector<rl::IterStats> run_trainer(const rl::PpoOptions& opts, int iters,
+                                       std::vector<double>& final_params) {
+  auto env = env::make_env("Hopper");
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  std::vector<rl::IterStats> out;
+  for (int i = 0; i < iters; ++i) out.push_back(trainer.iterate());
+  final_params = trainer.policy().flat_params();
+  return out;
+}
+
+void expect_identical(const std::vector<rl::IterStats>& a,
+                      const std::vector<rl::IterStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mean_return, b[i].mean_return) << "iter " << i;
+    EXPECT_EQ(a[i].mean_surrogate, b[i].mean_surrogate) << "iter " << i;
+    EXPECT_EQ(a[i].episodes, b[i].episodes) << "iter " << i;
+    EXPECT_EQ(a[i].policy_loss, b[i].policy_loss) << "iter " << i;
+    EXPECT_EQ(a[i].value_loss, b[i].value_loss) << "iter " << i;
+    EXPECT_EQ(a[i].approx_kl, b[i].approx_kl) << "iter " << i;
+    EXPECT_EQ(a[i].entropy, b[i].entropy) << "iter " << i;
+  }
+}
+
+TEST(ParallelDeterminism, PpoTraceIdenticalFor1And4Threads) {
+  rl::PpoOptions opts;
+  opts.steps_per_iter = 512;
+  opts.num_workers = 4;
+  opts.grad_shards = 0;  // auto — derived from minibatch, not thread count
+
+  std::vector<double> serial_params, pooled_params;
+  std::vector<rl::IterStats> serial_stats, pooled_stats;
+  {
+    ScopedSerial serial;
+    serial_stats = run_trainer(opts, 3, serial_params);
+  }
+  {
+    ThreadPool pool(4);
+    ScopedPool scope(pool);
+    pooled_stats = run_trainer(opts, 3, pooled_params);
+  }
+  expect_identical(serial_stats, pooled_stats);
+  EXPECT_EQ(serial_params, pooled_params);
+}
+
+TEST(ParallelDeterminism, LegacySerialOptionsUnaffectedByPool) {
+  // num_workers = 1 / grad_shards = 1 is the pre-parallel code path; running
+  // it on a pool must not change a single bit.
+  rl::PpoOptions opts;
+  opts.steps_per_iter = 512;
+
+  std::vector<double> serial_params, pooled_params;
+  std::vector<rl::IterStats> serial_stats, pooled_stats;
+  {
+    ScopedSerial serial;
+    serial_stats = run_trainer(opts, 2, serial_params);
+  }
+  {
+    ThreadPool pool(4);
+    ScopedPool scope(pool);
+    pooled_stats = run_trainer(opts, 2, pooled_params);
+  }
+  expect_identical(serial_stats, pooled_stats);
+  EXPECT_EQ(serial_params, pooled_params);
+}
+
+TEST(ParallelDeterminism, KnnQueriesIdenticalFor1And4Threads) {
+  constexpr std::size_t dim = 8, rows = 3000, k = 3;
+  Rng rng(42);
+  core::KnnBuffer buf(dim, rows, k, rng.split(1));
+  for (std::size_t i = 0; i < rows; ++i) buf.add(rng.normal_vec(dim));
+
+  std::vector<std::vector<double>> queries;
+  for (int q = 0; q < 32; ++q) queries.push_back(rng.normal_vec(dim));
+
+  std::vector<double> serial_d, pooled_d;
+  {
+    ScopedSerial serial;
+    for (const auto& q : queries) serial_d.push_back(buf.knn_distance(q));
+  }
+  {
+    ThreadPool pool(4);
+    ScopedPool scope(pool);
+    for (const auto& q : queries) pooled_d.push_back(buf.knn_distance(q));
+  }
+  EXPECT_EQ(serial_d, pooled_d);
+
+  // The sq path must agree with the public distance exactly.
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(std::sqrt(buf.knn_distance_sq(queries[i])), serial_d[i]);
+}
+
+TEST(ParallelDeterminism, ExperimentCellIdenticalFor1And4Threads) {
+  // One tiny table cell end-to-end (victim training, SA-RL attack, eval),
+  // run from scratch in separate zoo dirs so the result cache cannot mask a
+  // divergence.
+  auto run_cell = [](const std::string& zoo_dir) {
+    std::filesystem::remove_all(zoo_dir);
+    BenchConfig cfg;
+    cfg.zoo_dir = zoo_dir;
+    cfg.scale = 0.01;
+    cfg.seed = 7;
+    core::ExperimentRunner runner(cfg);
+    core::AttackPlan plan;
+    plan.env_name = "FetchReach";
+    plan.attack = core::AttackKind::SaRl;
+    plan.attack_steps = 4096;
+    plan.eval_episodes = 5;
+    const auto out = runner.run(plan);
+    std::filesystem::remove_all(zoo_dir);
+    return out;
+  };
+
+  core::AttackOutcome serial_out, pooled_out;
+  {
+    ScopedSerial serial;
+    serial_out = run_cell("/tmp/imap_test_pdet_serial");
+  }
+  {
+    ThreadPool pool(4);
+    ScopedPool scope(pool);
+    pooled_out = run_cell("/tmp/imap_test_pdet_pool");
+  }
+  EXPECT_EQ(serial_out.victim_eval.episode_returns,
+            pooled_out.victim_eval.episode_returns);
+  EXPECT_EQ(serial_out.victim_eval.returns.mean,
+            pooled_out.victim_eval.returns.mean);
+  ASSERT_EQ(serial_out.curve.size(), pooled_out.curve.size());
+  for (std::size_t i = 0; i < serial_out.curve.size(); ++i)
+    EXPECT_EQ(serial_out.curve[i].victim_success,
+              pooled_out.curve[i].victim_success);
+}
+
+}  // namespace
+}  // namespace imap
