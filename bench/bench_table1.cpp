@@ -82,8 +82,9 @@ int main() {
     }
     std::vector<std::string> avg{env, "Average"};
     for (const auto attack : kAttacks)
-      avg.push_back(Table::num(
-          column_sum[core::to_string(attack)] / victims.size(), 0));
+      avg.push_back(Table::num(column_sum[core::to_string(attack)] /
+                                   static_cast<double>(victims.size()),
+                               0));
     table.add_row(std::move(avg));
   }
   grid.write_report();

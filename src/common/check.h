@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -13,6 +15,14 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Error type thrown by the IMAP_NCHECK_* numeric guards; distinct from
+/// CheckError so callers (and tests) can tell a numeric-health failure from
+/// an ordinary contract violation.
+class NumericError : public CheckError {
+ public:
+  explicit NumericError(const std::string& what) : CheckError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
@@ -20,6 +30,54 @@ namespace detail {
   os << "check failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw CheckError(os.str());
+}
+
+[[noreturn]] inline void numeric_check_failed(const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "numeric check failed at " << file << ":" << line << " — " << msg;
+  throw NumericError(os.str());
+}
+
+inline void ncheck_finite(double x, const char* what, const char* file,
+                          int line) {
+  if (!std::isfinite(x)) {
+    std::ostringstream os;
+    os << what << " is not finite (value = " << x << ")";
+    numeric_check_failed(file, line, os.str());
+  }
+}
+
+template <typename Range>
+inline void ncheck_finite_range(const Range& v, const char* what,
+                                const char* file, int line) {
+  std::size_t i = 0;
+  for (const auto& x : v) {
+    if (!std::isfinite(static_cast<double>(x))) {
+      std::ostringstream os;
+      os << what << "[" << i << "] is not finite (value = " << x << ")";
+      numeric_check_failed(file, line, os.str());
+    }
+    ++i;
+  }
+}
+
+inline void ncheck_shape(std::size_t actual, std::size_t expected,
+                         const char* what, const char* file, int line) {
+  if (actual != expected) {
+    std::ostringstream os;
+    os << what << " has size " << actual << ", expected " << expected;
+    numeric_check_failed(file, line, os.str());
+  }
+}
+
+inline void ncheck_bounds(double x, double lo, double hi, const char* what,
+                          const char* file, int line) {
+  if (!(x >= lo && x <= hi)) {
+    std::ostringstream os;
+    os << what << " = " << x << " is outside [" << lo << ", " << hi << "]";
+    numeric_check_failed(file, line, os.str());
+  }
 }
 }  // namespace detail
 
@@ -41,3 +99,46 @@ namespace detail {
       ::imap::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());  \
     }                                                                      \
   } while (false)
+
+// ---------------------------------------------------------------------------
+// Numeric-guard layer (IMAP_CHECK_NUMERICS).
+//
+// Cheap finite-value / shape / bounds assertions placed at layer boundaries:
+// nn forward/backward outputs, GAE advantages, PPO ratios and losses, KNN
+// distances, and regularizer bonuses. They exist to catch silent NaN/Inf
+// corruption the moment it appears instead of 10k updates later.
+//
+// Enabled with the CMake option -DIMAP_CHECK_NUMERICS=ON (which defines the
+// IMAP_CHECK_NUMERICS preprocessor symbol). When disabled the macros expand
+// to a no-op that does NOT evaluate its arguments, so guarded hot paths pay
+// zero cost in release builds. On failure they throw imap::NumericError.
+// ---------------------------------------------------------------------------
+
+#ifdef IMAP_CHECK_NUMERICS
+
+/// Assert a scalar is finite (no NaN / ±Inf).
+#define IMAP_NCHECK_FINITE(x, what) \
+  ::imap::detail::ncheck_finite((x), (what), __FILE__, __LINE__)
+
+/// Assert every element of a range (vector, span, array) is finite.
+#define IMAP_NCHECK_FINITE_VEC(v, what) \
+  ::imap::detail::ncheck_finite_range((v), (what), __FILE__, __LINE__)
+
+/// Assert a container size matches the expected shape.
+#define IMAP_NCHECK_SHAPE(actual, expected, what)                        \
+  ::imap::detail::ncheck_shape(static_cast<std::size_t>(actual),         \
+                               static_cast<std::size_t>(expected),       \
+                               (what), __FILE__, __LINE__)
+
+/// Assert a scalar lies in [lo, hi] (and implicitly that it is not NaN).
+#define IMAP_NCHECK_BOUNDS(x, lo, hi, what) \
+  ::imap::detail::ncheck_bounds((x), (lo), (hi), (what), __FILE__, __LINE__)
+
+#else  // !IMAP_CHECK_NUMERICS — no-ops; arguments are never evaluated.
+
+#define IMAP_NCHECK_FINITE(x, what) ((void)0)
+#define IMAP_NCHECK_FINITE_VEC(v, what) ((void)0)
+#define IMAP_NCHECK_SHAPE(actual, expected, what) ((void)0)
+#define IMAP_NCHECK_BOUNDS(x, lo, hi, what) ((void)0)
+
+#endif  // IMAP_CHECK_NUMERICS

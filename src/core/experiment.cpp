@@ -63,8 +63,8 @@ long long ExperimentRunner::default_attack_steps(
     case env::TaskType::Manipulation: base = 80'000; break;
     case env::TaskType::MultiAgent: base = 120'000; break;
   }
-  return std::max<long long>(4096,
-                             static_cast<long long>(base * cfg_.scale));
+  return std::max<long long>(
+      4096, static_cast<long long>(static_cast<double>(base) * cfg_.scale));
 }
 
 int ExperimentRunner::default_eval_episodes(

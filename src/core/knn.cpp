@@ -67,6 +67,7 @@ void KnnBuffer::add(const double* s) {
 
 void KnnBuffer::add(const std::vector<double>& s) {
   IMAP_CHECK(s.size() == dim_);
+  IMAP_NCHECK_FINITE_VEC(s, "KnnBuffer::add state");
   add(s.data());
 }
 
@@ -77,6 +78,9 @@ double KnnBuffer::knn_distance_sq(const double* s) const {
     double best[kMaxK];
     std::fill(best, best + k_, std::numeric_limits<double>::infinity());
     scan_rows(data_.data(), dim_, 0, size_, s, k_, best);
+    IMAP_NCHECK_BOUNDS(best[k_ - 1], 0.0,
+                       std::numeric_limits<double>::infinity(),
+                       "knn.distance_sq");
     return best[k_ - 1];
   }
 
@@ -111,6 +115,11 @@ double KnnBuffer::knn_distance_sq(const double* s) const {
       best[pos] = sq;
     }
   }
+  // +Inf is the legitimate "fewer than k neighbours" sentinel, so the guard
+  // only excludes NaN and negative distances.
+  IMAP_NCHECK_BOUNDS(best[k_ - 1], 0.0,
+                     std::numeric_limits<double>::infinity(),
+                     "knn.distance_sq");
   return best[k_ - 1];
 }
 

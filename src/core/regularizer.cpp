@@ -56,6 +56,7 @@ void add_sc_term(rl::RolloutBuffer& buf, const ObsSlice& slice, double weight,
       buf.rew_i[i] += weight * finite_or_zero(std::log1p(dist));
     }
   });
+  IMAP_NCHECK_FINITE_VEC(buf.rew_i, "regularizer.sc_bonus");
 }
 
 class ScRegularizer final : public AdversarialRegularizer {
@@ -121,6 +122,7 @@ class PcMarginal {
                                                std::max(0.0, dist_b)));
       }
     });
+    IMAP_NCHECK_FINITE_VEC(buf.rew_i, "regularizer.pc_bonus");
     // Only now fold the fresh trajectories into B (they represent π_k).
     for (std::size_t i = 0; i < buf.size(); ++i) union_buffer_.add(proj[i]);
   }

@@ -39,8 +39,8 @@ long long Zoo::victim_steps(const std::string& env_name) const {
     case env::TaskType::Manipulation: base = 200'000; break;
     case env::TaskType::MultiAgent: base = 350'000; break;
   }
-  return std::max<long long>(4096,
-                             static_cast<long long>(base * scale_));
+  return std::max<long long>(
+      4096, static_cast<long long>(static_cast<double>(base) * scale_));
 }
 
 rl::ActionFn Zoo::as_fn(const nn::GaussianPolicy& policy) {

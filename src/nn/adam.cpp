@@ -33,6 +33,7 @@ void Adam::step(std::vector<double>& params,
     const double vhat = v_[i] / bc2;
     params[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
   }
+  IMAP_NCHECK_FINITE_VEC(params, "adam.params after step");
 }
 
 }  // namespace imap::nn

@@ -21,6 +21,7 @@ double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
     const double z = (a[i] - mean[i]) * std::exp(-log_std[i]);
     lp += -0.5 * z * z - log_std[i] - 0.5 * kLog2Pi;
   }
+  IMAP_NCHECK_FINITE(lp, "diag_gaussian.log_prob");
   return lp;
 }
 

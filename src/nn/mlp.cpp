@@ -59,6 +59,8 @@ std::vector<double> Mlp::forward(const std::vector<double>& x) const {
     if (li + 1 < layers_.size())
       for (double& v : h) v = std::tanh(v);
   }
+  IMAP_NCHECK_SHAPE(h.size(), out_dim(), "Mlp::forward output");
+  IMAP_NCHECK_FINITE_VEC(h, "Mlp::forward output");
   return h;
 }
 
@@ -74,6 +76,7 @@ std::vector<double> Mlp::forward_tape(const std::vector<double>& x,
     if (li + 1 < layers_.size())
       for (double& v : tape.post[li + 1]) v = std::tanh(v);
   }
+  IMAP_NCHECK_FINITE_VEC(tape.post.back(), "Mlp::forward_tape output");
   return tape.post.back();
 }
 
@@ -108,6 +111,7 @@ std::vector<double> Mlp::backward(const Tape& tape,
     }
     g = std::move(gin);
   }
+  IMAP_NCHECK_FINITE_VEC(g, "Mlp::backward input-gradient");
   return g;  // dL/dx
 }
 

@@ -15,6 +15,10 @@ GaeResult compute_gae(const std::vector<double>& rewards,
                       double gamma, double lambda) {
   const std::size_t n = rewards.size();
   IMAP_CHECK(values.size() == n && done.size() == n && boundary.size() == n);
+  IMAP_NCHECK_BOUNDS(gamma, 0.0, 1.0, "gae.gamma");
+  IMAP_NCHECK_BOUNDS(lambda, 0.0, 1.0, "gae.lambda");
+  IMAP_NCHECK_FINITE_VEC(rewards, "gae.rewards");
+  IMAP_NCHECK_FINITE_VEC(values, "gae.values");
 
   GaeResult out;
   out.advantages.assign(n, 0.0);
@@ -46,6 +50,8 @@ GaeResult compute_gae(const std::vector<double>& rewards,
     out.advantages[t] = gae;
     out.returns[t] = gae + values[t];
   }
+  IMAP_NCHECK_FINITE_VEC(out.advantages, "gae.advantages");
+  IMAP_NCHECK_FINITE_VEC(out.returns, "gae.returns");
   return out;
 }
 

@@ -216,6 +216,7 @@ PpoTrainer::BatchPartial PpoTrainer::process_range(
     const double lp_new = nn::diag_gaussian::log_prob(
         buf.act[idx], tape.post.back(), pol.log_std());
     const double ratio = std::exp(lp_new - buf.logp[idx]);
+    IMAP_NCHECK_FINITE(ratio, "ppo.ratio");
     const double a = adv[idx];
 
     // Clipped surrogate (Eq. 1): gradient flows only through the
@@ -247,6 +248,9 @@ PpoTrainer::BatchPartial PpoTrainer::process_range(
       vi->backward(vitape, opts_.vf_coef * vierr * inv_bs);
     }
   }
+  IMAP_NCHECK_FINITE(out.pol_loss, "ppo.pol_loss");
+  IMAP_NCHECK_FINITE(out.val_loss, "ppo.val_loss");
+  IMAP_NCHECK_FINITE(out.kl, "ppo.kl");
   return out;
 }
 

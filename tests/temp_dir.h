@@ -1,0 +1,18 @@
+#pragma once
+
+#include <unistd.h>
+
+#include <string>
+
+namespace imap::testing {
+
+/// Per-process unique /tmp path. gtest_discover_tests registers every test
+/// case as its own ctest entry, so under `ctest -j` two cases of the same
+/// fixture run in parallel PROCESSES — a fixed path means one process's
+/// TearDown deletes the other's files mid-run. Suffixing the pid makes each
+/// ctest process self-contained (cases within a process run sequentially).
+inline std::string unique_temp_dir(const std::string& stem) {
+  return "/tmp/" + stem + "_" + std::to_string(::getpid());
+}
+
+}  // namespace imap::testing

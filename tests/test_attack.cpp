@@ -119,7 +119,9 @@ TEST(OpponentEnv, ReducesGameToAdversaryMdp) {
     const auto sr = env.step({0.0, 0.0});  // idle blocker
     over = sr.done || sr.truncated;
     final_reward = sr.reward;
-    if (!over) EXPECT_DOUBLE_EQ(sr.reward, 0.0);  // sparse win/lose signal
+    if (!over) {
+      EXPECT_DOUBLE_EQ(sr.reward, 0.0);  // sparse win/lose signal
+    }
   }
   ASSERT_TRUE(over);
   EXPECT_DOUBLE_EQ(final_reward, -1.0);  // victim crossed ⇒ J_AP penalty

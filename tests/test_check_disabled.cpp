@@ -1,0 +1,47 @@
+// Numeric-guard layer, disabled path: with IMAP_CHECK_NUMERICS undefined the
+// IMAP_NCHECK_* macros must be true no-ops — no throw on bad values and no
+// evaluation of their arguments (zero cost in release builds). The symbol is
+// forced off for this TU so the test holds even under -DIMAP_CHECK_NUMERICS=ON.
+#undef IMAP_CHECK_NUMERICS
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace imap {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// [[maybe_unused]] because the disabled guards genuinely never reference it —
+// which is exactly the property ArgumentsAreNotEvaluated asserts.
+[[maybe_unused]] double poison(int& calls) {
+  ++calls;
+  return kNan;
+}
+
+TEST(NumericGuardDisabled, BadValuesPassSilently) {
+  const std::vector<double> v{kNan, std::numeric_limits<double>::infinity()};
+  EXPECT_NO_THROW(IMAP_NCHECK_FINITE(kNan, "loss"));
+  EXPECT_NO_THROW(IMAP_NCHECK_FINITE_VEC(v, "advantages"));
+  EXPECT_NO_THROW(IMAP_NCHECK_SHAPE(v.size(), 99, "obs"));
+  EXPECT_NO_THROW(IMAP_NCHECK_BOUNDS(kNan, 0.0, 1.0, "gamma"));
+}
+
+TEST(NumericGuardDisabled, ArgumentsAreNotEvaluated) {
+  int calls = 0;
+  IMAP_NCHECK_FINITE(poison(calls), "x");
+  IMAP_NCHECK_BOUNDS(poison(calls), 0.0, 1.0, "x");
+  EXPECT_EQ(calls, 0) << "disabled guards must not evaluate their arguments";
+}
+
+TEST(NumericGuardDisabled, AlwaysOnChecksStillFire) {
+  // IMAP_CHECK is independent of the numerics toggle — contracts stay on.
+  EXPECT_THROW(IMAP_CHECK(false), CheckError);
+}
+
+}  // namespace
+}  // namespace imap

@@ -92,7 +92,7 @@ TEST_P(HookSmoothing, RepeatedApplicationReducesRoughness) {
 
 INSTANTIATE_TEST_SUITE_P(AllHooks, HookSmoothing,
                          ::testing::Values("SA", "RADIAL", "WocaR"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(PerturbedVictimEnv, AppliesAdversaryToObservations) {
   const auto inner = env::make_hopper();

@@ -9,8 +9,6 @@
 namespace imap::env {
 namespace {
 
-std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
-
 TEST(YouShallNotPass, ObservationDimsAndRanges) {
   YouShallNotPassEnv env;
   Rng rng(3);

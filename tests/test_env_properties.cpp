@@ -112,7 +112,7 @@ std::vector<std::string> all_single_agent_names() {
 
 INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvContract,
                          ::testing::ValuesIn(all_single_agent_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(Registry, ThirteenSingleAgentTasks) {
   EXPECT_EQ(single_agent_specs().size(), 13u);  // as in the paper

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/experiment.h"
+#include "temp_dir.h"
 
 namespace imap::core {
 namespace {
@@ -11,7 +12,7 @@ namespace {
 class ExperimentTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    cfg_.zoo_dir = "/tmp/imap_test_exp";
+    cfg_.zoo_dir = imap::testing::unique_temp_dir("imap_test_exp");
     cfg_.scale = 0.01;  // smoke-scale budgets
     cfg_.seed = 7;
     std::filesystem::remove_all(cfg_.zoo_dir);

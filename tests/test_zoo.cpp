@@ -4,6 +4,7 @@
 
 #include "core/zoo.h"
 #include "env/registry.h"
+#include "temp_dir.h"
 
 namespace imap::core {
 namespace {
@@ -11,7 +12,7 @@ namespace {
 class ZooTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/imap_test_zoo";
+    dir_ = imap::testing::unique_temp_dir("imap_test_zoo");
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# ci.sh — the one-shot correctness gate: build -> lint -> tier-1 ctest.
+# Exits nonzero on the first failing stage. Also exposed as the `ci` CMake
+# target (`cmake --build build --target ci`).
+#
+# Environment:
+#   IMAP_CI_BUILD_DIR  build directory (default: build)
+#   IMAP_CI_WERROR     ON/OFF, build with -Werror hardening (default: ON)
+#   IMAP_CI_JOBS       parallel build/test jobs (default: nproc)
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${IMAP_CI_BUILD_DIR:-build}"
+WERROR="${IMAP_CI_WERROR:-ON}"
+JOBS="${IMAP_CI_JOBS:-$(nproc)}"
+
+stage() { echo; echo "=== ci: $* ==="; }
+
+stage "configure (${BUILD_DIR}, IMAP_WERROR=${WERROR})"
+cmake -B "${BUILD_DIR}" -S . -DIMAP_WERROR="${WERROR}" || exit 1
+
+stage "build"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" || exit 1
+
+stage "lint"
+python3 tools/lint/imap_lint.py --root . src bench tests || exit 1
+python3 tools/lint/test_imap_lint.py || exit 1
+
+stage "tier-1 ctest"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" || exit 1
+
+stage "OK — build, lint, and tier-1 tests all clean"

@@ -1,0 +1,6 @@
+// Fixture: exact float comparisons must trip float-eq.
+bool bad_float_eq_fixture(double x, float y) {
+  if (x == 0.0) return true;
+  if (y != 1.5f) return false;
+  return 2.0e-3 == x;
+}

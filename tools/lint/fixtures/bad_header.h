@@ -1,0 +1,7 @@
+// Fixture: missing #pragma once, using namespace at header scope, and a
+// parent-relative include — three header-hygiene findings.
+#include "../common/rng.h"
+
+using namespace std;
+
+inline int bad_header_fixture() { return 0; }

@@ -1,0 +1,10 @@
+// Fixture: every line here must trip rng-discipline.
+#include <cstdlib>
+#include <random>
+
+int bad_rng_fixture() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  srand(42);
+  return std::rand();
+}

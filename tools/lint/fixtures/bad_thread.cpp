@@ -1,0 +1,10 @@
+// Fixture: raw threading primitives must trip raw-thread.
+#include <future>
+#include <thread>
+
+void bad_thread_fixture() {
+  std::thread t([] {});
+  t.detach();
+  auto f = std::async(std::launch::async, [] { return 1; });
+  f.get();
+}

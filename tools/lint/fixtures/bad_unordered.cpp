@@ -1,0 +1,14 @@
+// Fixture: iterating unordered containers in a numeric path must trip
+// unordered-iter (the self-test lints this file under a src/core/ relpath).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double bad_unordered_fixture() {
+  std::unordered_map<std::string, double> weights;
+  std::unordered_set<int> seen;
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;
+  for (auto it = seen.begin(); it != seen.end(); ++it) total += *it;
+  return total;
+}

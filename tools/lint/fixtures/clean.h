@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: a hygienic header — must produce zero findings.
+#include <cstddef>
+
+namespace imap_fixture {
+
+inline std::size_t clean_header_fixture(std::size_t n) { return n + 1; }
+
+}  // namespace imap_fixture

@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""imap_lint — repo-specific invariant linter for the imap codebase.
+
+Enforces rules that no off-the-shelf tool knows about:
+
+  rng-discipline     All randomness flows through imap::Rng (src/common/rng.*).
+                     std::rand / srand / std::random_device / raw mt19937
+                     anywhere else breaks seed-reproducibility and the
+                     RNG-stream-splitting discipline.
+  unordered-iter     Iterating a std::unordered_map/std::unordered_set in a
+                     numeric code path makes results depend on hash layout
+                     (pointer values, libstdc++ version) — nondeterministic
+                     run-to-run. Use std::map/std::set or sort keys first.
+  raw-thread         All parallelism flows through imap::ThreadPool
+                     (src/common/thread_pool.*). Raw std::thread/std::jthread/
+                     std::async or .detach() bypasses IMAP_THREADS, ScopedSerial
+                     and the determinism guarantees of parallel_for.
+  float-eq           ==/!= against floating-point literals is brittle; compare
+                     with a tolerance (std::abs(a-b) <= eps, EXPECT_NEAR) or
+                     suppress deliberately for exact sentinels.
+  pragma-once        Every header starts with #pragma once.
+  using-ns-header    No `using namespace` at namespace scope in headers.
+  parent-include     No parent-relative includes (#include "../..."): project
+                     headers are included relative to src/ (e.g. "common/rng.h").
+
+Suppression:
+  * inline, single finding:   // imap-lint: allow(rule-name)
+  * allowlist file (default tools/lint/lint_allowlist.txt): lines of
+    `rule-name  path-glob` (fnmatch against the repo-relative posix path).
+    Keep every entry documented with a trailing comment.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+SUPPRESS_RE = re.compile(r"imap-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+FIXITS = {
+    "rng-discipline": (
+        "use imap::Rng (src/common/rng.h) and derive decorrelated child "
+        "streams with Rng::split"
+    ),
+    "unordered-iter": (
+        "iteration order of unordered containers is nondeterministic; use "
+        "std::map/std::set, or copy+sort the keys before iterating"
+    ),
+    "raw-thread": (
+        "use imap::ThreadPool / parallel_for (src/common/thread_pool.h); raw "
+        "threads bypass IMAP_THREADS and the determinism controls"
+    ),
+    "float-eq": (
+        "exact floating-point comparison is brittle; compare with a tolerance "
+        "(std::abs(a-b) <= eps, EXPECT_NEAR) or annotate a deliberate exact "
+        "sentinel with // imap-lint: allow(float-eq)"
+    ),
+    "pragma-once": "add #pragma once as the first directive of the header",
+    "using-ns-header": (
+        "remove `using namespace` from the header; qualify names instead "
+        "(headers leak it into every includer)"
+    ),
+    "parent-include": (
+        'include project headers relative to src/ (e.g. "common/rng.h"), not '
+        "via parent-relative paths"
+    ),
+}
+
+# Files that ARE the sanctioned implementation and therefore exempt from the
+# corresponding rule (not allowlist entries — they define the rule's boundary).
+RULE_HOME = {
+    "rng-discipline": ["src/common/rng.h", "src/common/rng.cpp"],
+    "raw-thread": ["src/common/thread_pool.h", "src/common/thread_pool.cpp"],
+}
+
+RNG_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b|\brandom_device\b"
+    r"|\bstd::(?:mt19937|mt19937_64|minstd_rand0?|ranlux\w+|knuth_b)\b"
+)
+# `std::thread::hardware_concurrency()` is a static query, not thread
+# creation, so `std::thread` followed by `::` is deliberately not matched.
+THREAD_RE = re.compile(
+    r"\bstd::thread\b(?!\s*::)|\bstd::jthread\b(?!\s*::)"
+    r"|\bstd::async\b|\.\s*detach\s*\(\)"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*&?(\w+)\s*\)")
+ITER_BEGIN_RE = re.compile(r"\bfor\s*\(.*=\s*(\w+)\s*\.\s*c?begin\s*\(")
+FLOAT_LIT = r"[-+]?(?:\d+\.\d*|\.\d+|\d+e[-+]?\d+|\d+\.\d*e[-+]?\d+)f?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:[=!]=\s*" + FLOAT_LIT + r"(?![\w.]))|(?:(?<![\w.])" + FLOAT_LIT + r"\s*[=!]=)"
+)
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+\w")
+PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"(\.\./|.*/\.\./)')
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+            f"    fix-it: {FIXITS[self.rule]}"
+        )
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving line structure,
+    so rule regexes never fire on prose or quoted text."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i, n = 0, len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                quote = c
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                buf.append(quote + quote)
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def is_numeric_path(relpath: str) -> bool:
+    """Code paths where hash-order nondeterminism corrupts results."""
+    numeric_dirs = (
+        "src/nn/", "src/rl/", "src/core/", "src/phys/",
+        "src/attack/", "src/defense/", "src/env/",
+    )
+    return relpath.startswith(numeric_dirs)
+
+
+def lint_file(relpath: str, text: str) -> list[Finding]:
+    raw_lines = text.splitlines()
+    code = strip_code(raw_lines)
+    is_header = os.path.splitext(relpath)[1] in {".h", ".hpp"}
+
+    suppressed: dict[int, set[str]] = {}
+    for idx, raw in enumerate(raw_lines):
+        m = SUPPRESS_RE.search(raw)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            suppressed[idx] = rules
+
+    findings: list[Finding] = []
+
+    def add(idx: int, rule: str, message: str) -> None:
+        if rule in suppressed.get(idx, set()):
+            return
+        findings.append(Finding(relpath, idx + 1, rule, message))
+
+    # --- pragma-once: first non-comment, non-blank directive of a header.
+    if is_header:
+        has_pragma = any(
+            line.strip().startswith("#pragma once") for line in code
+        )
+        if not has_pragma:
+            add(0, "pragma-once", "header is missing #pragma once")
+
+    unordered_vars: set[str] = set()
+    rng_exempt = relpath in RULE_HOME["rng-discipline"]
+    thread_exempt = relpath in RULE_HOME["raw-thread"]
+
+    for idx, line in enumerate(code):
+        # --- rng-discipline
+        if not rng_exempt:
+            m = RNG_RE.search(line)
+            if m:
+                add(idx, "rng-discipline",
+                    f"raw standard-library RNG `{m.group(0).strip()}` outside "
+                    "src/common/rng.*")
+
+        # --- raw-thread
+        if not thread_exempt:
+            m = THREAD_RE.search(line)
+            if m:
+                add(idx, "raw-thread",
+                    f"raw threading primitive `{m.group(0).strip()}` outside "
+                    "src/common/thread_pool.*")
+
+        # --- unordered-iter (numeric paths only)
+        if is_numeric_path(relpath):
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered_vars.add(m.group(1))
+            for pat in (RANGE_FOR_RE, ITER_BEGIN_RE):
+                m = pat.search(line)
+                if m and m.group(1) in unordered_vars:
+                    add(idx, "unordered-iter",
+                        f"iteration over unordered container `{m.group(1)}` "
+                        "in a numeric code path")
+
+        # --- float-eq
+        if FLOAT_EQ_RE.search(line):
+            add(idx, "float-eq",
+                "exact ==/!= comparison against a floating-point literal")
+
+        # --- header hygiene
+        if is_header and USING_NS_RE.search(line):
+            add(idx, "using-ns-header", "`using namespace` in a header")
+        # Include paths live inside string literals, which the stripper
+        # blanks — match against the raw line instead.
+        if PARENT_INCLUDE_RE.search(raw_lines[idx]):
+            add(idx, "parent-include", "parent-relative #include")
+
+    return findings
+
+
+def load_allowlist(path: str) -> list[tuple[str, str]]:
+    entries: list[tuple[str, str]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[0] not in FIXITS:
+                print(f"{path}:{lineno}: malformed allowlist entry: {raw.rstrip()}",
+                      file=sys.stderr)
+                sys.exit(2)
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowed(entries: list[tuple[str, str]], rule: str, relpath: str) -> bool:
+    return any(r == rule and fnmatch.fnmatch(relpath, glob)
+               for r, glob in entries)
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    rels: list[str] = []
+    for p in paths:
+        ap = os.path.join(root, p)
+        if os.path.isfile(ap):
+            rels.append(os.path.relpath(ap, root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(ap):
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in CXX_EXTENSIONS:
+                    rels.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(set(r.replace(os.sep, "/") for r in rels))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repo root (paths are relative to it)")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default <root>/tools/lint/lint_allowlist.txt)")
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    allowlist_path = args.allowlist or os.path.join(root, "tools/lint/lint_allowlist.txt")
+    entries = load_allowlist(allowlist_path)
+
+    files = collect_files(root, args.paths)
+    if not files:
+        print("imap_lint: no C++ files found under the given paths", file=sys.stderr)
+        return 2
+
+    all_findings: list[Finding] = []
+    for rel in files:
+        with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        for f in lint_file(rel, text):
+            if not allowed(entries, f.rule, f.path):
+                all_findings.append(f)
+
+    for f in all_findings:
+        print(f)
+    n = len(all_findings)
+    print(f"imap_lint: {len(files)} files checked, {n} finding(s)")
+    return 1 if n else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Self-test for imap_lint: every rule must fire on its bad fixture and stay
+silent on the clean fixtures. Registered in tier-1 ctest as lint.selftest."""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+sys.path.insert(0, HERE)
+
+import imap_lint  # noqa: E402
+
+
+def lint_fixture(filename, relpath=None):
+    """Lint a fixture file under a synthetic repo-relative path (so path-scoped
+    rules like unordered-iter see a numeric src/ location)."""
+    with open(os.path.join(FIXTURES, filename), encoding="utf-8") as fh:
+        text = fh.read()
+    return imap_lint.lint_file(relpath or f"src/core/{filename}", text)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class RuleFiring(unittest.TestCase):
+    def test_rng_discipline_fires_per_primitive(self):
+        findings = lint_fixture("bad_rng.cpp")
+        self.assertEqual(rules_of(findings), ["rng-discipline"])
+        # random_device, mt19937, srand, std::rand — one finding per line.
+        self.assertEqual(len(findings), 4)
+
+    def test_rng_rule_exempts_its_home_files(self):
+        with open(os.path.join(FIXTURES, "bad_rng.cpp"), encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertEqual(imap_lint.lint_file("src/common/rng.cpp", text), [])
+
+    def test_raw_thread_fires_on_thread_detach_async(self):
+        findings = lint_fixture("bad_thread.cpp")
+        self.assertEqual(rules_of(findings), ["raw-thread"])
+        self.assertEqual(len(findings), 3)
+
+    def test_hardware_concurrency_is_not_thread_creation(self):
+        code = "unsigned n = std::thread::hardware_concurrency();\n"
+        self.assertEqual(imap_lint.lint_file("src/rl/ppo.cpp", code), [])
+
+    def test_unordered_iteration_fires_in_numeric_paths_only(self):
+        findings = lint_fixture("bad_unordered.cpp")
+        self.assertEqual(rules_of(findings), ["unordered-iter"])
+        self.assertEqual(len(findings), 2)  # range-for + iterator loop
+        outside = lint_fixture("bad_unordered.cpp",
+                               relpath="tools/fixture/bad_unordered.cpp")
+        self.assertEqual(outside, [])
+
+    def test_float_eq_fires_on_literal_comparisons(self):
+        findings = lint_fixture("bad_float_eq.cpp")
+        self.assertEqual(rules_of(findings), ["float-eq"])
+        self.assertEqual(len(findings), 3)
+
+    def test_header_hygiene_fires_three_ways(self):
+        findings = lint_fixture("bad_header.h")
+        self.assertEqual(
+            rules_of(findings),
+            ["parent-include", "pragma-once", "using-ns-header"])
+
+    def test_clean_fixtures_are_silent(self):
+        self.assertEqual(lint_fixture("clean.cpp"), [])
+        self.assertEqual(lint_fixture("clean.h"), [])
+
+
+class Suppression(unittest.TestCase):
+    def test_inline_allow_suppresses_only_that_rule_on_that_line(self):
+        code = (
+            "bool a = (x == 0.0);  // imap-lint: allow(float-eq)\n"
+            "bool b = (y == 0.0);\n"
+        )
+        findings = imap_lint.lint_file("src/rl/gae.cpp", code)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 2)
+
+    def test_allowlist_glob_matches(self):
+        entries = [("float-eq", "src/rl/*.cpp")]
+        self.assertTrue(imap_lint.allowed(entries, "float-eq", "src/rl/gae.cpp"))
+        self.assertFalse(imap_lint.allowed(entries, "float-eq", "src/nn/mlp.cpp"))
+        self.assertFalse(imap_lint.allowed(entries, "raw-thread", "src/rl/gae.cpp"))
+
+
+class Stripper(unittest.TestCase):
+    def test_comments_and_strings_never_fire(self):
+        code = (
+            "// std::rand() in a comment\n"
+            "/* std::thread t; */\n"
+            'const char* s = "std::random_device";\n'
+        )
+        self.assertEqual(imap_lint.lint_file("src/core/x.cpp", code), [])
+
+    def test_block_comment_spanning_lines(self):
+        code = "/* begin\nstd::rand();\nend */\nint x = 0;\n"
+        self.assertEqual(imap_lint.lint_file("src/core/x.cpp", code), [])
+
+
+class CommandLine(unittest.TestCase):
+    def test_cli_exit_codes(self):
+        lint = os.path.join(HERE, "imap_lint.py")
+        bad = subprocess.run(
+            [sys.executable, lint, "--root", FIXTURES, "--allowlist",
+             os.devnull, "bad_rng.cpp"],
+            capture_output=True, text=True)
+        self.assertEqual(bad.returncode, 1, bad.stdout + bad.stderr)
+        self.assertIn("rng-discipline", bad.stdout)
+        self.assertIn("fix-it:", bad.stdout)
+        clean = subprocess.run(
+            [sys.executable, lint, "--root", FIXTURES, "--allowlist",
+             os.devnull, "clean.cpp", "clean.h"],
+            capture_output=True, text=True)
+        self.assertEqual(clean.returncode, 0, clean.stdout + clean.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
