@@ -1,21 +1,33 @@
-// Micro-benchmarks of the RL substrate: environment stepping and PPO
-// training throughput — the cost model behind the bench budgets.
+// Micro-benchmarks of the RL substrate: environment stepping, the batched
+// nn kernels and PPO training throughput — the cost model behind the bench
+// budgets.
 //
-// The custom main() first runs a parallel-speedup probe: the same PPO
-// configuration (4 rollout workers, auto gradient shards) timed once pinned
-// serial (ScopedSerial) and once on a dedicated 4-thread pool (ScopedPool),
-// verifying the traces match bit-for-bit and recording the timings in
-// BENCH_parallel.json. The google-benchmark suites then run as usual.
+// The custom main() first runs two probes (skipped when IMAP_BENCH_NO_PROBE
+// is set, e.g. by the CI bench-smoke stage):
+//  * a parallel-speedup probe — the same PPO configuration (4 rollout
+//    workers, auto gradient shards) timed once pinned serial (ScopedSerial)
+//    and once on a dedicated 4-thread pool (ScopedPool), verifying the
+//    traces match bit-for-bit and recording the timings in
+//    BENCH_parallel.json;
+//  * a kernel probe — the per-sample vs batched PPO update timed on one
+//    fixed rollout (hidden {64,64}, minibatch 64), verifying the two modes
+//    produce bit-identical parameters and recording the before/after
+//    throughput in BENCH_kernels.json (committed, see README).
+// The google-benchmark suites then run as usual.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "common/thread_pool.h"
 #include "env/registry.h"
 #include "grid_runner.h"
+#include "nn/batch.h"
 #include "rl/ppo.h"
 
 using namespace imap;
@@ -46,6 +58,51 @@ void BM_PolicyForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(policy.mean_action(obs));
 }
 BENCHMARK(BM_PolicyForward);
+
+// Batched MLP forward through the blocked kernels: items/s is rows/s, so
+// the Arg(1) row is the per-sample baseline the larger batches amortise.
+void BM_MlpForwardBatch(benchmark::State& state) {
+  Rng rng(7);
+  nn::Mlp net({17, 64, 64, 6}, rng);
+  const auto b = static_cast<std::size_t>(state.range(0));
+  nn::Batch x(b, 17);
+  for (std::size_t r = 0; r < b; ++r)
+    for (std::size_t c = 0; c < 17; ++c) x(r, c) = rng.normal();
+  nn::Mlp::Workspace ws;
+  for (auto _ : state) {
+    const auto& y = net.forward_batch(x, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b));
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// The optimisation stage alone (sampling excluded) on one fixed rollout:
+// Arg(0) = legacy per-sample tapes, Arg(1) = batched kernels. The two modes
+// are bit-identical in results; only throughput differs.
+void BM_PpoUpdate(benchmark::State& state) {
+  auto env = env::make_env("Hopper");
+  rl::PpoOptions opts;
+  opts.hidden = {64, 64};
+  opts.minibatch = 64;
+  opts.epochs = 1;
+  opts.target_kl = 0.0;
+  opts.steps_per_iter = 2048;
+  opts.batched_update = state.range(0) != 0;
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  rl::RolloutBuffer buf;
+  trainer.collect(buf);
+  rl::IterStats stats;
+  for (auto _ : state) {
+    trainer.update(buf, 0.0, stats);
+    benchmark::DoNotOptimize(stats.value_loss);
+  }
+  state.SetLabel(opts.batched_update ? "batched" : "per-sample");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          opts.steps_per_iter);
+}
+BENCHMARK(BM_PpoUpdate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_PpoIteration(benchmark::State& state) {
   auto env = env::make_env("Hopper");
@@ -132,10 +189,72 @@ void speedup_probe() {
             << " -> BENCH_parallel.json\n";
 }
 
+/// Time the PPO update stage in one kernel mode on a fixed rollout; returns
+/// (seconds per update, parameter checksum) so the modes can be compared
+/// for both throughput and bit-identity.
+std::pair<double, double> kernel_probe_run(bool batched) {
+  ScopedSerial serial;  // isolate the kernel speedup from thread scaling
+  auto env = env::make_env("Hopper");
+  rl::PpoOptions opts;
+  opts.hidden = {64, 64};
+  opts.minibatch = 64;
+  opts.epochs = 1;
+  opts.target_kl = 0.0;
+  opts.steps_per_iter = 2048;
+  opts.batched_update = batched;
+  rl::PpoTrainer trainer(*env, opts, Rng(7));
+  rl::RolloutBuffer buf;
+  trainer.collect(buf);
+  rl::IterStats stats;
+  trainer.update(buf, 0.0, stats);  // warm-up: grow the workspace arenas
+  // Min over repetitions, not mean: background load only ever inflates a
+  // rep, so the minimum is the robust estimate of the kernel cost.
+  constexpr int kUpdates = 7;
+  double secs = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kUpdates; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    trainer.update(buf, 0.0, stats);
+    secs = std::min(
+        secs, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
+  }
+  double checksum = 0.0;
+  for (const double p : trainer.policy().flat_params()) checksum += p;
+  return {secs, checksum};
+}
+
+void kernel_probe() {
+  const auto [per_sample_s, per_sample_sum] = kernel_probe_run(false);
+  const auto [batched_s, batched_sum] = kernel_probe_run(true);
+  const double speedup = batched_s > 0.0 ? per_sample_s / batched_s : 1.0;
+  const bool identical = per_sample_sum == batched_sum;
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(5);
+  os << "{\"env\": \"Hopper\", \"hidden\": [64, 64], \"minibatch\": 64"
+     << ", \"epochs\": 1, \"steps_per_iter\": 2048"
+     << ", \"per_sample_update_s\": " << per_sample_s
+     << ", \"batched_update_s\": " << batched_s;
+  os.precision(3);
+  os << ", \"speedup\": " << speedup
+     << ", \"traces_identical\": " << (identical ? "true" : "false") << "}";
+  bench::write_report_entry("BENCH_kernels.json", "BM_PpoUpdate", os.str());
+  std::cerr << "bench_micro_ppo kernel probe: per-sample update "
+            << per_sample_s << "s vs batched " << batched_s << "s ("
+            << speedup << "x); traces "
+            << (identical ? "identical" : "DIVERGED")
+            << " -> BENCH_kernels.json\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  speedup_probe();
+  if (std::getenv("IMAP_BENCH_NO_PROBE") == nullptr) {
+    speedup_probe();
+    kernel_probe();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

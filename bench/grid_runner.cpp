@@ -227,9 +227,8 @@ std::vector<std::pair<std::string, std::string>> split_top_level(
 
 }  // namespace
 
-void write_parallel_report_entry(const std::string& bench_name,
-                                 const std::string& entry_json) {
-  const std::string path = "BENCH_parallel.json";
+void write_report_entry(const std::string& path, const std::string& key,
+                        const std::string& entry_json) {
   std::vector<std::pair<std::string, std::string>> entries;
   if (std::filesystem::exists(path)) {
     std::ifstream in(path);
@@ -239,11 +238,11 @@ void write_parallel_report_entry(const std::string& bench_name,
   }
   bool replaced = false;
   for (auto& [k, v] : entries)
-    if (k == bench_name) {
+    if (k == key) {
       v = entry_json;
       replaced = true;
     }
-  if (!replaced) entries.emplace_back(bench_name, entry_json);
+  if (!replaced) entries.emplace_back(key, entry_json);
 
   std::ofstream out(path);
   out << "{\n";
@@ -252,6 +251,11 @@ void write_parallel_report_entry(const std::string& bench_name,
     out << (i + 1 < entries.size() ? ",\n" : "\n");
   }
   out << "}\n";
+}
+
+void write_parallel_report_entry(const std::string& bench_name,
+                                 const std::string& entry_json) {
+  write_report_entry("BENCH_parallel.json", bench_name, entry_json);
 }
 
 }  // namespace imap::bench

@@ -56,6 +56,13 @@ class GridRunner {
   double wall_seconds_ = 0.0;  ///< summed over run_plans/run_jobs calls
 };
 
+/// Merge `entry_json` (a JSON value) under key `key` into the flat JSON
+/// object at `path` (created if missing), preserving other keys' entries.
+/// Used for the committed bench reports (BENCH_parallel.json,
+/// BENCH_kernels.json).
+void write_report_entry(const std::string& path, const std::string& key,
+                        const std::string& entry_json);
+
 /// Merge `entry_json` (a JSON value) under key `bench_name` into
 /// BENCH_parallel.json in the working directory, preserving other benches'
 /// entries.

@@ -44,25 +44,47 @@ void RndNovelty::update(const rl::RolloutBuffer& buf, int minibatch) {
        start += static_cast<std::size_t>(minibatch)) {
     const std::size_t end =
         std::min(n, start + static_cast<std::size_t>(minibatch));
-    const double inv_bs = 1.0 / static_cast<double>(end - start);
+    const std::size_t bs = end - start;
+    const double inv_bs = 1.0 / static_cast<double>(bs);
     predictor_.zero_grad();
-    for (std::size_t t = start; t < end; ++t) {
-      const auto& s = buf.obs[order[t]];
-      const auto tgt = target_.forward(s);
-      nn::Mlp::Tape tape;
-      const auto pred = predictor_.forward_tape(s, tape);
-      std::vector<double> grad(pred.size());
-      for (std::size_t i = 0; i < pred.size(); ++i)
-        grad[i] = 2.0 * inv_bs * (pred[i] - tgt[i]);
-      predictor_.backward(tape, grad);
+    // Batched distillation step — gradients are bit-identical to the
+    // per-sample loop (same grad expression, fixed summation order).
+    obs_b_.gather(buf.obs, order, start, end);
+    const nn::Batch& tgt = target_.forward_batch(obs_b_);
+    const nn::Batch& pred = predictor_.forward_batch(obs_b_);
+    const std::size_t ed = embed_dim();
+    grad_b_.resize(bs, ed);
+    for (std::size_t r = 0; r < bs; ++r) {
+      const double* t = tgt.row(r);
+      const double* p = pred.row(r);
+      double* g = grad_b_.row(r);
+      for (std::size_t i = 0; i < ed; ++i)
+        g[i] = 2.0 * inv_bs * (p[i] - t[i]);
     }
+    predictor_.backward_batch(grad_b_);
     opt_.step(predictor_.params(), predictor_.grads());
   }
 }
 
 void RndNovelty::compute(rl::RolloutBuffer& buf) {
-  for (std::size_t i = 0; i < buf.size(); ++i)
-    buf.rew_i[i] = novelty(buf.obs[i]);
+  // Chunk-batched novelty sweep: ‖g(s) − f(s)‖² per row, summed in the
+  // same ascending-dim order as novelty(), so rew_i matches it bit for bit.
+  const std::size_t n = buf.size();
+  constexpr std::size_t kChunk = 1024;
+  for (std::size_t b = 0; b < n; b += kChunk) {
+    const std::size_t e = std::min(n, b + kChunk);
+    obs_b_.gather_range(buf.obs, b, e);
+    const nn::Batch& tgt = target_.forward_batch(obs_b_);
+    const nn::Batch& pred = predictor_.forward_batch(obs_b_);
+    const std::size_t ed = embed_dim();
+    for (std::size_t r = 0; r < e - b; ++r) {
+      const double* t = tgt.row(r);
+      const double* g = pred.row(r);
+      double sq = 0.0;
+      for (std::size_t i = 0; i < ed; ++i) sq += (g[i] - t[i]) * (g[i] - t[i]);
+      buf.rew_i[b + r] = sq;
+    }
+  }
   update(buf);
 }
 

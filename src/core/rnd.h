@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "nn/adam.h"
+#include "nn/batch.h"
 #include "nn/mlp.h"
 #include "rl/rollout.h"
 
@@ -25,11 +26,14 @@ class RndNovelty {
   double novelty(const std::vector<double>& s) const;
 
   /// Train the predictor toward the frozen target on the rollout states
-  /// (one pass of minibatch SGD per call).
+  /// (one pass of minibatch SGD per call). Runs through the batched nn
+  /// kernels; bit-identical to the historical per-sample loop.
   void update(const rl::RolloutBuffer& buf, int minibatch = 128);
 
   /// Convenience: fill buf.rew_i with novelty then update — the same
   /// contract as an adversarial intrinsic regularizer's compute step.
+  /// The novelty sweep is chunk-batched, bit-identical to per-state
+  /// novelty() calls.
   void compute(rl::RolloutBuffer& buf);
 
   std::size_t embed_dim() const { return target_.out_dim(); }
@@ -39,6 +43,8 @@ class RndNovelty {
   nn::Mlp predictor_;  ///< distilled copy, trained online
   nn::Adam opt_;
   Rng rng_;
+  nn::Batch obs_b_;    ///< reusable gathered-observation rows
+  nn::Batch grad_b_;   ///< reusable dL/d(pred) rows
 };
 
 }  // namespace imap::core

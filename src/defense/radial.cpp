@@ -1,55 +1,103 @@
 #include "defense/radial.h"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "common/check.h"
+#include "nn/batch.h"
 
 namespace imap::defense {
+
+namespace {
+
+/// Reusable buffers for the batched RADIAL hook — owned by the closure so
+/// the hook settles into zero heap allocations per minibatch.
+struct RadialScratch {
+  nn::Batch clean;               ///< B×obs clean states
+  std::vector<nn::Batch> pert;   ///< per-corner B×obs perturbed states
+  nn::Batch adv;                 ///< B×obs worst-corner states
+  nn::Batch grad_out;            ///< B×act symmetric gradient rows
+  std::vector<double> worst;     ///< per-sample worst squared distance
+  nn::Mlp::Workspace clean_ws;   ///< tape of the clean forward
+  nn::Mlp::Workspace adv_ws;     ///< tape of the worst-corner forward
+  nn::Mlp::Workspace probe_ws;   ///< corner-probe forwards (no backward)
+};
+
+}  // namespace
 
 rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
                                                  int corners, Rng rng) {
   IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && corners >= 1);
   auto shared_rng = std::make_shared<Rng>(rng);
+  auto scratch = std::make_shared<RadialScratch>();
 
-  return [eps, coef, corners, shared_rng](
+  return [eps, coef, corners, shared_rng, scratch](
              nn::GaussianPolicy& policy, const rl::RolloutBuffer& buf,
              const std::vector<std::size_t>& batch) {
     if (batch.empty()) return;
-    const double inv_bs = 1.0 / static_cast<double>(batch.size());
+    const std::size_t bs = batch.size();
+    const double inv_bs = 1.0 / static_cast<double>(bs);
     auto& net = policy.net();
+    auto& sc = *scratch;
 
-    for (const auto idx : batch) {
-      const auto& s = buf.obs[idx];
-      nn::Mlp::Tape clean_tape;
-      const auto mu_clean = net.forward_tape(s, clean_tape);
+    sc.clean.gather(buf.obs, batch, 0, bs);
+    const std::size_t obs_dim = sc.clean.dim();
+    const nn::Batch& mu_clean = net.forward_batch(sc.clean, sc.clean_ws);
+    const std::size_t act_dim = mu_clean.dim();
 
-      // Worst of N sign corners of the ε-ball.
-      double worst = -1.0;
-      std::vector<double> worst_adv;
+    // Draw every corner perturbation first, in the historical order
+    // (sample-major, then corner, then dim) so the Rng trace is unchanged
+    // from the per-sample implementation.
+    sc.pert.resize(static_cast<std::size_t>(corners));
+    for (auto& p : sc.pert) p.resize(bs, obs_dim);
+    for (std::size_t n = 0; n < bs; ++n) {
+      const double* s = sc.clean.row(n);
       for (int c = 0; c < corners; ++c) {
-        std::vector<double> adv = s;
-        for (auto& x : adv) x += shared_rng->bernoulli(0.5) ? eps : -eps;
-        const auto mu = net.forward(adv);
+        double* p = sc.pert[static_cast<std::size_t>(c)].row(n);
+        for (std::size_t i = 0; i < obs_dim; ++i)
+          p[i] = s[i] + (shared_rng->bernoulli(0.5) ? eps : -eps);
+      }
+    }
+
+    // Worst of N sign corners of the ε-ball, per sample, via one batched
+    // probe forward per corner.
+    sc.worst.assign(bs, -1.0);
+    sc.adv.resize(bs, obs_dim);
+    for (int c = 0; c < corners; ++c) {
+      auto& pert = sc.pert[static_cast<std::size_t>(c)];
+      const nn::Batch& mu = net.forward_batch(pert, sc.probe_ws);
+      for (std::size_t n = 0; n < bs; ++n) {
+        const double* m = mu.row(n);
+        const double* mc = mu_clean.row(n);
         double sq = 0.0;
-        for (std::size_t i = 0; i < mu.size(); ++i) {
-          const double d = mu[i] - mu_clean[i];
+        for (std::size_t i = 0; i < act_dim; ++i) {
+          const double d = m[i] - mc[i];
           sq += d * d;
         }
-        if (sq > worst) {
-          worst = sq;
-          worst_adv = std::move(adv);
+        if (sq > sc.worst[n]) {
+          sc.worst[n] = sq;
+          const double* p = pert.row(n);
+          std::copy(p, p + obs_dim, sc.adv.row(n));
         }
       }
-
-      nn::Mlp::Tape adv_tape;
-      const auto mu_adv = net.forward_tape(worst_adv, adv_tape);
-      std::vector<double> grad_out(mu_adv.size());
-      for (std::size_t i = 0; i < grad_out.size(); ++i)
-        grad_out[i] = 2.0 * coef * inv_bs * (mu_adv[i] - mu_clean[i]);
-      net.backward(adv_tape, grad_out);
-      for (auto& g : grad_out) g = -g;
-      net.backward(clean_tape, grad_out);
     }
+
+    // d/dθ of coef·Σ_n ‖μ(s_n+δ_n) − μ(s_n)‖²·inv_bs: symmetric backward
+    // through the adversarial and clean tapes.
+    const nn::Batch& mu_adv = net.forward_batch(sc.adv, sc.adv_ws);
+    sc.grad_out.resize(bs, act_dim);
+    for (std::size_t n = 0; n < bs; ++n) {
+      const double* ma = mu_adv.row(n);
+      const double* mc = mu_clean.row(n);
+      double* g = sc.grad_out.row(n);
+      for (std::size_t i = 0; i < act_dim; ++i)
+        g[i] = 2.0 * coef * inv_bs * (ma[i] - mc[i]);
+    }
+    net.backward_batch(sc.adv_ws, sc.grad_out);
+    double* g = sc.grad_out.data();
+    for (std::size_t i = 0; i < bs * act_dim; ++i) g[i] = -g[i];
+    net.backward_batch(sc.clean_ws, sc.grad_out);
   };
 }
 

@@ -4,56 +4,104 @@
 #include <memory>
 
 #include "common/check.h"
+#include "nn/batch.h"
 
 namespace imap::defense {
+
+namespace {
+
+/// Reusable buffers for the batched smoothness hook — owned by the closure
+/// so the hook settles into zero heap allocations per minibatch.
+struct SmoothScratch {
+  nn::Batch clean;              ///< B×obs clean states
+  nn::Batch delta;              ///< B×obs current perturbations
+  nn::Batch adv;                ///< B×obs perturbed states
+  nn::Batch diff;               ///< B×act 2(μ_adv − μ_clean) rows
+  nn::Batch grad_out;           ///< B×act symmetric gradient rows
+  nn::Mlp::Workspace clean_ws;  ///< tape of the clean forward
+  nn::Mlp::Workspace adv_ws;    ///< tape of the perturbed forwards
+};
+
+}  // namespace
 
 rl::PpoTrainer::RegularizerHook make_smoothness_hook(double eps, double coef,
                                                      int pgd_steps, Rng rng) {
   IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && pgd_steps >= 1);
   auto shared_rng = std::make_shared<Rng>(rng);
+  auto scratch = std::make_shared<SmoothScratch>();
 
-  return [eps, coef, pgd_steps, shared_rng](
+  return [eps, coef, pgd_steps, shared_rng, scratch](
              nn::GaussianPolicy& policy, const rl::RolloutBuffer& buf,
              const std::vector<std::size_t>& batch) {
     if (batch.empty()) return;
-    const double inv_bs = 1.0 / static_cast<double>(batch.size());
+    const std::size_t bs = batch.size();
+    const double inv_bs = 1.0 / static_cast<double>(bs);
     auto& net = policy.net();
+    auto& sc = *scratch;
 
-    for (const auto idx : batch) {
-      const auto& s = buf.obs[idx];
+    sc.clean.gather(buf.obs, batch, 0, bs);
+    const std::size_t obs_dim = sc.clean.dim();
+    const nn::Batch& mu_clean = net.forward_batch(sc.clean, sc.clean_ws);
+    const std::size_t act_dim = mu_clean.dim();
 
-      nn::Mlp::Tape clean_tape;
-      const auto mu_clean = net.forward_tape(s, clean_tape);
-
-      // Inner max over the ε-ball: random start + FGSM steps on
-      // ‖μ(s+δ) − μ(s)‖².
-      std::vector<double> delta(s.size());
-      for (auto& d : delta) d = shared_rng->uniform(-eps, eps);
-
-      std::vector<double> adv = s;
-      nn::Mlp::Tape adv_tape;
-      std::vector<double> mu_adv;
-      for (int step = 0; step < pgd_steps; ++step) {
-        for (std::size_t c = 0; c < s.size(); ++c) adv[c] = s[c] + delta[c];
-        mu_adv = net.forward_tape(adv, adv_tape);
-        std::vector<double> diff(mu_adv.size());
-        for (std::size_t c = 0; c < diff.size(); ++c)
-          diff[c] = 2.0 * (mu_adv[c] - mu_clean[c]);
-        const auto g = net.input_gradient(adv_tape, diff);
-        for (std::size_t c = 0; c < delta.size(); ++c)
-          delta[c] = (g[c] >= 0.0 ? eps : -eps);
-      }
-      for (std::size_t c = 0; c < s.size(); ++c) adv[c] = s[c] + delta[c];
-      mu_adv = net.forward_tape(adv, adv_tape);
-
-      // d/dθ of coef·‖μ(s+δ*) − μ(s)‖²: flows through both branches.
-      std::vector<double> grad_out(mu_adv.size());
-      for (std::size_t c = 0; c < grad_out.size(); ++c)
-        grad_out[c] = 2.0 * coef * inv_bs * (mu_adv[c] - mu_clean[c]);
-      net.backward(adv_tape, grad_out);
-      for (auto& g : grad_out) g = -g;
-      net.backward(clean_tape, grad_out);
+    // Random start of the inner max, drawn in the historical per-sample
+    // order (sample-major, then dim) so the Rng trace is unchanged.
+    sc.delta.resize(bs, obs_dim);
+    for (std::size_t n = 0; n < bs; ++n) {
+      double* d = sc.delta.row(n);
+      for (std::size_t i = 0; i < obs_dim; ++i)
+        d[i] = shared_rng->uniform(-eps, eps);
     }
+
+    // Lock-step batched PGD on ‖μ(s+δ) − μ(s)‖². Samples never couple, so
+    // each row's trajectory matches the per-sample FGSM loop exactly.
+    sc.adv.resize(bs, obs_dim);
+    sc.diff.resize(bs, act_dim);
+    for (int step = 0; step < pgd_steps; ++step) {
+      for (std::size_t n = 0; n < bs; ++n) {
+        const double* s = sc.clean.row(n);
+        const double* d = sc.delta.row(n);
+        double* a = sc.adv.row(n);
+        for (std::size_t i = 0; i < obs_dim; ++i) a[i] = s[i] + d[i];
+      }
+      const nn::Batch& mu_adv = net.forward_batch(sc.adv, sc.adv_ws);
+      for (std::size_t n = 0; n < bs; ++n) {
+        const double* ma = mu_adv.row(n);
+        const double* mc = mu_clean.row(n);
+        double* df = sc.diff.row(n);
+        for (std::size_t i = 0; i < act_dim; ++i)
+          df[i] = 2.0 * (ma[i] - mc[i]);
+      }
+      const nn::Batch& g = net.input_gradient_batch(sc.adv_ws, sc.diff);
+      for (std::size_t n = 0; n < bs; ++n) {
+        const double* gr = g.row(n);
+        double* d = sc.delta.row(n);
+        for (std::size_t i = 0; i < obs_dim; ++i)
+          d[i] = (gr[i] >= 0.0 ? eps : -eps);
+      }
+    }
+    for (std::size_t n = 0; n < bs; ++n) {
+      const double* s = sc.clean.row(n);
+      const double* d = sc.delta.row(n);
+      double* a = sc.adv.row(n);
+      for (std::size_t i = 0; i < obs_dim; ++i) a[i] = s[i] + d[i];
+    }
+    const nn::Batch& mu_adv = net.forward_batch(sc.adv, sc.adv_ws);
+
+    // d/dθ of coef·Σ_n ‖μ(s_n+δ*_n) − μ(s_n)‖²·inv_bs: flows through both
+    // the perturbed and the clean branch.
+    sc.grad_out.resize(bs, act_dim);
+    for (std::size_t n = 0; n < bs; ++n) {
+      const double* ma = mu_adv.row(n);
+      const double* mc = mu_clean.row(n);
+      double* g = sc.grad_out.row(n);
+      for (std::size_t i = 0; i < act_dim; ++i)
+        g[i] = 2.0 * coef * inv_bs * (ma[i] - mc[i]);
+    }
+    net.backward_batch(sc.adv_ws, sc.grad_out);
+    double* g = sc.grad_out.data();
+    for (std::size_t i = 0; i < bs * act_dim; ++i) g[i] = -g[i];
+    net.backward_batch(sc.clean_ws, sc.grad_out);
   };
 }
 

@@ -13,16 +13,21 @@ namespace {
 constexpr double kLog2Pi = 1.8378770664093453;  // ln(2π)
 }
 
-double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
-                const std::vector<double>& log_std) {
-  IMAP_CHECK(a.size() == mean.size() && a.size() == log_std.size());
+double log_prob(const double* a, const double* mean, const double* log_std,
+                std::size_t n) {
   double lp = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double z = (a[i] - mean[i]) * std::exp(-log_std[i]);
     lp += -0.5 * z * z - log_std[i] - 0.5 * kLog2Pi;
   }
   IMAP_NCHECK_FINITE(lp, "diag_gaussian.log_prob");
   return lp;
+}
+
+double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
+                const std::vector<double>& log_std) {
+  IMAP_CHECK(a.size() == mean.size() && a.size() == log_std.size());
+  return log_prob(a.data(), mean.data(), log_std.data(), a.size());
 }
 
 double entropy(const std::vector<double>& log_std) {
@@ -108,6 +113,20 @@ std::vector<double> GaussianPolicy::mean_tape(const std::vector<double>& obs,
   return net_.forward_tape(obs, tape);
 }
 
+const Batch& GaussianPolicy::mean_batch(const Batch& obs) {
+  return net_.forward_batch(obs);
+}
+
+void GaussianPolicy::log_prob_batch(const Batch& obs, const Batch& act,
+                                    std::vector<double>& out) {
+  IMAP_CHECK(act.rows() == obs.rows() && act.dim() == act_dim());
+  const Batch& mean = mean_batch(obs);
+  out.resize(obs.rows());
+  for (std::size_t n = 0; n < obs.rows(); ++n)
+    out[n] = diag_gaussian::log_prob(act.row(n), mean.row(n), log_std_.data(),
+                                     act_dim());
+}
+
 void GaussianPolicy::backward_logp(const Mlp::Tape& tape,
                                    const std::vector<double>& act,
                                    double coeff) {
@@ -118,6 +137,40 @@ void GaussianPolicy::backward_logp(const Mlp::Tape& tape,
   const auto gs = diag_gaussian::dlogp_dlogstd(act, mean, log_std_);
   for (std::size_t i = 0; i < log_std_grad_.size(); ++i)
     log_std_grad_[i] += coeff * gs[i];
+}
+
+void GaussianPolicy::backward_logp_batch(const Batch& act,
+                                         const std::vector<double>& coeff) {
+  auto& ws = net_.workspace();
+  IMAP_CHECK_MSG(!ws.post.empty(),
+                 "backward_logp_batch without a prior mean_batch");
+  const Batch& mean = ws.post.back();
+  const std::size_t b = act.rows();
+  IMAP_CHECK(coeff.size() == b && act.dim() == act_dim() && mean.rows() == b);
+  dmean_.resize(b, act_dim());
+  for (std::size_t n = 0; n < b; ++n) {
+    const double* a = act.row(n);
+    const double* m = mean.row(n);
+    double* g = dmean_.row(n);
+    const double cn = coeff[n];
+    for (std::size_t i = 0; i < log_std_.size(); ++i) {
+      const double inv_var = std::exp(-2.0 * log_std_[i]);
+      // Two-step (dlogp then ·coeff), matching backward_logp bit-for-bit.
+      double v = (a[i] - m[i]) * inv_var;
+      v *= cn;
+      g[i] = v;
+    }
+  }
+  net_.backward_batch(dmean_);
+  for (std::size_t n = 0; n < b; ++n) {
+    const double* a = act.row(n);
+    const double* m = mean.row(n);
+    const double cn = coeff[n];
+    for (std::size_t i = 0; i < log_std_grad_.size(); ++i) {
+      const double z = (a[i] - m[i]) * std::exp(-log_std_[i]);
+      log_std_grad_[i] += cn * (z * z - 1.0);
+    }
+  }
 }
 
 void GaussianPolicy::backward_entropy(double coeff) {
@@ -143,6 +196,20 @@ std::vector<double> GaussianPolicy::flat_grads() const {
   std::vector<double> g = net_.grads();
   g.insert(g.end(), log_std_grad_.begin(), log_std_grad_.end());
   return g;
+}
+
+void GaussianPolicy::flat_params_into(std::vector<double>& out) const {
+  out.resize(n_params());
+  std::copy(net_.params().begin(), net_.params().end(), out.begin());
+  std::copy(log_std_.begin(), log_std_.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(net_.params().size()));
+}
+
+void GaussianPolicy::flat_grads_into(std::vector<double>& out) const {
+  out.resize(n_params());
+  std::copy(net_.grads().begin(), net_.grads().end(), out.begin());
+  std::copy(log_std_grad_.begin(), log_std_grad_.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(net_.grads().size()));
 }
 
 void GaussianPolicy::accumulate_flat_grads(const std::vector<double>& g) {
@@ -181,8 +248,20 @@ double ValueNet::value_tape(const std::vector<double>& obs,
   return net_.forward_tape(obs, tape)[0];
 }
 
+void ValueNet::value_batch(const Batch& obs, std::vector<double>& out) {
+  const Batch& o = net_.forward_batch(obs);
+  out.resize(obs.rows());
+  for (std::size_t n = 0; n < obs.rows(); ++n) out[n] = o.row(n)[0];
+}
+
 void ValueNet::backward(const Mlp::Tape& tape, double coeff) {
   net_.backward(tape, {coeff});
+}
+
+void ValueNet::backward_batch(const std::vector<double>& coeff) {
+  dout_.resize(coeff.size(), 1);
+  for (std::size_t n = 0; n < coeff.size(); ++n) dout_(n, 0) = coeff[n];
+  net_.backward_batch(dout_);
 }
 
 }  // namespace imap::nn

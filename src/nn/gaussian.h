@@ -10,6 +10,10 @@ namespace imap::nn {
 /// Closed-form diagonal-Gaussian math shared by the policy classes.
 namespace diag_gaussian {
 
+/// Pointer core of log_prob — the batched paths call this once per row.
+double log_prob(const double* a, const double* mean, const double* log_std,
+                std::size_t n);
+
 /// log N(a | mean, exp(log_std)²), summed over dims.
 double log_prob(const std::vector<double>& a, const std::vector<double>& mean,
                 const std::vector<double>& log_std);
@@ -62,11 +66,28 @@ class GaussianPolicy {
   std::vector<double> mean_tape(const std::vector<double>& obs,
                                 Mlp::Tape& tape) const;
 
+  /// Batched mean forward on the policy-owned workspace, recording the
+  /// batched tape for a later backward_logp_batch. Returns the mean rows
+  /// (reference into the workspace, valid until the next batched call).
+  const Batch& mean_batch(const Batch& obs);
+
+  /// log π(a_n|s_n) for every row of a minibatch, written into `out`
+  /// (resized to obs.rows()). Bit-identical to per-row log_prob(). Records
+  /// the mean tape like mean_batch.
+  void log_prob_batch(const Batch& obs, const Batch& act,
+                      std::vector<double>& out);
+
   /// Accumulate coeff · ∇_θ log π(a|s) into the gradient buffers. The tape
   /// must come from mean_tape(obs). Used by the PPO policy-gradient step
   /// (coeff = clipped advantage weight) and by behaviour cloning.
   void backward_logp(const Mlp::Tape& tape, const std::vector<double>& act,
                      double coeff);
+
+  /// Batched backward_logp over the tape recorded by the last
+  /// mean_batch/log_prob_batch: accumulates Σ_n coeff[n]·∇_θ log π(a_n|s_n).
+  /// Bit-identical to calling backward_logp once per row in ascending row
+  /// order (coeff[n] = 0 rows contribute exact zeros).
+  void backward_logp_batch(const Batch& act, const std::vector<double>& coeff);
 
   /// Accumulate coeff · ∇_θ H(π) (only log_std receives gradient).
   void backward_entropy(double coeff);
@@ -77,6 +98,10 @@ class GaussianPolicy {
   std::vector<double> flat_params() const;
   void set_flat_params(const std::vector<double>& p);
   std::vector<double> flat_grads() const;
+  /// Allocation-free variants for hot loops: write into a caller-owned
+  /// buffer (resized on first use, reused afterwards).
+  void flat_params_into(std::vector<double>& out) const;
+  void flat_grads_into(std::vector<double>& out) const;
   /// Add a flat gradient vector (same layout as flat_grads) into the
   /// gradient buffers — used to fold sharded accumulators back in.
   void accumulate_flat_grads(const std::vector<double>& g);
@@ -93,6 +118,7 @@ class GaussianPolicy {
   Mlp net_;
   std::vector<double> log_std_;
   std::vector<double> log_std_grad_;
+  Batch dmean_;  ///< reusable dL/dmean rows for backward_logp_batch
 };
 
 /// Scalar state-value network V(s).
@@ -103,8 +129,18 @@ class ValueNet {
   double value(const std::vector<double>& obs) const;
   double value_tape(const std::vector<double>& obs, Mlp::Tape& tape) const;
 
+  /// V(s_n) for every row of a minibatch, written into `out` (resized to
+  /// obs.rows()); records the batched tape for a later backward_batch.
+  /// Bit-identical to per-row value().
+  void value_batch(const Batch& obs, std::vector<double>& out);
+
   /// Accumulate coeff · ∇_θ V(s) into gradients (coeff = dL/dV).
   void backward(const Mlp::Tape& tape, double coeff);
+
+  /// Batched critic backward over the tape recorded by the last
+  /// value_batch: accumulates Σ_n coeff[n]·∇_θ V(s_n). Bit-identical to
+  /// per-row backward() in ascending row order.
+  void backward_batch(const std::vector<double>& coeff);
 
   std::vector<double>& params() { return net_.params(); }
   const std::vector<double>& params() const { return net_.params(); }
@@ -117,6 +153,7 @@ class ValueNet {
 
  private:
   Mlp net_;
+  Batch dout_;  ///< reusable B×1 grad-out rows for backward_batch
 };
 
 }  // namespace imap::nn

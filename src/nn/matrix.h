@@ -7,6 +7,56 @@
 
 namespace imap::nn {
 
+/// The shared dense kernels every matrix/MLP code path routes through —
+/// per-sample (Matrix::matvec, Mlp::layer forward/backward) and batched
+/// (Mlp::forward_batch / backward_batch) alike. One implementation, one
+/// summation order.
+///
+/// Determinism contract: for each output element the reduction over the
+/// contraction dimension runs sequentially in ascending index order,
+/// starting from the bias (or the existing accumulator for the *_acc
+/// kernels). Blocking — and, on x86-64 with AVX2, SIMD lanes — is only
+/// ever applied across *independent* output elements (batch rows, output
+/// neurons, weight entries), and the vector paths use separate mul/add
+/// with FMA disabled at the ISA level, so the batched kernels are
+/// bit-identical to calling the per-sample kernel once per row on any
+/// hardware.
+namespace kernel {
+
+/// y[r] = b[r] + Σ_c w[r·in + c]·x[c]   (b == nullptr ⇒ bias 0).
+void affine(const double* w, const double* b, std::size_t out, std::size_t in,
+            const double* x, double* y);
+
+/// y[c] += Σ_r w[r·in + c]·x[r], accumulated r-outer / c-inner — the
+/// backward input-gradient order.
+void matvec_t_acc(const double* w, std::size_t out, std::size_t in,
+                  const double* x, double* y);
+
+/// m[r·cols + c] += (u[r]·scale)·v[c].
+void outer_acc(double* m, std::size_t rows, std::size_t cols, const double* u,
+               const double* v, double scale);
+
+/// Y[n] = W·X[n] + b for every batch row n. X is batch×in, Y batch×out,
+/// both row-major. Vectorised across output neurons (AVX2) or blocked 4
+/// batch rows at a time (scalar); per-(n,r) summation order matches
+/// affine() exactly in both variants.
+void batch_affine(const double* w, const double* b, std::size_t out,
+                  std::size_t in, const double* x, std::size_t batch,
+                  double* y);
+
+/// GIN[n] = Wᵀ·G[n] for every batch row n (overwrites GIN). Per-row
+/// accumulation order matches matvec_t_acc on a zeroed output.
+void batch_matvec_t(const double* w, std::size_t out, std::size_t in,
+                    const double* g, std::size_t batch, double* gin);
+
+/// dW[r·in + c] += Σ_n G[n][r]·X[n][c] and db[r] += Σ_n G[n][r], with the
+/// per-entry sum over n sequential in ascending n — bit-identical to
+/// accumulating one sample at a time via outer_acc.
+void batch_outer_acc(const double* g, const double* x, std::size_t batch,
+                     std::size_t out, std::size_t in, double* dw, double* db);
+
+}  // namespace kernel
+
 /// Dense row-major matrix of doubles. This is deliberately a small value
 /// type: the networks in this library are tiny (observation dims ≤ 32,
 /// hidden widths ≤ 64), so clarity beats BLAS.

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -35,29 +36,21 @@ Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng, double init_scale)
   }
 }
 
-std::vector<double> Mlp::layer_forward(const LayerView& l,
-                                       const std::vector<double>& x,
-                                       const std::vector<double>& block) const {
-  std::vector<double> y(l.out);
-  const double* w = block.data() + l.w_off;
-  const double* b = block.data() + l.b_off;
-  for (std::size_t r = 0; r < l.out; ++r) {
-    double s = b[r];
-    const double* row = w + r * l.in;
-    for (std::size_t c = 0; c < l.in; ++c) s += row[c] * x[c];
-    y[r] = s;
-  }
-  return y;
-}
-
 std::vector<double> Mlp::forward(const std::vector<double>& x) const {
   IMAP_CHECK_MSG(x.size() == in_dim(),
                  "input dim " << x.size() << " != " << in_dim());
+  // Ping-pong between two buffers hoisted out of the layer loop; the shared
+  // kernel::affine keeps the summation order identical to the batched path.
   std::vector<double> h = x;
+  std::vector<double> y;
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    h = layer_forward(layers_[li], h, params_);
+    const auto& l = layers_[li];
+    y.resize(l.out);
+    kernel::affine(params_.data() + l.w_off, params_.data() + l.b_off, l.out,
+                   l.in, h.data(), y.data());
     if (li + 1 < layers_.size())
-      for (double& v : h) v = std::tanh(v);
+      for (double& v : y) v = std::tanh(v);
+    std::swap(h, y);
   }
   IMAP_NCHECK_SHAPE(h.size(), out_dim(), "Mlp::forward output");
   IMAP_NCHECK_FINITE_VEC(h, "Mlp::forward output");
@@ -67,11 +60,16 @@ std::vector<double> Mlp::forward(const std::vector<double>& x) const {
 std::vector<double> Mlp::forward_tape(const std::vector<double>& x,
                                       Tape& tape) const {
   IMAP_CHECK(x.size() == in_dim());
-  tape.pre.assign(layers_.size(), {});
-  tape.post.assign(layers_.size() + 1, {});
-  tape.post[0] = x;
+  // resize/assign (not re-construction) so a reused Tape keeps its heap
+  // blocks across calls.
+  tape.pre.resize(layers_.size());
+  tape.post.resize(layers_.size() + 1);
+  tape.post[0].assign(x.begin(), x.end());
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    tape.pre[li] = layer_forward(layers_[li], tape.post[li], params_);
+    const auto& l = layers_[li];
+    tape.pre[li].resize(l.out);
+    kernel::affine(params_.data() + l.w_off, params_.data() + l.b_off, l.out,
+                   l.in, tape.post[li].data(), tape.pre[li].data());
     tape.post[li + 1] = tape.pre[li];
     if (li + 1 < layers_.size())
       for (double& v : tape.post[li + 1]) v = std::tanh(v);
@@ -84,32 +82,25 @@ std::vector<double> Mlp::backward(const Tape& tape,
                                   const std::vector<double>& grad_out) {
   IMAP_CHECK(grad_out.size() == out_dim());
   std::vector<double> g = grad_out;  // dL/d(pre-activation of current layer)
+  std::vector<double> gin;           // dL/d(input of current layer)
   for (std::size_t li = layers_.size(); li-- > 0;) {
     const auto& l = layers_[li];
-    // Accumulate parameter grads: dL/dW = g ⊗ input, dL/db = g.
-    double* gw = grads_.data() + l.w_off;
-    double* gb = grads_.data() + l.b_off;
+    // Accumulate parameter grads: dL/dW += g ⊗ input, dL/db += g.
     const auto& in = tape.post[li];
-    for (std::size_t r = 0; r < l.out; ++r) {
-      double* row = gw + r * l.in;
-      const double gr = g[r];
-      for (std::size_t c = 0; c < l.in; ++c) row[c] += gr * in[c];
-      gb[r] += gr;
-    }
+    kernel::outer_acc(grads_.data() + l.w_off, l.out, l.in, g.data(),
+                      in.data(), 1.0);
+    double* gb = grads_.data() + l.b_off;
+    for (std::size_t r = 0; r < l.out; ++r) gb[r] += g[r];
     // Propagate to input: dL/din = Wᵀ g, then through tanh if not first layer.
-    std::vector<double> gin(l.in, 0.0);
-    const double* w = params_.data() + l.w_off;
-    for (std::size_t r = 0; r < l.out; ++r) {
-      const double* row = w + r * l.in;
-      const double gr = g[r];
-      for (std::size_t c = 0; c < l.in; ++c) gin[c] += row[c] * gr;
-    }
+    gin.assign(l.in, 0.0);
+    kernel::matvec_t_acc(params_.data() + l.w_off, l.out, l.in, g.data(),
+                         gin.data());
     if (li > 0) {
       const auto& post = tape.post[li];  // tanh(pre[li-1])
       for (std::size_t c = 0; c < l.in; ++c)
         gin[c] *= (1.0 - post[c] * post[c]);
     }
-    g = std::move(gin);
+    std::swap(g, gin);
   }
   IMAP_NCHECK_FINITE_VEC(g, "Mlp::backward input-gradient");
   return g;  // dL/dx
@@ -119,23 +110,100 @@ std::vector<double> Mlp::input_gradient(
     const Tape& tape, const std::vector<double>& grad_out) const {
   IMAP_CHECK(grad_out.size() == out_dim());
   std::vector<double> g = grad_out;
+  std::vector<double> gin;
   for (std::size_t li = layers_.size(); li-- > 0;) {
     const auto& l = layers_[li];
-    std::vector<double> gin(l.in, 0.0);
-    const double* w = params_.data() + l.w_off;
-    for (std::size_t r = 0; r < l.out; ++r) {
-      const double* row = w + r * l.in;
-      const double gr = g[r];
-      for (std::size_t c = 0; c < l.in; ++c) gin[c] += row[c] * gr;
-    }
+    gin.assign(l.in, 0.0);
+    kernel::matvec_t_acc(params_.data() + l.w_off, l.out, l.in, g.data(),
+                         gin.data());
     if (li > 0) {
       const auto& post = tape.post[li];
       for (std::size_t c = 0; c < l.in; ++c)
         gin[c] *= (1.0 - post[c] * post[c]);
     }
-    g = std::move(gin);
+    std::swap(g, gin);
   }
   return g;
+}
+
+const Batch& Mlp::forward_batch(const Batch& x, Workspace& ws) const {
+  IMAP_CHECK_MSG(x.dim() == in_dim(),
+                 "batch dim " << x.dim() << " != " << in_dim());
+  const std::size_t b = x.rows();
+  ws.pre.resize(layers_.size());
+  ws.post.resize(layers_.size() + 1);
+  ws.post[0].assign(x);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& l = layers_[li];
+    ws.pre[li].resize(b, l.out);
+    kernel::batch_affine(params_.data() + l.w_off, params_.data() + l.b_off,
+                         l.out, l.in, ws.post[li].data(), b,
+                         ws.pre[li].data());
+    auto& post = ws.post[li + 1];
+    post.resize(b, l.out);
+    const double* src = ws.pre[li].data();
+    double* dst = post.data();
+    const std::size_t nel = b * l.out;
+    if (li + 1 < layers_.size()) {
+      for (std::size_t i = 0; i < nel; ++i) dst[i] = std::tanh(src[i]);
+    } else {
+      std::copy(src, src + nel, dst);
+    }
+  }
+  return ws.post.back();
+}
+
+const Batch& Mlp::backward_batch(Workspace& ws, const Batch& grad_out) {
+  IMAP_CHECK_MSG(ws.post.size() == layers_.size() + 1,
+                 "backward_batch without a prior forward_batch on this "
+                 "workspace");
+  IMAP_CHECK(grad_out.dim() == out_dim());
+  IMAP_CHECK(grad_out.rows() == ws.post.back().rows());
+  const std::size_t b = grad_out.rows();
+  ws.g.assign(grad_out);
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& l = layers_[li];
+    kernel::batch_outer_acc(ws.g.data(), ws.post[li].data(), b, l.out, l.in,
+                            grads_.data() + l.w_off, grads_.data() + l.b_off);
+    ws.gin.resize(b, l.in);
+    kernel::batch_matvec_t(params_.data() + l.w_off, l.out, l.in, ws.g.data(),
+                           b, ws.gin.data());
+    if (li > 0) {
+      const double* post = ws.post[li].data();
+      double* gi = ws.gin.data();
+      const std::size_t nel = b * l.in;
+      for (std::size_t i = 0; i < nel; ++i)
+        gi[i] *= (1.0 - post[i] * post[i]);
+    }
+    std::swap(ws.g, ws.gin);
+  }
+  return ws.g;  // dL/dX, one row per sample
+}
+
+const Batch& Mlp::input_gradient_batch(Workspace& ws,
+                                       const Batch& grad_out) const {
+  IMAP_CHECK_MSG(ws.post.size() == layers_.size() + 1,
+                 "input_gradient_batch without a prior forward_batch on this "
+                 "workspace");
+  IMAP_CHECK(grad_out.dim() == out_dim());
+  IMAP_CHECK(grad_out.rows() == ws.post.back().rows());
+  const std::size_t b = grad_out.rows();
+  ws.g.assign(grad_out);
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& l = layers_[li];
+    ws.gin.resize(b, l.in);
+    kernel::batch_matvec_t(params_.data() + l.w_off, l.out, l.in, ws.g.data(),
+                           b, ws.gin.data());
+    if (li > 0) {
+      const double* post = ws.post[li].data();
+      double* gi = ws.gin.data();
+      const std::size_t nel = b * l.in;
+      for (std::size_t i = 0; i < nel; ++i)
+        gi[i] *= (1.0 - post[i] * post[i]);
+    }
+    std::swap(ws.g, ws.gin);
+  }
+  return ws.g;
 }
 
 void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/batch.h"
 #include "nn/matrix.h"
 
 namespace imap::nn {
@@ -44,6 +45,43 @@ class Mlp {
   std::vector<double> input_gradient(const Tape& tape,
                                      const std::vector<double>& grad_out) const;
 
+  /// Reusable arena for the batched kernels: the batched activation tape
+  /// (pre/post per layer) plus the backward ping-pong scratch. All buffers
+  /// grow to the high-water batch size once and are then reused — zero heap
+  /// allocations per step in steady state. One Workspace may be in flight
+  /// per thread; the Mlp itself stays read-only during batched forwards.
+  struct Workspace {
+    std::vector<Batch> pre;   ///< pre-activations per layer (B×out)
+    std::vector<Batch> post;  ///< post-activations (post[0] = input copy)
+    Batch g;                  ///< dL/d(pre-activation) scratch
+    Batch gin;                ///< dL/d(input of layer) scratch
+  };
+
+  /// Batched inference/training forward: stacks B samples through the
+  /// blocked kernels, recording the activation tape in `ws`. Returns the
+  /// output rows (a reference into `ws`, valid until the next call).
+  /// Bit-identical to calling forward()/forward_tape() once per row.
+  const Batch& forward_batch(const Batch& x, Workspace& ws) const;
+
+  /// Convenience overload on the Mlp-owned workspace (hence non-const:
+  /// concurrent use of one Mlp's owned workspace would race).
+  const Batch& forward_batch(const Batch& x) { return forward_batch(x, ws_); }
+
+  /// Batched backward through the tape recorded by forward_batch on `ws`:
+  /// accumulates dL/dparams into the gradient buffer and returns dL/dinput
+  /// rows (reference into `ws`). Gradients are bit-identical to running
+  /// backward() per row in ascending row order.
+  const Batch& backward_batch(Workspace& ws, const Batch& grad_out);
+  const Batch& backward_batch(const Batch& grad_out) {
+    return backward_batch(ws_, grad_out);
+  }
+
+  /// Batched dL/dinput only (parameter gradients untouched).
+  const Batch& input_gradient_batch(Workspace& ws,
+                                    const Batch& grad_out) const;
+
+  Workspace& workspace() { return ws_; }
+
   void zero_grad();
 
   std::vector<double>& params() { return params_; }
@@ -63,14 +101,11 @@ class Mlp {
     std::size_t out;
   };
 
-  std::vector<double> layer_forward(const LayerView& l,
-                                    const std::vector<double>& x,
-                                    const std::vector<double>& block) const;
-
   std::vector<std::size_t> sizes_;
   std::vector<LayerView> layers_;
   std::vector<double> params_;
   std::vector<double> grads_;
+  Workspace ws_;  ///< owned arena for the convenience batched overloads
 };
 
 }  // namespace imap::nn

@@ -1,6 +1,10 @@
 #include "rl/evaluate.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/check.h"
+#include "nn/batch.h"
 
 namespace imap::rl {
 
@@ -30,6 +34,74 @@ EvalStats evaluate(const Env& proto, const ActionFn& act, int episodes,
     total_len += len;
   }
 
+  out.returns = summarize(out.episode_returns);
+  out.success_rate = static_cast<double>(successes) / episodes;
+  out.mean_length = static_cast<double>(total_len) / episodes;
+  return out;
+}
+
+EvalStats evaluate_batched(const Env& proto, nn::GaussianPolicy& policy,
+                           int episodes, Rng& rng) {
+  IMAP_CHECK(episodes > 0);
+  IMAP_CHECK(policy.obs_dim() == proto.obs_dim());
+  IMAP_CHECK(policy.act_dim() == proto.act_dim());
+
+  struct Episode {
+    std::unique_ptr<Env> env;
+    Rng rng{0};
+    std::vector<double> obs;
+    double ret = 0.0;
+    int len = 0;
+    bool finished = false;
+    bool success = false;
+  };
+  std::vector<Episode> eps(static_cast<std::size_t>(episodes));
+  for (std::size_t e = 0; e < eps.size(); ++e) {
+    eps[e].env = proto.clone();
+    eps[e].rng = rng.split(static_cast<std::uint64_t>(e));
+    eps[e].obs = eps[e].env->reset(eps[e].rng);
+  }
+
+  nn::Batch obs_b;
+  std::vector<std::size_t> live;
+  std::vector<double> action(proto.act_dim());
+  live.reserve(eps.size());
+  for (std::size_t e = 0; e < eps.size(); ++e) live.push_back(e);
+
+  while (!live.empty()) {
+    // One batched mean forward answers every live episode this step; each
+    // row is bit-identical to policy.mean_action(obs) on that episode.
+    obs_b.resize(live.size(), proto.obs_dim());
+    for (std::size_t r = 0; r < live.size(); ++r)
+      obs_b.set_row(r, eps[live[r]].obs);
+    const nn::Batch& mu = policy.mean_batch(obs_b);
+
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      Episode& ep = eps[live[r]];
+      action.assign(mu.row(r), mu.row(r) + proto.act_dim());
+      StepResult sr = ep.env->step(ep.env->action_space().clamp(action));
+      ep.ret += sr.reward;
+      ++ep.len;
+      if (sr.done || sr.truncated) {
+        ep.finished = true;
+        ep.success = sr.task_completed;
+      } else {
+        std::swap(ep.obs, sr.obs);
+        live[kept++] = live[r];
+      }
+    }
+    live.resize(kept);
+  }
+
+  EvalStats out;
+  long long total_len = 0;
+  int successes = 0;
+  for (const auto& ep : eps) {
+    out.episode_returns.push_back(ep.ret);
+    total_len += ep.len;
+    if (ep.success) ++successes;
+  }
   out.returns = summarize(out.episode_returns);
   out.success_rate = static_cast<double>(successes) / episodes;
   out.mean_length = static_cast<double>(total_len) / episodes;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "common/stats.h"
@@ -96,7 +97,9 @@ void PpoTrainer::collect_worker(RolloutWorker& w, int steps) {
       w.ep_return = w.ep_surrogate = 0.0;
       w.ep_len = 0;
     } else {
-      w.cur_obs = sr.obs;
+      // Swap instead of copy: sr is dead after this, so stealing its buffer
+      // avoids a per-step element copy in the sampling hot loop.
+      std::swap(w.cur_obs, sr.obs);
     }
   }
 
@@ -175,7 +178,8 @@ void PpoTrainer::collect_serial(RolloutBuffer& buf) {
       ep_return_ = ep_surrogate_ = 0.0;
       ep_len_ = 0;
     } else {
-      cur_obs_ = sr.obs;
+      // Swap instead of copy (see collect_worker).
+      std::swap(cur_obs_, sr.obs);
     }
   }
 
@@ -200,15 +204,79 @@ void PpoTrainer::ensure_shards(int n_shards) {
   shards_.clear();
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s)
-    shards_.push_back(ShardScratch{*policy_, *value_e_, *value_i_, {}, {}});
+    shards_.push_back(
+        ShardScratch{*policy_, *value_e_, *value_i_, {}, {}, {}});
 }
 
 PpoTrainer::BatchPartial PpoTrainer::process_range(
     nn::GaussianPolicy& pol, nn::ValueNet& ve, nn::ValueNet* vi,
     const RolloutBuffer& buf, const std::vector<std::size_t>& order,
     std::size_t b, std::size_t e, const std::vector<double>& adv,
-    const GaeResult& gae_e, const GaeResult* gae_i, double inv_bs) const {
+    const GaeResult& gae_e, const GaeResult* gae_i, double inv_bs,
+    UpdateScratch& scratch) const {
   BatchPartial out;
+  if (e <= b) return out;
+
+  if (opts_.batched_update) {
+    // Batched path: one gather plus one batched forward/backward per
+    // network instead of per-sample tapes. Inactive (clipped-out) samples
+    // keep coefficient 0.0, which flows through the fixed-summation-order
+    // kernels as exact bitwise no-ops, so the accumulated gradients match
+    // the per-sample branch below bit for bit (see DESIGN.md, Kernel layer).
+    const std::size_t bs = e - b;
+    scratch.obs.gather(buf.obs, order, b, e);
+    scratch.act.gather(buf.act, order, b, e);
+    const nn::Batch& mean = pol.mean_batch(scratch.obs);
+    const std::size_t adim = pol.act_dim();
+    scratch.coeff.resize(bs);
+    for (std::size_t n = 0; n < bs; ++n) {
+      const std::size_t idx = order[b + n];
+      const double lp_new = nn::diag_gaussian::log_prob(
+          scratch.act.row(n), mean.row(n), pol.log_std().data(), adim);
+      const double ratio = std::exp(lp_new - buf.logp[idx]);
+      IMAP_NCHECK_FINITE(ratio, "ppo.ratio");
+      const double a = adv[idx];
+      const bool active =
+          (a >= 0.0) ? (ratio < 1.0 + opts_.clip) : (ratio > 1.0 - opts_.clip);
+      scratch.coeff[n] = active ? -a * ratio * inv_bs : 0.0;
+      out.pol_loss += -std::min(ratio * a,
+                                std::clamp(ratio, 1.0 - opts_.clip,
+                                           1.0 + opts_.clip) *
+                                    a);
+      out.kl += buf.logp[idx] - lp_new;
+      ++out.samples;
+    }
+    pol.backward_logp_batch(scratch.act, scratch.coeff);
+
+    // Extrinsic critic regression. vcoeff mirrors the per-sample
+    // expression opts_.vf_coef * verr * inv_bs (left-associated).
+    ve.value_batch(scratch.obs, scratch.vals);
+    scratch.vcoeff.resize(bs);
+    for (std::size_t n = 0; n < bs; ++n) {
+      const std::size_t idx = order[b + n];
+      const double verr = scratch.vals[n] - gae_e.returns[idx];
+      scratch.vcoeff[n] = opts_.vf_coef * verr * inv_bs;
+      out.val_loss += 0.5 * verr * verr;
+    }
+    ve.backward_batch(scratch.vcoeff);
+
+    if (vi) {
+      vi->value_batch(scratch.obs, scratch.vals);
+      for (std::size_t n = 0; n < bs; ++n) {
+        const std::size_t idx = order[b + n];
+        const double vierr = scratch.vals[n] - gae_i->returns[idx];
+        scratch.vcoeff[n] = opts_.vf_coef * vierr * inv_bs;
+      }
+      vi->backward_batch(scratch.vcoeff);
+    }
+
+    IMAP_NCHECK_FINITE(out.pol_loss, "ppo.pol_loss");
+    IMAP_NCHECK_FINITE(out.val_loss, "ppo.val_loss");
+    IMAP_NCHECK_FINITE(out.kl, "ppo.kl");
+    return out;
+  }
+
+  // Per-sample baseline (batched_update = false): one tape per sample.
   for (std::size_t i = b; i < e; ++i) {
     const std::size_t idx = order[i];
     nn::Mlp::Tape tape;
@@ -277,10 +345,24 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
   // Intrinsic values are only needed when the bonus channel is active.
   const bool use_intrinsic = intrinsic_ != nullptr;
   if (use_intrinsic) {
-    parallel_for_chunked(n, 0, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i)
-        buf.val_i[i] = value_i_->value(buf.obs[i]);
-    });
+    if (opts_.batched_update) {
+      // Chunked batched refresh through the critic's workspace — the
+      // batched kernel beats the per-sample parallel loop at these sizes
+      // and the values are bit-identical to per-sample value() calls.
+      constexpr std::size_t kChunk = 1024;
+      for (std::size_t b = 0; b < n; b += kChunk) {
+        const std::size_t e = std::min(n, b + kChunk);
+        scratch_.obs.gather_range(buf.obs, b, e);
+        value_i_->value_batch(scratch_.obs, scratch_.vals);
+        for (std::size_t i = b; i < e; ++i)
+          buf.val_i[i] = scratch_.vals[i - b];
+      }
+    } else {
+      parallel_for_chunked(n, 0, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+          buf.val_i[i] = value_i_->value(buf.obs[i]);
+      });
+    }
   }
 
   auto gae_e = compute_gae(buf.rew_e, buf.val_e, buf.done, buf.boundary,
@@ -336,7 +418,7 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
         const BatchPartial p = process_range(
             *policy_, *value_e_, use_intrinsic ? value_i_.get() : nullptr,
             buf, order, start, end, adv, gae_e,
-            use_intrinsic ? &gae_i : nullptr, inv_bs);
+            use_intrinsic ? &gae_i : nullptr, inv_bs, scratch_);
         pol_loss_acc += p.pol_loss;
         val_loss_acc += p.val_loss;
         epoch_kl += p.kl;
@@ -347,12 +429,12 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
         // [s·bs/S, (s+1)·bs/S) and its own gradient buffers; shard buffers
         // are then tree-reduced in a fixed order. The slice map and the
         // reduction tree depend only on (bs, S) — never the thread count.
-        const auto master_params = policy_->flat_params();
+        policy_->flat_params_into(master_params_);
         parallel_for(
             static_cast<std::size_t>(n_shards),
             [&](std::size_t s) {
               auto& sh = shards_[s];
-              sh.policy.set_flat_params(master_params);
+              sh.policy.set_flat_params(master_params_);
               sh.policy.zero_grad();
               sh.value_e.net().params() = value_e_->net().params();
               sh.value_e.zero_grad();
@@ -367,8 +449,9 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
               sh.partial = process_range(
                   sh.policy, sh.value_e,
                   use_intrinsic ? &sh.value_i : nullptr, buf, order, sb, se,
-                  adv, gae_e, use_intrinsic ? &gae_i : nullptr, inv_bs);
-              sh.pol_grads = sh.policy.flat_grads();
+                  adv, gae_e, use_intrinsic ? &gae_i : nullptr, inv_bs,
+                  sh.scratch);
+              sh.policy.flat_grads_into(sh.pol_grads);
             },
             /*grain=*/1);
 
@@ -403,14 +486,16 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
 
       if (opts_.ent_coef > 0.0) policy_->backward_entropy(-opts_.ent_coef);
       if (reg_) {
-        const std::vector<std::size_t> batch(order.begin() + start,
-                                             order.begin() + end);
-        reg_(*policy_, buf, batch);
+        reg_batch_.assign(
+            order.begin() + static_cast<std::ptrdiff_t>(start),
+            order.begin() + static_cast<std::ptrdiff_t>(end));
+        reg_(*policy_, buf, reg_batch_);
       }
 
-      auto p = policy_->flat_params();
-      policy_opt_.step(p, policy_->flat_grads());
-      policy_->set_flat_params(p);
+      policy_->flat_params_into(flat_p_);
+      policy_->flat_grads_into(flat_g_);
+      policy_opt_.step(flat_p_, flat_g_);
+      policy_->set_flat_params(flat_p_);
       policy_->clamp_log_std();
 
       value_e_opt_.step(value_e_->params(), value_e_->grads());

@@ -38,6 +38,14 @@ struct PpoOptions {
   /// identical for any thread count. 1 = legacy serial accumulation
   /// (bit-identical to older builds); 0 = pick from the minibatch size.
   int grad_shards = 1;
+
+  /// Run the minibatch update through the batched nn kernels (stacked
+  /// observation Batch + GEMM-style forward/backward on a reusable
+  /// Workspace) instead of one sample at a time. The batched path is
+  /// bit-identical to the per-sample path — same summation order, same
+  /// per-sample accumulation order — so this is purely a throughput knob;
+  /// false keeps the legacy per-sample loop as a benchmark baseline.
+  bool batched_update = true;
 };
 
 /// Per-iteration diagnostics.
@@ -104,6 +112,11 @@ class PpoTrainer {
   /// parameters while the wrapping adversary changes between rounds.
   void set_env(const Env& proto);
 
+  /// Sampling and optimisation stages of iterate(), exposed separately so
+  /// benchmarks can time the update in isolation on a fixed rollout.
+  void collect(RolloutBuffer& buf);
+  void update(RolloutBuffer& buf, double tau, IterStats& stats);
+
  private:
   /// One parallel rollout worker's persistent episode state.
   struct RolloutWorker {
@@ -126,6 +139,18 @@ class PpoTrainer {
     std::size_t samples = 0;
   };
 
+  /// Reusable gathered-minibatch buffers for the batched update path. Each
+  /// accumulation context (the serial path and every gradient shard) owns
+  /// one so buffers grow to the minibatch high-water mark once and are then
+  /// reused — zero heap allocations per minibatch in steady state.
+  struct UpdateScratch {
+    nn::Batch obs;               ///< gathered observation rows
+    nn::Batch act;               ///< gathered action rows
+    std::vector<double> coeff;   ///< per-sample policy-gradient coefficients
+    std::vector<double> vals;    ///< critic outputs
+    std::vector<double> vcoeff;  ///< per-sample critic dL/dV coefficients
+  };
+
   /// One gradient-accumulation shard's scratch networks and outputs.
   struct ShardScratch {
     nn::GaussianPolicy policy;
@@ -133,13 +158,12 @@ class PpoTrainer {
     nn::ValueNet value_i;
     std::vector<double> pol_grads;
     BatchPartial partial;
+    UpdateScratch scratch;
   };
 
-  void collect(RolloutBuffer& buf);
   void collect_serial(RolloutBuffer& buf);
   void collect_worker(RolloutWorker& w, int steps);
   void ensure_workers();
-  void update(RolloutBuffer& buf, double tau, IterStats& stats);
   int shard_count() const;
   void ensure_shards(int n_shards);
 
@@ -153,7 +177,7 @@ class PpoTrainer {
                              std::size_t b, std::size_t e,
                              const std::vector<double>& adv,
                              const GaeResult& gae_e, const GaeResult* gae_i,
-                             double inv_bs) const;
+                             double inv_bs, UpdateScratch& scratch) const;
 
   PpoOptions opts_;
   std::unique_ptr<Env> env_;
@@ -177,6 +201,13 @@ class PpoTrainer {
   std::vector<RolloutWorker> workers_;   ///< K>1 rollout workers
   std::vector<ShardScratch> shards_;     ///< gradient shards (lazy)
   RolloutBuffer rollout_;                ///< reused across iterations
+
+  // Hot-path scratch reused across update() calls (capacity only grows).
+  UpdateScratch scratch_;                ///< serial-path minibatch buffers
+  std::vector<double> master_params_;    ///< flat params snapshot for shards
+  std::vector<double> flat_p_;           ///< optimiser param staging
+  std::vector<double> flat_g_;           ///< optimiser grad staging
+  std::vector<std::size_t> reg_batch_;   ///< minibatch indices for reg_ hook
 
   long long steps_done_ = 0;
   int iter_ = 0;

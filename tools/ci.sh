@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# ci.sh — the one-shot correctness gate: build -> lint -> tier-1 ctest.
-# Exits nonzero on the first failing stage. Also exposed as the `ci` CMake
-# target (`cmake --build build --target ci`).
+# ci.sh — the one-shot correctness gate: build -> lint -> tier-1 ctest ->
+# bench smoke. Exits nonzero on the first failing stage. Also exposed as the
+# `ci` CMake target (`cmake --build build --target ci`).
 #
 # Environment:
 #   IMAP_CI_BUILD_DIR  build directory (default: build)
@@ -29,4 +29,13 @@ python3 tools/lint/test_imap_lint.py || exit 1
 stage "tier-1 ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" || exit 1
 
-stage "OK — build, lint, and tier-1 tests all clean"
+stage "bench-smoke (kernel suites, min_time=0.01s, probes skipped)"
+# Exercises the batched-kernel benchmarks end to end without the slow
+# speedup/kernel probes (those rewrite BENCH_*.json and are run manually —
+# see README "Benchmarks"). min_time is a plain double: the bundled
+# google-benchmark predates the "0.01s" suffix syntax.
+IMAP_BENCH_NO_PROBE=1 "${BUILD_DIR}/bench/bench_micro_ppo" \
+  --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_MlpForwardBatch|BM_PpoUpdate' || exit 1
+
+stage "OK — build, lint, tier-1 tests, and bench smoke all clean"

@@ -1,0 +1,24 @@
+// Fixture: std::vector<double> constructed inside loops — each marked line
+// must trigger hot-loop-alloc when linted under a src/nn/ path.
+#include <cstddef>
+#include <vector>
+
+void hot(std::size_t n) {
+  std::vector<double> hoisted(n);  // outside any loop: fine
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> scratch(n);  // BAD: fresh heap block per iteration
+    scratch[0] = static_cast<double>(i);
+  }
+  std::size_t k = 0;
+  while (k < n) {
+    std::vector<double> tmp;  // BAD: default-construct in loop
+    tmp.push_back(1.0);
+    ++k;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    std::vector<double> braceless{1.0};  // BAD: braceless loop body
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double>& ref = hoisted;  // reference: fine
+    hoisted[0] = ref[0];
+  }
+}

@@ -22,6 +22,10 @@ Enforces rules that no off-the-shelf tool knows about:
   using-ns-header    No `using namespace` at namespace scope in headers.
   parent-include     No parent-relative includes (#include "../..."): project
                      headers are included relative to src/ (e.g. "common/rng.h").
+  hot-loop-alloc     Constructing a std::vector<double> inside a loop in the
+                     nn hot files (src/nn/) allocates on every iteration; the
+                     kernel layer's zero-allocation contract requires hoisted,
+                     capacity-reusing buffers (Batch / Mlp::Workspace).
 
 Suppression:
   * inline, single finding:   // imap-lint: allow(rule-name)
@@ -71,6 +75,11 @@ FIXITS = {
         'include project headers relative to src/ (e.g. "common/rng.h"), not '
         "via parent-relative paths"
     ),
+    "hot-loop-alloc": (
+        "hoist the std::vector<double> out of the loop and reuse it (resize/"
+        "assign on a caller-owned buffer, Batch, or Mlp::Workspace); src/nn "
+        "hot paths must be allocation-free in steady state"
+    ),
 }
 
 # Files that ARE the sanctioned implementation and therefore exempt from the
@@ -101,6 +110,63 @@ FLOAT_EQ_RE = re.compile(
 )
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+\w")
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"(\.\./|.*/\.\./)')
+# A std::vector<double> *construction* (declaration or temporary); plain
+# references/pointers (`std::vector<double>&`) deliberately do not match.
+HOT_ALLOC_RE = re.compile(
+    r"\bstd::vector\s*<\s*double\s*>\s*(?:\w+\s*)?[({]"
+    r"|\bstd::vector\s*<\s*double\s*>\s+\w+\s*[;=]"
+)
+LOOP_KW_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+
+def hot_loop_alloc_lines(code: list[str]) -> list[int]:
+    """Indices of lines that construct a std::vector<double> inside a loop.
+
+    A small character-level scanner tracks loop nesting: a `for`/`while`
+    header opens at its '('; once the header's parens close, the next '{'
+    pushes a loop body (a ';' instead means a braceless/empty body and is
+    treated as closing it). Constructions inside the header itself (for-init
+    runs once) are not flagged.
+    """
+    hits: list[int] = []
+    brace_stack: list[bool] = []  # True = this brace opened a loop body
+    header_parens = 0  # >0 while inside a loop header's (...)
+    awaiting_body = False  # header closed, waiting for '{' or ';'
+    for idx, line in enumerate(code):
+        kw_spans = {m.start(): m.end() for m in LOOP_KW_RE.finditer(line)}
+        allocs = [m.start() for m in HOT_ALLOC_RE.finditer(line)]
+        j, n = 0, len(line)
+        while j < n:
+            if allocs and allocs[0] == j:
+                allocs.pop(0)
+                in_loop_body = any(brace_stack) or awaiting_body
+                if in_loop_body and header_parens == 0 and idx not in hits:
+                    hits.append(idx)
+            if header_parens:
+                if line[j] == "(":
+                    header_parens += 1
+                elif line[j] == ")":
+                    header_parens -= 1
+                    if header_parens == 0:
+                        awaiting_body = True
+                j += 1
+                continue
+            if j in kw_spans:
+                j = kw_spans[j]
+                header_parens = 1
+                awaiting_body = False
+                continue
+            c = line[j]
+            if c == "{":
+                brace_stack.append(awaiting_body)
+                awaiting_body = False
+            elif c == "}":
+                if brace_stack:
+                    brace_stack.pop()
+            elif c == ";":
+                awaiting_body = False
+            j += 1
+    return hits
 
 
 class Finding:
@@ -241,6 +307,13 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
         # blanks — match against the raw line instead.
         if PARENT_INCLUDE_RE.search(raw_lines[idx]):
             add(idx, "parent-include", "parent-relative #include")
+
+    # --- hot-loop-alloc (nn hot files only)
+    if relpath.startswith("src/nn/"):
+        for idx in hot_loop_alloc_lines(code):
+            add(idx, "hot-loop-alloc",
+                "std::vector<double> constructed inside a loop in an nn "
+                "hot file")
 
     return findings
 

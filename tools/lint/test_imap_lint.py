@@ -66,6 +66,36 @@ class RuleFiring(unittest.TestCase):
             rules_of(findings),
             ["parent-include", "pragma-once", "using-ns-header"])
 
+    def test_hot_loop_alloc_fires_in_nn_paths_only(self):
+        findings = lint_fixture("bad_hot_alloc.cpp",
+                                relpath="src/nn/bad_hot_alloc.cpp")
+        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+        # for-body, while-body, braceless for-body; hoisted decl and the
+        # reference inside a loop stay silent.
+        self.assertEqual(len(findings), 3)
+        # The rule is scoped to src/nn/: the same code elsewhere is silent.
+        self.assertEqual(lint_fixture("bad_hot_alloc.cpp"), [])
+        self.assertEqual(
+            lint_fixture("bad_hot_alloc.cpp",
+                         relpath="src/rl/bad_hot_alloc.cpp"), [])
+
+    def test_hot_loop_alloc_ignores_loop_header_and_suppresses(self):
+        init = (
+            "void f(std::size_t n) {\n"
+            "  for (std::vector<double> v(n); v.size() < n;) v.clear();\n"
+            "}\n"
+        )
+        self.assertEqual(imap_lint.lint_file("src/nn/x.cpp", init), [])
+        suppressed = (
+            "void f(std::size_t n) {\n"
+            "  for (std::size_t i = 0; i < n; ++i) {\n"
+            "    std::vector<double> v(n);"
+            "  // imap-lint: allow(hot-loop-alloc)\n"
+            "  }\n"
+            "}\n"
+        )
+        self.assertEqual(imap_lint.lint_file("src/nn/x.cpp", suppressed), [])
+
     def test_clean_fixtures_are_silent(self):
         self.assertEqual(lint_fixture("clean.cpp"), [])
         self.assertEqual(lint_fixture("clean.h"), [])
