@@ -2,8 +2,8 @@
 // nn kernels and PPO training throughput — the cost model behind the bench
 // budgets.
 //
-// The custom main() first runs two probes (skipped when IMAP_BENCH_NO_PROBE
-// is set, e.g. by the CI bench-smoke stage):
+// The custom main() first runs three probes (skipped when
+// IMAP_BENCH_NO_PROBE is set, e.g. by the CI bench-smoke stage):
 //  * a parallel-speedup probe — the same PPO configuration (4 rollout
 //    workers, auto gradient shards) timed once pinned serial (ScopedSerial)
 //    and once on a dedicated 4-thread pool (ScopedPool), verifying the
@@ -12,7 +12,11 @@
 //  * a kernel probe — the per-sample vs batched PPO update timed on one
 //    fixed rollout (hidden {64,64}, minibatch 64), verifying the two modes
 //    produce bit-identical parameters and recording the before/after
-//    throughput in BENCH_kernels.json (committed, see README).
+//    throughput in BENCH_kernels.json (committed, see README);
+//  * a rollout probe — the per-sample vs vectorized (E = 16 lockstep slots)
+//    collection stage timed on the victim-wrapped Hopper, verifying the
+//    rollouts are bit-identical and recording the steps/s in
+//    BENCH_rollout.json (committed, see README).
 // The google-benchmark suites then run as usual.
 
 #include <benchmark/benchmark.h>
@@ -24,6 +28,7 @@
 #include <limits>
 #include <sstream>
 
+#include "attack/threat_model.h"
 #include "common/thread_pool.h"
 #include "env/registry.h"
 #include "grid_runner.h"
@@ -103,6 +108,47 @@ void BM_PpoUpdate(benchmark::State& state) {
                           opts.steps_per_iter);
 }
 BENCHMARK(BM_PpoUpdate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The attack-rollout MDP the collection benchmarks run on: Hopper wrapped
+/// in StatePerturbationEnv over a network-backed frozen victim, so every
+/// step pays a victim forward — the case the vectorized engine batches.
+std::unique_ptr<attack::StatePerturbationEnv> make_collect_proto() {
+  const auto inner = env::make_env("Hopper");
+  Rng victim_rng(11);
+  nn::GaussianPolicy victim(inner->obs_dim(), inner->act_dim(), {64, 64},
+                            victim_rng);
+  return std::make_unique<attack::StatePerturbationEnv>(
+      *inner, rl::PolicyHandle::snapshot(victim), 0.075,
+      attack::RewardMode::Adversary);
+}
+
+// Rollout collection throughput: Arg = E lockstep env slots. E = 1 is the
+// legacy per-env serial path (one act/log_prob/value/victim forward per
+// step); E >= 4 collects through the vectorized engine, which answers each
+// tick with one batched policy, value and victim forward across the slots.
+// The merged rollout is bit-identical for every E.
+void BM_RolloutCollect(benchmark::State& state) {
+  const auto proto = make_collect_proto();
+  rl::PpoOptions opts;
+  opts.hidden = {64, 64};
+  opts.steps_per_iter = 2048;
+  opts.envs_per_worker = static_cast<int>(state.range(0));
+  rl::PpoTrainer trainer(*proto, opts, Rng(7));
+  rl::RolloutBuffer buf;
+  for (auto _ : state) {
+    trainer.collect(buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetLabel(state.range(0) == 1 ? "serial" : "vectorized");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          opts.steps_per_iter);
+}
+BENCHMARK(BM_RolloutCollect)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PpoIteration(benchmark::State& state) {
   auto env = env::make_env("Hopper");
@@ -248,12 +294,88 @@ void kernel_probe() {
             << " -> BENCH_kernels.json\n";
 }
 
+/// Order-sensitive checksum of everything a collection writes — two rollouts
+/// agree on it iff they are bit-identical in every recorded field.
+double buffer_checksum(const rl::RolloutBuffer& buf) {
+  double sum = static_cast<double>(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    for (const double v : buf.obs[i]) sum += v;
+    for (const double v : buf.act[i]) sum += v;
+    sum += buf.logp[i] + buf.rew_e[i] + buf.val_e[i];
+    sum += static_cast<double>(buf.boundary[i]);
+  }
+  for (const double v : buf.last_val_e) sum += v;
+  for (const double v : buf.episode_returns) sum += v;
+  return sum;
+}
+
+/// Time one collection stage (16 env slots, serial vs vectorized engine) on
+/// the victim-wrapped Hopper; returns (seconds per collect, checksum of the
+/// last rollout) so the modes can be compared for throughput and identity.
+std::pair<double, double> rollout_probe_run(bool vectorized) {
+  ScopedSerial serial;  // isolate the batching speedup from thread scaling
+  const auto proto = make_collect_proto();
+  rl::PpoOptions opts;
+  opts.hidden = {64, 64};
+  opts.steps_per_iter = 2048;
+  opts.envs_per_worker = 16;
+  opts.vectorized_rollout = vectorized;
+  rl::PpoTrainer trainer(*proto, opts, Rng(7));
+  rl::RolloutBuffer buf;
+  trainer.collect(buf);  // warm-up: grow buffers and workspaces
+  // Min over repetitions, not mean (see kernel_probe_run). Both modes step
+  // the same slot streams, so rep r's rollout matches across modes and the
+  // last checksum is comparable.
+  constexpr int kCollects = 7;
+  double secs = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kCollects; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    trainer.collect(buf);
+    secs = std::min(
+        secs, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
+  }
+  return {secs, buffer_checksum(buf)};
+}
+
+void rollout_probe() {
+  const auto [serial_s, serial_sum] = rollout_probe_run(false);
+  const auto [vectorized_s, vectorized_sum] = rollout_probe_run(true);
+  const double serial_sps = serial_s > 0.0 ? 2048.0 / serial_s : 0.0;
+  const double vectorized_sps =
+      vectorized_s > 0.0 ? 2048.0 / vectorized_s : 0.0;
+  const double speedup = vectorized_s > 0.0 ? serial_s / vectorized_s : 1.0;
+  const bool identical = serial_sum == vectorized_sum;
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(5);
+  os << "{\"env\": \"Hopper\", \"threat_model\": \"StatePerturbationEnv\""
+     << ", \"hidden\": [64, 64], \"steps_per_iter\": 2048"
+     << ", \"envs_per_worker\": 16, \"serial_collect_s\": " << serial_s
+     << ", \"vectorized_collect_s\": " << vectorized_s;
+  os.precision(1);
+  os << ", \"serial_steps_per_s\": " << serial_sps
+     << ", \"vectorized_steps_per_s\": " << vectorized_sps;
+  os.precision(3);
+  os << ", \"speedup\": " << speedup
+     << ", \"traces_identical\": " << (identical ? "true" : "false") << "}";
+  bench::write_report_entry("BENCH_rollout.json", "BM_RolloutCollect",
+                            os.str());
+  std::cerr << "bench_micro_ppo rollout probe: serial collect " << serial_s
+            << "s vs vectorized (E=16) " << vectorized_s << "s (" << speedup
+            << "x); traces " << (identical ? "identical" : "DIVERGED")
+            << " -> BENCH_rollout.json\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (std::getenv("IMAP_BENCH_NO_PROBE") == nullptr) {
     speedup_probe();
     kernel_probe();
+    rollout_probe();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

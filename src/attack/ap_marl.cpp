@@ -2,7 +2,7 @@
 
 namespace imap::attack {
 
-ApMarl::ApMarl(const env::MultiAgentEnv& game, rl::ActionFn victim,
+ApMarl::ApMarl(const env::MultiAgentEnv& game, rl::PolicyHandle victim,
                rl::PpoOptions ppo, Rng rng) {
   OpponentEnv attack_env(game, std::move(victim));
   trainer_ = std::make_unique<rl::PpoTrainer>(attack_env, ppo, rng);

@@ -13,7 +13,7 @@ namespace imap::attack {
 /// adversarial intrinsic regularizer and BR (Sec. 6.3.3).
 class ApMarl {
  public:
-  ApMarl(const env::MultiAgentEnv& game, rl::ActionFn victim,
+  ApMarl(const env::MultiAgentEnv& game, rl::PolicyHandle victim,
          rl::PpoOptions ppo, Rng rng);
 
   rl::IterStats iterate() { return trainer_->iterate(); }

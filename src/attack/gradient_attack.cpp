@@ -20,11 +20,12 @@ std::vector<double> mad_direction(const nn::Mlp& net,
   for (std::size_t i = 0; i < delta.size(); ++i)
     delta[i] = (i % 2 ? 0.1 : -0.1) * eps;
   std::vector<double> adv = s;
+  std::vector<double> grad_out;  // reused across PGD steps
   for (int step = 0; step < pgd_steps; ++step) {
     for (std::size_t i = 0; i < s.size(); ++i) adv[i] = s[i] + delta[i];
     nn::Mlp::Tape tape;
     const auto mu = net.forward_tape(adv, tape);
-    std::vector<double> grad_out(mu.size());
+    grad_out.resize(mu.size());
     for (std::size_t i = 0; i < mu.size(); ++i)
       grad_out[i] = 2.0 * (mu[i] - mu_clean[i]);
     const auto g = net.input_gradient(tape, grad_out);

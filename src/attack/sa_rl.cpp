@@ -2,7 +2,7 @@
 
 namespace imap::attack {
 
-SaRl::SaRl(const rl::Env& deploy_env, rl::ActionFn victim, double eps,
+SaRl::SaRl(const rl::Env& deploy_env, rl::PolicyHandle victim, double eps,
            rl::PpoOptions ppo, Rng rng, bool relaxed) {
   StatePerturbationEnv attack_env(
       deploy_env, std::move(victim), eps,

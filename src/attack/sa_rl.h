@@ -19,8 +19,10 @@ class SaRl {
  public:
   /// `relaxed` reproduces the ORIGINAL SA-RL threat model that trains on the
   /// victim's true (negated) training reward instead of the black-box
-  /// surrogate — used only by the ablation bench.
-  SaRl(const rl::Env& deploy_env, rl::ActionFn victim, double eps,
+  /// surrogate — used only by the ablation bench. Network-backed victim
+  /// handles additionally let the vectorized rollout engine batch the
+  /// victim queries (rl::PolicyHandle converts implicitly from ActionFn).
+  SaRl(const rl::Env& deploy_env, rl::PolicyHandle victim, double eps,
        rl::PpoOptions ppo, Rng rng, bool relaxed = false);
 
   rl::IterStats iterate() { return trainer_->iterate(); }

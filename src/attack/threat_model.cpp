@@ -7,7 +7,7 @@
 namespace imap::attack {
 
 StatePerturbationEnv::StatePerturbationEnv(const rl::Env& inner,
-                                           rl::ActionFn victim, double eps,
+                                           rl::PolicyHandle victim, double eps,
                                            RewardMode mode)
     : inner_(inner.clone()),
       victim_(std::move(victim)),
@@ -15,7 +15,7 @@ StatePerturbationEnv::StatePerturbationEnv(const rl::Env& inner,
       mode_(mode),
       act_space_(inner.obs_dim(), 1.0) {
   IMAP_CHECK(eps_ >= 0.0);
-  IMAP_CHECK(victim_ != nullptr);
+  IMAP_CHECK(static_cast<bool>(victim_));
 }
 
 StatePerturbationEnv::StatePerturbationEnv(const StatePerturbationEnv& other)
@@ -31,17 +31,21 @@ std::vector<double> StatePerturbationEnv::reset(Rng& rng) {
   return cur_obs_;
 }
 
-rl::StepResult StatePerturbationEnv::step(const std::vector<double>& action) {
+const std::vector<double>& StatePerturbationEnv::begin_step(
+    const std::vector<double>& action) {
   IMAP_CHECK(action.size() == inner_->obs_dim());
   const auto a = act_space_.clamp(action);
 
   // Perturb the victim's view: s + ε·a^α (ℓ∞ budget by construction).
-  std::vector<double> perturbed = cur_obs_;
-  for (std::size_t i = 0; i < perturbed.size(); ++i)
-    perturbed[i] += eps_ * a[i];
+  perturbed_ = cur_obs_;
+  for (std::size_t i = 0; i < perturbed_.size(); ++i)
+    perturbed_[i] += eps_ * a[i];
+  return perturbed_;
+}
 
-  const auto victim_action =
-      inner_->action_space().clamp(victim_(perturbed));
+rl::StepResult StatePerturbationEnv::finish_step(
+    const std::vector<double>& policy_out) {
+  const auto victim_action = inner_->action_space().clamp(policy_out);
   rl::StepResult sr = inner_->step(victim_action);
   cur_obs_ = sr.obs;
 
@@ -53,9 +57,14 @@ rl::StepResult StatePerturbationEnv::step(const std::vector<double>& action) {
   return sr;
 }
 
-OpponentEnv::OpponentEnv(const env::MultiAgentEnv& game, rl::ActionFn victim)
+rl::StepResult StatePerturbationEnv::step(const std::vector<double>& action) {
+  return finish_step(victim_.query(begin_step(action)));
+}
+
+OpponentEnv::OpponentEnv(const env::MultiAgentEnv& game,
+                         rl::PolicyHandle victim)
     : game_(game.clone()), victim_(std::move(victim)) {
-  IMAP_CHECK(victim_ != nullptr);
+  IMAP_CHECK(static_cast<bool>(victim_));
 }
 
 OpponentEnv::OpponentEnv(const OpponentEnv& other)
@@ -69,11 +78,16 @@ std::vector<double> OpponentEnv::reset(Rng& rng) {
   return obs_a;
 }
 
-rl::StepResult OpponentEnv::step(const std::vector<double>& action) {
-  const auto act_v =
-      game_->victim_action_space().clamp(victim_(cur_obs_v_));
-  const auto act_a = game_->adversary_action_space().clamp(action);
-  env::MaStepResult ma = game_->step(act_v, act_a);
+const std::vector<double>& OpponentEnv::begin_step(
+    const std::vector<double>& action) {
+  pending_act_a_ = game_->adversary_action_space().clamp(action);
+  return cur_obs_v_;
+}
+
+rl::StepResult OpponentEnv::finish_step(
+    const std::vector<double>& policy_out) {
+  const auto act_v = game_->victim_action_space().clamp(policy_out);
+  env::MaStepResult ma = game_->step(act_v, pending_act_a_);
   cur_obs_v_ = std::move(ma.obs_v);
 
   rl::StepResult sr;
@@ -88,19 +102,24 @@ rl::StepResult OpponentEnv::step(const std::vector<double>& action) {
   return sr;
 }
 
+rl::StepResult OpponentEnv::step(const std::vector<double>& action) {
+  return finish_step(victim_.query(begin_step(action)));
+}
+
 rl::EvalStats evaluate_attack(const rl::Env& deploy_env,
-                              const rl::ActionFn& victim,
+                              rl::PolicyHandle victim,
                               const rl::ActionFn& adversary, double eps,
                               int episodes, Rng& rng) {
-  StatePerturbationEnv env(deploy_env, victim, eps, RewardMode::VictimTrue);
+  StatePerturbationEnv env(deploy_env, std::move(victim), eps,
+                           RewardMode::VictimTrue);
   return rl::evaluate(env, adversary, episodes, rng);
 }
 
 rl::EvalStats evaluate_opponent_attack(const env::MultiAgentEnv& game,
-                                       const rl::ActionFn& victim,
+                                       rl::PolicyHandle victim,
                                        const rl::ActionFn& adversary,
                                        int episodes, Rng& rng) {
-  OpponentEnv env(game, victim);
+  OpponentEnv env(game, std::move(victim));
   return rl::evaluate(env, adversary, episodes, rng);
 }
 

@@ -5,6 +5,8 @@
 #include "env/multiagent.h"
 #include "rl/env.h"
 #include "rl/evaluate.h"
+#include "rl/policy_handle.h"
+#include "rl/split_step.h"
 
 namespace imap::attack {
 
@@ -24,10 +26,16 @@ enum class RewardMode { Adversary, VictimTrue, AdversaryRelaxed };
 ///
 /// As an rl::Env, the *agent* is the adversary: actions are normalised
 /// perturbation directions in [−1,1]^obs_dim scaled by ε.
-class StatePerturbationEnv : public rl::EnvBase<StatePerturbationEnv> {
+///
+/// The victim query is exposed through rl::SplitStepEnv (begin_step returns
+/// the perturbed observation, finish_step consumes the victim's raw output),
+/// so the vectorized rollout engine can answer many wrapper instances with
+/// one batched victim forward when the handle is network-backed.
+class StatePerturbationEnv : public rl::EnvBase<StatePerturbationEnv>,
+                             public rl::SplitStepEnv {
  public:
-  StatePerturbationEnv(const rl::Env& inner, rl::ActionFn victim, double eps,
-                       RewardMode mode);
+  StatePerturbationEnv(const rl::Env& inner, rl::PolicyHandle victim,
+                       double eps, RewardMode mode);
   StatePerturbationEnv(const StatePerturbationEnv& other);
   StatePerturbationEnv& operator=(const StatePerturbationEnv&) = delete;
 
@@ -40,16 +48,24 @@ class StatePerturbationEnv : public rl::EnvBase<StatePerturbationEnv> {
   std::vector<double> reset(Rng& rng) override;
   rl::StepResult step(const std::vector<double>& action) override;
 
+  // SplitStepEnv: step(a) == finish_step(victim.query(begin_step(a))).
+  const std::vector<double>& begin_step(
+      const std::vector<double>& action) override;
+  rl::StepResult finish_step(const std::vector<double>& policy_out) override;
+  std::size_t query_dim() const override { return inner_->obs_dim(); }
+  const rl::PolicyHandle& frozen_policy() const override { return victim_; }
+
   double epsilon() const { return eps_; }
   const rl::Env& inner() const { return *inner_; }
 
  private:
   std::unique_ptr<rl::Env> inner_;
-  rl::ActionFn victim_;
+  rl::PolicyHandle victim_;
   double eps_;
   RewardMode mode_;
   rl::BoxSpace act_space_;
   std::vector<double> cur_obs_;
+  std::vector<double> perturbed_;  ///< begin_step scratch (reused)
 };
 
 /// Multi-agent threat model (Sec. 4.3): the Markov game against a frozen
@@ -57,9 +73,12 @@ class StatePerturbationEnv : public rl::EnvBase<StatePerturbationEnv> {
 /// adversary observes the joint state; its terminal reward is −1 when the
 /// victim wins and 0 otherwise (so J_AP = ASR − 1, matching the paper's
 /// "ASR = J_AP + 1").
-class OpponentEnv : public rl::EnvBase<OpponentEnv> {
+///
+/// Also a rl::SplitStepEnv: begin_step banks the adversary action and
+/// returns the victim-side observation, finish_step plays the joint step.
+class OpponentEnv : public rl::EnvBase<OpponentEnv>, public rl::SplitStepEnv {
  public:
-  OpponentEnv(const env::MultiAgentEnv& game, rl::ActionFn victim);
+  OpponentEnv(const env::MultiAgentEnv& game, rl::PolicyHandle victim);
   OpponentEnv(const OpponentEnv& other);
   OpponentEnv& operator=(const OpponentEnv&) = delete;
 
@@ -74,6 +93,13 @@ class OpponentEnv : public rl::EnvBase<OpponentEnv> {
   std::vector<double> reset(Rng& rng) override;
   rl::StepResult step(const std::vector<double>& action) override;
 
+  // SplitStepEnv: step(a) == finish_step(victim.query(begin_step(a))).
+  const std::vector<double>& begin_step(
+      const std::vector<double>& action) override;
+  rl::StepResult finish_step(const std::vector<double>& policy_out) override;
+  std::size_t query_dim() const override { return game_->victim_obs_dim(); }
+  const rl::PolicyHandle& frozen_policy() const override { return victim_; }
+
   /// Projections Π_{S^ν}, Π_{S^α} over the adversary observation, for the
   /// multi-agent regularizers.
   std::pair<std::size_t, std::size_t> victim_obs_range() const {
@@ -85,22 +111,23 @@ class OpponentEnv : public rl::EnvBase<OpponentEnv> {
 
  private:
   std::unique_ptr<env::MultiAgentEnv> game_;
-  rl::ActionFn victim_;
+  rl::PolicyHandle victim_;
   std::vector<double> cur_obs_v_;
+  std::vector<double> pending_act_a_;  ///< begin_step scratch (reused)
 };
 
 /// Evaluate a single-agent attack: roll the deployment env under the frozen
 /// victim while `adversary` perturbs its observations; reports the victim's
 /// TRUE episode rewards and success rate.
 rl::EvalStats evaluate_attack(const rl::Env& deploy_env,
-                              const rl::ActionFn& victim,
+                              rl::PolicyHandle victim,
                               const rl::ActionFn& adversary, double eps,
                               int episodes, Rng& rng);
 
 /// Evaluate a multi-agent attack; `stats.success_rate` is the VICTIM's win
 /// rate, so ASR = 1 − success_rate.
 rl::EvalStats evaluate_opponent_attack(const env::MultiAgentEnv& game,
-                                       const rl::ActionFn& victim,
+                                       rl::PolicyHandle victim,
                                        const rl::ActionFn& adversary,
                                        int episodes, Rng& rng);
 

@@ -123,7 +123,9 @@ std::vector<CurvePoint> curve_from(const std::vector<rl::IterStats>& stats) {
 AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
   const auto deploy_env = env::make_env(plan.env_name);
   const auto victim_policy = zoo_.victim(plan.env_name, plan.defense);
-  const auto victim = Zoo::as_fn(victim_policy);
+  // Network-backed handle: per-sample queries are bit-identical to the old
+  // as_fn closure, and vectorized attack rollouts can batch the victim.
+  const auto victim = Zoo::as_policy(victim_policy);
   const double eps = env::spec(plan.env_name).epsilon;
 
   Rng rng = plan_rng(plan);
@@ -177,7 +179,7 @@ AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
 AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan) {
   const auto game = env::make_multiagent_env(plan.env_name);
   const auto victim_policy = zoo_.game_victim(plan.env_name);
-  const auto victim = Zoo::as_fn(victim_policy);
+  const auto victim = Zoo::as_policy(victim_policy);
 
   Rng rng = plan_rng(plan);
   const long long steps =

@@ -19,7 +19,7 @@ std::vector<double> estimate_initial_state(const rl::Env& env,
   return acc;
 }
 
-ImapTrainer::ImapTrainer(const rl::Env& deploy_env, rl::ActionFn victim,
+ImapTrainer::ImapTrainer(const rl::Env& deploy_env, rl::PolicyHandle victim,
                          double eps, ImapOptions opts, Rng rng)
     : opts_(opts), br_(opts.bias_reduction, opts.eta, opts.tau0) {
   attack::StatePerturbationEnv attack_env(deploy_env, std::move(victim), eps,
@@ -32,8 +32,8 @@ ImapTrainer::ImapTrainer(const rl::Env& deploy_env, rl::ActionFn victim,
   finish_setup(attack_env, opts_, rng);
 }
 
-ImapTrainer::ImapTrainer(const env::MultiAgentEnv& game, rl::ActionFn victim,
-                         ImapOptions opts, Rng rng)
+ImapTrainer::ImapTrainer(const env::MultiAgentEnv& game,
+                         rl::PolicyHandle victim, ImapOptions opts, Rng rng)
     : opts_(opts), br_(opts.bias_reduction, opts.eta, opts.tau0) {
   attack::OpponentEnv attack_env(game, std::move(victim));
   // Default marginals: the game's joint-state projections (Eq. 7 / Eq. 9).

@@ -31,13 +31,14 @@ class ImapTrainer {
  public:
   /// Single-agent form: state-perturbation attack within ‖a^α‖∞ ≤ ε. If the
   /// R regularizer is selected and no risk_target is set, s₀^ν is estimated
-  /// from a handful of environment resets.
-  ImapTrainer(const rl::Env& deploy_env, rl::ActionFn victim, double eps,
+  /// from a handful of environment resets. A network-backed victim handle
+  /// lets the vectorized rollout engine batch victim queries.
+  ImapTrainer(const rl::Env& deploy_env, rl::PolicyHandle victim, double eps,
               ImapOptions opts, Rng rng);
 
   /// Multi-agent form: opponent-control attack on a Markov game; the
   /// regularizer marginals default to the game's Π_{S^ν}/Π_{S^α} ranges.
-  ImapTrainer(const env::MultiAgentEnv& game, rl::ActionFn victim,
+  ImapTrainer(const env::MultiAgentEnv& game, rl::PolicyHandle victim,
               ImapOptions opts, Rng rng);
 
   rl::IterStats iterate() { return trainer_->iterate(); }

@@ -50,6 +50,10 @@ rl::ActionFn Zoo::as_fn(const nn::GaussianPolicy& policy) {
   };
 }
 
+rl::PolicyHandle Zoo::as_policy(const nn::GaussianPolicy& policy) {
+  return rl::PolicyHandle::snapshot(policy);
+}
+
 nn::GaussianPolicy Zoo::victim(const std::string& env_name,
                                const std::string& defense) {
   const auto training_env = env::make_training_env(env_name);

@@ -6,6 +6,7 @@
 #include "common/config.h"
 #include "nn/gaussian.h"
 #include "rl/evaluate.h"
+#include "rl/policy_handle.h"
 
 namespace imap::core {
 
@@ -29,6 +30,12 @@ class Zoo {
 
   /// Wrap a policy as the deployed black-box ActionFn (deterministic mean).
   static rl::ActionFn as_fn(const nn::GaussianPolicy& policy);
+
+  /// Wrap a policy as a network-backed frozen handle: per-sample queries are
+  /// bit-identical to as_fn, and the vectorized rollout engine can
+  /// additionally answer them batched (one victim forward per lockstep
+  /// tick). Preferred for attack-trainer construction.
+  static rl::PolicyHandle as_policy(const nn::GaussianPolicy& policy);
 
   /// Training budget (environment steps) for a task, after scaling.
   long long victim_steps(const std::string& env_name) const;

@@ -117,6 +117,11 @@ const Batch& GaussianPolicy::mean_batch(const Batch& obs) {
   return net_.forward_batch(obs);
 }
 
+const Batch& GaussianPolicy::mean_batch(const Batch& obs,
+                                        Mlp::Workspace& ws) const {
+  return net_.forward_batch(obs, ws);
+}
+
 void GaussianPolicy::log_prob_batch(const Batch& obs, const Batch& act,
                                     std::vector<double>& out) {
   IMAP_CHECK(act.rows() == obs.rows() && act.dim() == act_dim());
@@ -250,6 +255,13 @@ double ValueNet::value_tape(const std::vector<double>& obs,
 
 void ValueNet::value_batch(const Batch& obs, std::vector<double>& out) {
   const Batch& o = net_.forward_batch(obs);
+  out.resize(obs.rows());
+  for (std::size_t n = 0; n < obs.rows(); ++n) out[n] = o.row(n)[0];
+}
+
+void ValueNet::value_batch(const Batch& obs, Mlp::Workspace& ws,
+                           std::vector<double>& out) const {
+  const Batch& o = net_.forward_batch(obs, ws);
   out.resize(obs.rows());
   for (std::size_t n = 0; n < obs.rows(); ++n) out[n] = o.row(n)[0];
 }

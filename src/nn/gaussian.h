@@ -71,6 +71,12 @@ class GaussianPolicy {
   /// (reference into the workspace, valid until the next batched call).
   const Batch& mean_batch(const Batch& obs);
 
+  /// Inference-only batched mean forward through a caller-owned workspace —
+  /// for read-only consumers (rollout collection, frozen-victim queries)
+  /// that share one policy across worker threads. Each row is bit-identical
+  /// to mean_action() on that row.
+  const Batch& mean_batch(const Batch& obs, Mlp::Workspace& ws) const;
+
   /// log π(a_n|s_n) for every row of a minibatch, written into `out`
   /// (resized to obs.rows()). Bit-identical to per-row log_prob(). Records
   /// the mean tape like mean_batch.
@@ -133,6 +139,13 @@ class ValueNet {
   /// obs.rows()); records the batched tape for a later backward_batch.
   /// Bit-identical to per-row value().
   void value_batch(const Batch& obs, std::vector<double>& out);
+
+  /// Inference-only batched values through a caller-owned workspace — the
+  /// critic sweep of the vectorized rollout engine (one critic shared by
+  /// all worker threads, one workspace per worker). Bit-identical to
+  /// per-row value().
+  void value_batch(const Batch& obs, Mlp::Workspace& ws,
+                   std::vector<double>& out) const;
 
   /// Accumulate coeff · ∇_θ V(s) into gradients (coeff = dL/dV).
   void backward(const Mlp::Tape& tape, double coeff);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "nn/batch.h"
+#include "rl/split_step.h"
 
 namespace imap::rl {
 
@@ -62,9 +63,26 @@ EvalStats evaluate_batched(const Env& proto, nn::GaussianPolicy& policy,
     eps[e].obs = eps[e].env->reset(eps[e].rng);
   }
 
-  nn::Batch obs_b;
+  // Victim batching: when every episode env splits its step around the SAME
+  // network-backed frozen policy (the threat-model wrappers — clones share
+  // the snapshot), a step's inner victim queries also collapse into one
+  // batched forward. SplitStepEnv guarantees the substitution is bitwise.
+  std::vector<SplitStepEnv*> split(eps.size(), nullptr);
+  bool victim_batchable = true;
+  for (std::size_t e = 0; e < eps.size(); ++e) {
+    split[e] = dynamic_cast<SplitStepEnv*>(eps[e].env.get());
+    if (split[e] == nullptr || !split[e]->frozen_policy().batched() ||
+        split[e]->frozen_policy().net() !=
+            split[0]->frozen_policy().net())
+      victim_batchable = false;
+    if (!victim_batchable) break;
+  }
+
+  nn::Batch obs_b, query_b;
+  nn::Mlp::Workspace ws_victim;
   std::vector<std::size_t> live;
   std::vector<double> action(proto.act_dim());
+  std::vector<double> victim_out;
   live.reserve(eps.size());
   for (std::size_t e = 0; e < eps.size(); ++e) live.push_back(e);
 
@@ -77,10 +95,7 @@ EvalStats evaluate_batched(const Env& proto, nn::GaussianPolicy& policy,
     const nn::Batch& mu = policy.mean_batch(obs_b);
 
     std::size_t kept = 0;
-    for (std::size_t r = 0; r < live.size(); ++r) {
-      Episode& ep = eps[live[r]];
-      action.assign(mu.row(r), mu.row(r) + proto.act_dim());
-      StepResult sr = ep.env->step(ep.env->action_space().clamp(action));
+    auto absorb = [&](Episode& ep, std::size_t r, StepResult&& sr) {
       ep.ret += sr.reward;
       ++ep.len;
       if (sr.done || sr.truncated) {
@@ -89,6 +104,29 @@ EvalStats evaluate_batched(const Env& proto, nn::GaussianPolicy& policy,
       } else {
         std::swap(ep.obs, sr.obs);
         live[kept++] = live[r];
+      }
+    };
+    if (victim_batchable) {
+      // Phase 1 for every live episode, ONE victim forward, then phase 2.
+      query_b.resize(live.size(), split[live[0]]->query_dim());
+      for (std::size_t r = 0; r < live.size(); ++r) {
+        Episode& ep = eps[live[r]];
+        action.assign(mu.row(r), mu.row(r) + proto.act_dim());
+        query_b.set_row(r, split[live[r]]->begin_step(
+                               ep.env->action_space().clamp(action)));
+      }
+      const nn::Batch& vout =
+          split[live[0]]->frozen_policy().query_batch(query_b, ws_victim);
+      for (std::size_t r = 0; r < live.size(); ++r) {
+        victim_out.assign(vout.row(r), vout.row(r) + vout.dim());
+        absorb(eps[live[r]], r, split[live[r]]->finish_step(victim_out));
+      }
+    } else {
+      for (std::size_t r = 0; r < live.size(); ++r) {
+        Episode& ep = eps[live[r]];
+        action.assign(mu.row(r), mu.row(r) + proto.act_dim());
+        absorb(eps[live[r]], r,
+               ep.env->step(ep.env->action_space().clamp(action)));
       }
     }
     live.resize(kept);

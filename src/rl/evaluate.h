@@ -32,6 +32,10 @@ EvalStats evaluate(const Env& proto, const ActionFn& act, int episodes,
 /// exactly equal — bitwise — to running `evaluate(proto, mean-action fn, 1,
 /// r)` with `Rng r = rng.split(e)` once per episode; only the wall-clock
 /// changes. (Non-const policy: batched forwards write its workspace.)
+/// When `proto` is a SplitStepEnv over a network-backed frozen policy (the
+/// threat-model wrappers), the per-step victim queries of all live episodes
+/// are answered by one batched victim forward as well — still bitwise equal,
+/// by the SplitStepEnv contract.
 EvalStats evaluate_batched(const Env& proto, nn::GaussianPolicy& policy,
                            int episodes, Rng& rng);
 

@@ -20,6 +20,47 @@ void VecNormalizer::update(const std::vector<double>& x) {
   }
 }
 
+void VecNormalizer::update_batch(const nn::Batch& x) {
+  IMAP_CHECK(x.dim() == mean_.size());
+  const std::size_t nb = x.rows();
+  if (nb == 0) return;
+  if (nb == 1) {
+    // One row degenerates to the streaming update — keep it bitwise equal.
+    ++n_;
+    const double* r = x.row(0);
+    for (std::size_t i = 0; i < mean_.size(); ++i) {
+      const double delta = r[i] - mean_[i];
+      mean_[i] += delta / static_cast<double>(n_);
+      m2_[i] += delta * (r[i] - mean_[i]);
+    }
+    return;
+  }
+
+  // Welford over the batch rows into scratch moments...
+  batch_mean_.assign(mean_.size(), 0.0);
+  batch_m2_.assign(mean_.size(), 0.0);
+  for (std::size_t r = 0; r < nb; ++r) {
+    const double* row = x.row(r);
+    for (std::size_t i = 0; i < mean_.size(); ++i) {
+      const double delta = row[i] - batch_mean_[i];
+      batch_mean_[i] += delta / static_cast<double>(r + 1);
+      batch_m2_[i] += delta * (row[i] - batch_mean_[i]);
+    }
+  }
+
+  // ...then one Chan parallel merge into the running moments:
+  //   δ = μ_B − μ_A,  μ ← μ_A + δ·n_B/n,  M2 ← M2_A + M2_B + δ²·n_A·n_B/n.
+  const double na = static_cast<double>(n_);
+  const double nbd = static_cast<double>(nb);
+  const double n = na + nbd;
+  for (std::size_t i = 0; i < mean_.size(); ++i) {
+    const double delta = batch_mean_[i] - mean_[i];
+    mean_[i] += delta * nbd / n;
+    m2_[i] += batch_m2_[i] + delta * delta * na * nbd / n;
+  }
+  n_ += nb;
+}
+
 std::vector<double> VecNormalizer::variance() const {
   std::vector<double> v(mean_.size(), 0.0);
   if (n_ == 0) return v;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "nn/batch.h"
+
 namespace imap::rl {
 
 /// Per-dimension streaming mean/variance (Welford) with normalisation —
@@ -12,6 +14,15 @@ class VecNormalizer {
   explicit VecNormalizer(std::size_t dim, double clip = 10.0);
 
   void update(const std::vector<double>& x);
+
+  /// Fold a whole batch of observations in one call — the per-tick path of
+  /// the vectorized rollout engine. A single-row batch is bitwise identical
+  /// to update(); larger batches run Welford over the rows and then a
+  /// Chan-style parallel merge into the running moments, which matches E
+  /// per-step updates to floating-point reassociation accuracy (the tier-1
+  /// test pins the tolerance).
+  void update_batch(const nn::Batch& x);
+
   std::vector<double> normalize(const std::vector<double>& x) const;
 
   std::size_t dim() const { return mean_.size(); }
@@ -23,6 +34,8 @@ class VecNormalizer {
   std::size_t n_ = 0;
   std::vector<double> mean_;
   std::vector<double> m2_;
+  std::vector<double> batch_mean_;  ///< update_batch scratch (reused)
+  std::vector<double> batch_m2_;
   double clip_;
 };
 

@@ -1,0 +1,17 @@
+#include "rl/policy_handle.h"
+
+#include "common/check.h"
+
+namespace imap::rl {
+
+PolicyHandle PolicyHandle::snapshot(const nn::GaussianPolicy& policy) {
+  return PolicyHandle(std::make_shared<const nn::GaussianPolicy>(policy));
+}
+
+const nn::Batch& PolicyHandle::query_batch(const nn::Batch& obs,
+                                           nn::Mlp::Workspace& ws) const {
+  IMAP_CHECK_MSG(net_ != nullptr, "query_batch on a non-batchable handle");
+  return net_->mean_batch(obs, ws);
+}
+
+}  // namespace imap::rl

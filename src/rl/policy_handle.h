@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/gaussian.h"
+#include "rl/evaluate.h"
+
+namespace imap::rl {
+
+/// A frozen deployed policy, as handed to the threat-model wrappers and the
+/// evaluation harness. Two shapes, one call surface:
+///
+///  * an opaque ActionFn — the fully black-box case; answerable only one
+///    observation at a time;
+///  * a snapshot of a GaussianPolicy network, which additionally supports
+///    batched mean queries through a caller-owned workspace (query_batch),
+///    letting the vectorized rollout engine answer all lockstep slots with
+///    one kernel call.
+///
+/// Both implicit constructors are intentional: every pre-existing ActionFn
+/// call site keeps compiling, and network-backed handles upgrade those sites
+/// to batchable victims with no signature churn. Per-sample query() is
+/// bit-identical between the two shapes when the ActionFn wraps the same
+/// network's mean_action.
+class PolicyHandle {
+ public:
+  PolicyHandle() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  PolicyHandle(ActionFn fn) : fn_(std::move(fn)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  PolicyHandle(std::shared_ptr<const nn::GaussianPolicy> net)
+      : net_(std::move(net)) {}
+
+  /// Deep-copied frozen snapshot of `policy`: training can continue on the
+  /// original while the handle keeps serving the captured parameters.
+  static PolicyHandle snapshot(const nn::GaussianPolicy& policy);
+
+  explicit operator bool() const { return net_ != nullptr || fn_ != nullptr; }
+
+  /// True when the handle exposes a network and so supports query_batch.
+  bool batched() const { return net_ != nullptr; }
+
+  /// The backing network, or nullptr for opaque-function handles. Used to
+  /// verify that every slot of a VecEnv queries the SAME frozen victim
+  /// before merging their queries into one batch.
+  const nn::GaussianPolicy* net() const { return net_.get(); }
+
+  /// Per-sample query (the deterministic mean for network-backed handles).
+  std::vector<double> query(const std::vector<double>& obs) const {
+    return net_ ? net_->mean_action(obs) : fn_(obs);
+  }
+  std::vector<double> operator()(const std::vector<double>& obs) const {
+    return query(obs);
+  }
+
+  /// Batched mean query through a caller-owned workspace. Each output row is
+  /// bit-identical to query() on that row. Requires batched(); the returned
+  /// reference lives in `ws` until the next batched call on it.
+  const nn::Batch& query_batch(const nn::Batch& obs,
+                               nn::Mlp::Workspace& ws) const;
+
+ private:
+  ActionFn fn_;
+  std::shared_ptr<const nn::GaussianPolicy> net_;
+};
+
+}  // namespace imap::rl

@@ -31,6 +31,7 @@ PpoTrainer::PpoTrainer(const Env& proto, PpoOptions opts, Rng rng)
   IMAP_CHECK(opts_.steps_per_iter > 0);
   IMAP_CHECK(opts_.minibatch > 0);
   IMAP_CHECK(opts_.num_workers >= 1);
+  IMAP_CHECK(opts_.envs_per_worker >= 1);
   IMAP_CHECK(opts_.grad_shards >= 0);
 }
 
@@ -39,93 +40,55 @@ void PpoTrainer::set_env(const Env& proto) {
   IMAP_CHECK(proto.act_dim() == env_->act_dim());
   env_ = proto.clone();
   need_reset_ = true;
-  for (auto& w : workers_) {
-    w.env = proto.clone();
-    w.need_reset = true;
-  }
+  for (auto& w : workers_) w.set_env(proto);
 }
 
 void PpoTrainer::ensure_workers() {
-  if (workers_.size() == static_cast<std::size_t>(opts_.num_workers)) return;
+  const auto k = static_cast<std::size_t>(opts_.num_workers);
+  const auto e = static_cast<std::size_t>(opts_.envs_per_worker);
+  if (workers_.size() == k && workers_[0].size() == e) return;
   workers_.clear();
-  workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
-  for (int w = 0; w < opts_.num_workers; ++w) {
-    RolloutWorker rw;
-    rw.env = env_->clone();
-    // Independent child stream per worker, derived from the trainer seed —
-    // the trace depends on K but never on the thread count.
-    rw.rng = rng_.split(0x6b1dc0deULL + static_cast<std::uint64_t>(w));
-    workers_.push_back(std::move(rw));
-  }
-}
-
-void PpoTrainer::collect_worker(RolloutWorker& w, int steps) {
-  w.buf.clear();
-  w.buf.reserve(static_cast<std::size_t>(steps));
-  w.buf.reserve_step(w.env->obs_dim(), w.env->act_dim());
-  w.ep_successes = 0;
-
-  if (w.need_reset) {
-    w.cur_obs = w.env->reset(w.rng);
-    w.ep_return = w.ep_surrogate = 0.0;
-    w.ep_len = 0;
-    w.need_reset = false;
-  }
-
-  for (int t = 0; t < steps; ++t) {
-    auto action = policy_->act(w.cur_obs, w.rng);
-    const double lp = policy_->log_prob(w.cur_obs, action);
-    const double ve = value_e_->value(w.cur_obs);
-    StepResult sr = w.env->step(w.env->action_space().clamp(action));
-
-    w.buf.add(w.cur_obs, action, lp, sr.reward, ve);
-    w.ep_return += sr.reward;
-    w.ep_surrogate += sr.surrogate;
-    ++w.ep_len;
-
-    const bool boundary = sr.done || sr.truncated;
-    if (boundary) {
-      w.buf.done.back() = sr.done ? 1 : 0;
-      w.buf.boundary.back() = 1;
-      w.buf.last_val_e.push_back(sr.done ? 0.0 : value_e_->value(sr.obs));
-      w.buf.last_val_i.push_back(sr.done ? 0.0 : value_i_->value(sr.obs));
-      w.buf.episode_returns.push_back(w.ep_return);
-      w.buf.episode_surrogate.push_back(w.ep_surrogate);
-      w.buf.episode_lengths.push_back(w.ep_len);
-      if (sr.task_completed) ++w.ep_successes;
-      w.cur_obs = w.env->reset(w.rng);
-      w.ep_return = w.ep_surrogate = 0.0;
-      w.ep_len = 0;
-    } else {
-      // Swap instead of copy: sr is dead after this, so stealing its buffer
-      // avoids a per-step element copy in the sampling hot loop.
-      std::swap(w.cur_obs, sr.obs);
-    }
-  }
-
-  if (!w.buf.boundary.back()) {
-    w.buf.boundary.back() = 1;
-    w.buf.last_val_e.push_back(value_e_->value(w.cur_obs));
-    w.buf.last_val_i.push_back(value_i_->value(w.cur_obs));
+  workers_.resize(k);
+  std::vector<Rng> streams(e);
+  for (std::size_t w = 0; w < k; ++w) {
+    // Global slot g = w·E + i draws child stream g of the trainer seed —
+    // the trace depends only on the global slot index (so any K × E
+    // factorization of the same total merges bit-identically), never on
+    // the thread count.
+    for (std::size_t i = 0; i < e; ++i)
+      streams[i] = rng_.split(0x6b1dc0deULL +
+                              static_cast<std::uint64_t>(w * e + i));
+    workers_[w].configure(*env_, streams);
   }
 }
 
 void PpoTrainer::collect(RolloutBuffer& buf) {
-  if (opts_.num_workers <= 1) {
+  const int total = opts_.num_workers * opts_.envs_per_worker;
+  if (total <= 1) {
     collect_serial(buf);
     return;
   }
   ensure_workers();
-  const int k = opts_.num_workers;
-  std::vector<int> budget(static_cast<std::size_t>(k),
-                          opts_.steps_per_iter / k);
-  for (int w = 0; w < opts_.steps_per_iter % k; ++w) ++budget[w];
+  // Per-global-slot budgets: steps/N each, remainder to the FIRST slots —
+  // non-increasing, so every worker's live slots form a prefix.
+  slot_budgets_.assign(static_cast<std::size_t>(total),
+                       opts_.steps_per_iter / total);
+  for (int g = 0; g < opts_.steps_per_iter % total; ++g) ++slot_budgets_[g];
 
-  // Workers touch disjoint state (own env, rng, buffer); the policy and
-  // value nets are read-only during sampling.
+  // Workers touch disjoint state (own slots: env, rng, buffer) and their
+  // own batching scratch; the policy and value nets are read-only during
+  // sampling (caller-owned workspaces, see VecEnv).
+  const auto e = static_cast<std::size_t>(opts_.envs_per_worker);
   parallel_for(
-      static_cast<std::size_t>(k),
-      [&](std::size_t w) { collect_worker(workers_[w], budget[w]); },
+      workers_.size(),
+      [&](std::size_t w) {
+        if (opts_.vectorized_rollout)
+          workers_[w].collect(*policy_, *value_e_, *value_i_, slot_budgets_,
+                              w * e);
+        else
+          workers_[w].collect_serial(*policy_, *value_e_, *value_i_,
+                                     slot_budgets_, w * e);
+      },
       /*grain=*/1);
 
   buf.clear();
@@ -133,8 +96,10 @@ void PpoTrainer::collect(RolloutBuffer& buf) {
   buf.reserve_step(env_->obs_dim(), env_->act_dim());
   ep_successes_ = 0;
   for (auto& w : workers_) {
-    buf.append(w.buf);
-    ep_successes_ += w.ep_successes;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      buf.append(w.slot(i).buf);
+      ep_successes_ += w.slot(i).ep_successes;
+    }
   }
   steps_done_ += opts_.steps_per_iter;
 }

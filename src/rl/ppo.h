@@ -9,6 +9,7 @@
 #include "rl/env.h"
 #include "rl/gae.h"
 #include "rl/rollout.h"
+#include "rl/vec_env.h"
 
 namespace imap::rl {
 
@@ -32,6 +33,18 @@ struct PpoOptions {
   /// worker-index order. K fixes the numeric trace; the thread count does
   /// not. K = 1 is the legacy serial path, bit-identical to older builds.
   int num_workers = 1;
+  /// E lockstep environment slots per worker (the vectorized rollout
+  /// engine). Global slot g = w·E + i draws from the trainer-seed child
+  /// stream g and the merged rollout is concatenated in global slot order,
+  /// so the trace depends only on the TOTAL slot count K·E — any
+  /// (workers × slots) factorization of the same total is bit-identical.
+  /// K·E = 1 is the legacy serial path, bit-identical to older builds.
+  int envs_per_worker = 1;
+  /// Collect through the lockstep vectorized engine (one batched policy /
+  /// value / victim forward per tick across a worker's E slots) instead of
+  /// the per-sample reference loop. Bit-identical either way — purely a
+  /// throughput knob, kept as a benchmark baseline like batched_update.
+  bool vectorized_rollout = true;
   /// Gradient-accumulation shards per minibatch: each shard back-propagates
   /// a fixed contiguous slice of the batch into its own gradient buffer and
   /// the shard buffers are reduced in a fixed tree order, so the result is
@@ -118,19 +131,6 @@ class PpoTrainer {
   void update(RolloutBuffer& buf, double tau, IterStats& stats);
 
  private:
-  /// One parallel rollout worker's persistent episode state.
-  struct RolloutWorker {
-    std::unique_ptr<Env> env;
-    Rng rng{0};
-    std::vector<double> cur_obs;
-    double ep_return = 0.0;
-    double ep_surrogate = 0.0;
-    int ep_len = 0;
-    bool need_reset = true;
-    int ep_successes = 0;
-    RolloutBuffer buf;
-  };
-
   /// Partial sums of one contiguous batch slice's losses.
   struct BatchPartial {
     double pol_loss = 0.0;
@@ -162,7 +162,6 @@ class PpoTrainer {
   };
 
   void collect_serial(RolloutBuffer& buf);
-  void collect_worker(RolloutWorker& w, int steps);
   void ensure_workers();
   int shard_count() const;
   void ensure_shards(int n_shards);
@@ -198,7 +197,8 @@ class PpoTrainer {
   int ep_len_ = 0;
   bool need_reset_ = true;
 
-  std::vector<RolloutWorker> workers_;   ///< K>1 rollout workers
+  std::vector<VecEnv> workers_;          ///< K·E>1 vectorized rollout workers
+  std::vector<int> slot_budgets_;        ///< per-global-slot step budgets
   std::vector<ShardScratch> shards_;     ///< gradient shards (lazy)
   RolloutBuffer rollout_;                ///< reused across iterations
 

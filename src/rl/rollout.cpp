@@ -40,6 +40,11 @@ void RolloutBuffer::reserve_step(std::size_t dim_obs, std::size_t dim_act) {
 void RolloutBuffer::add(const std::vector<double>& o,
                         const std::vector<double>& a, double lp, double re,
                         double ve) {
+  add(o.data(), o.size(), a.data(), a.size(), lp, re, ve);
+}
+
+void RolloutBuffer::add(const double* o, std::size_t no, const double* a,
+                        std::size_t na, double lp, double re, double ve) {
   if (n_ == obs.size()) {
     obs.emplace_back();
     if (dim_obs_) obs.back().reserve(dim_obs_);
@@ -48,8 +53,8 @@ void RolloutBuffer::add(const std::vector<double>& o,
     act.emplace_back();
     if (dim_act_) act.back().reserve(dim_act_);
   }
-  obs[n_].assign(o.begin(), o.end());
-  act[n_].assign(a.begin(), a.end());
+  obs[n_].assign(o, o + no);
+  act[n_].assign(a, a + na);
   ++n_;
   logp.push_back(lp);
   rew_e.push_back(re);
@@ -61,6 +66,17 @@ void RolloutBuffer::add(const std::vector<double>& o,
 }
 
 void RolloutBuffer::append(const RolloutBuffer& other) {
+  // Reserve the destination once per source: merging K·E slot buffers then
+  // proceeds without a single mid-append reallocation.
+  reserve(n_ + other.size());
+  last_val_e.reserve(last_val_e.size() + other.last_val_e.size());
+  last_val_i.reserve(last_val_i.size() + other.last_val_i.size());
+  episode_returns.reserve(episode_returns.size() +
+                          other.episode_returns.size());
+  episode_surrogate.reserve(episode_surrogate.size() +
+                            other.episode_surrogate.size());
+  episode_lengths.reserve(episode_lengths.size() +
+                          other.episode_lengths.size());
   for (std::size_t i = 0; i < other.size(); ++i) {
     add(other.obs[i], other.act[i], other.logp[i], other.rew_e[i],
         other.val_e[i]);

@@ -51,6 +51,11 @@ struct RolloutBuffer {
   void add(const std::vector<double>& o, const std::vector<double>& a,
            double lp, double re, double ve);
 
+  /// Pointer-core of add() — the vectorized collector stores actions as rows
+  /// of a Batch, so this avoids materialising a per-step std::vector.
+  void add(const double* o, std::size_t no, const double* a, std::size_t na,
+           double lp, double re, double ve);
+
   /// Append another buffer's steps, bootstrap values and episode stats in
   /// order. Used to merge per-worker rollouts in worker-index order; the
   /// source must be segment-closed (its last step marked as a boundary).

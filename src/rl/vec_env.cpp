@@ -1,0 +1,200 @@
+#include "rl/vec_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace imap::rl {
+
+void VecEnv::configure(const Env& proto, const std::vector<Rng>& streams) {
+  slots_.clear();
+  slots_.reserve(streams.size());
+  for (const Rng& stream : streams) {
+    EnvSlot s;
+    s.env = proto.clone();
+    s.rng = stream;
+    slots_.push_back(std::move(s));
+  }
+  refresh_split_cache();
+}
+
+void VecEnv::set_env(const Env& proto) {
+  for (auto& s : slots_) {
+    IMAP_CHECK(proto.obs_dim() == s.env->obs_dim());
+    IMAP_CHECK(proto.act_dim() == s.env->act_dim());
+    s.env = proto.clone();
+    s.need_reset = true;
+  }
+  refresh_split_cache();
+}
+
+void VecEnv::refresh_split_cache() {
+  victim_batchable_ = !slots_.empty();
+  const nn::GaussianPolicy* net = nullptr;
+  for (auto& s : slots_) {
+    s.split = dynamic_cast<SplitStepEnv*>(s.env.get());
+    if (s.split == nullptr || !s.split->frozen_policy().batched()) {
+      victim_batchable_ = false;
+      continue;
+    }
+    if (net == nullptr) net = s.split->frozen_policy().net();
+    if (s.split->frozen_policy().net() != net) victim_batchable_ = false;
+  }
+}
+
+void VecEnv::begin_round(EnvSlot& s, int budget) {
+  s.buf.clear();
+  s.buf.reserve(static_cast<std::size_t>(std::max(budget, 0)));
+  s.buf.reserve_step(s.env->obs_dim(), s.env->act_dim());
+  s.ep_successes = 0;
+  if (budget > 0 && s.need_reset) {
+    s.cur_obs = s.env->reset(s.rng);
+    s.ep_return = s.ep_surrogate = 0.0;
+    s.ep_len = 0;
+    s.need_reset = false;
+  }
+}
+
+void VecEnv::record_step(EnvSlot& s, const double* act, std::size_t na,
+                         double lp, double ve, StepResult&& sr,
+                         const nn::ValueNet& value_e,
+                         const nn::ValueNet& value_i) {
+  s.buf.add(s.cur_obs.data(), s.cur_obs.size(), act, na, lp, sr.reward, ve);
+  s.ep_return += sr.reward;
+  s.ep_surrogate += sr.surrogate;
+  ++s.ep_len;
+
+  if (sr.done || sr.truncated) {
+    s.buf.done.back() = sr.done ? 1 : 0;
+    s.buf.boundary.back() = 1;
+    // Bootstrap with the value of the post-step state (ignored if done).
+    s.buf.last_val_e.push_back(sr.done ? 0.0 : value_e.value(sr.obs));
+    s.buf.last_val_i.push_back(sr.done ? 0.0 : value_i.value(sr.obs));
+    s.buf.episode_returns.push_back(s.ep_return);
+    s.buf.episode_surrogate.push_back(s.ep_surrogate);
+    s.buf.episode_lengths.push_back(s.ep_len);
+    if (sr.task_completed) ++s.ep_successes;
+    // In-place auto-reset: the slot's next tick starts the next episode,
+    // drawn from the slot's own stream (the lockstep never stalls).
+    s.cur_obs = s.env->reset(s.rng);
+    s.ep_return = s.ep_surrogate = 0.0;
+    s.ep_len = 0;
+  } else {
+    // Swap instead of copy: sr is dead after this call.
+    std::swap(s.cur_obs, sr.obs);
+  }
+}
+
+void VecEnv::close_round(EnvSlot& s, const nn::ValueNet& value_e,
+                         const nn::ValueNet& value_i) {
+  if (s.buf.size() == 0) return;
+  // Close the rollout: the last segment bootstraps from the current state.
+  if (!s.buf.boundary.back()) {
+    s.buf.boundary.back() = 1;
+    s.buf.last_val_e.push_back(value_e.value(s.cur_obs));
+    s.buf.last_val_i.push_back(value_i.value(s.cur_obs));
+  }
+}
+
+void VecEnv::collect(const nn::GaussianPolicy& policy,
+                     const nn::ValueNet& value_e, const nn::ValueNet& value_i,
+                     const std::vector<int>& budgets, std::size_t offset) {
+  if (slots_.empty()) return;
+  int max_budget = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // Non-increasing budgets keep the live slots a prefix of the range, so
+    // row r of every per-tick batch is always slot r.
+    IMAP_CHECK(i == 0 || budgets[offset + i] <= budgets[offset + i - 1]);
+    begin_round(slots_[i], budgets[offset + i]);
+    max_budget = std::max(max_budget, budgets[offset + i]);
+  }
+
+  const std::size_t odim = slots_[0].env->obs_dim();
+  const std::size_t adim = slots_[0].env->act_dim();
+  const std::vector<double>& log_std = policy.log_std();
+
+  for (int t = 0; t < max_budget; ++t) {
+    std::size_t live = 0;
+    while (live < slots_.size() && budgets[offset + live] > t) ++live;
+
+    obs_b_.resize(live, odim);
+    for (std::size_t r = 0; r < live; ++r)
+      obs_b_.set_row(r, slots_[r].cur_obs);
+    if (obs_norm_ != nullptr) obs_norm_->update_batch(obs_b_);
+
+    // One batched mean and one batched value answer the whole tick; each
+    // row is bit-identical to the per-sample forwards of collect_serial.
+    const nn::Batch& mu = policy.mean_batch(obs_b_, ws_policy_);
+    value_e.value_batch(obs_b_, ws_value_, vals_);
+
+    act_b_.resize(live, adim);
+    logp_.resize(live);
+    for (std::size_t r = 0; r < live; ++r) {
+      EnvSlot& s = slots_[r];
+      const double* m = mu.row(r);
+      double* a = act_b_.row(r);
+      // Same draw order and arithmetic as GaussianPolicy::act on the slot's
+      // own stream, and the same pointer core as log_prob — reusing the
+      // batched mean instead of two more per-sample forwards.
+      for (std::size_t d = 0; d < adim; ++d)
+        a[d] = m[d] + std::exp(log_std[d]) * s.rng.normal();
+      logp_[r] = nn::diag_gaussian::log_prob(a, m, log_std.data(), adim);
+    }
+
+    if (victim_batchable_) {
+      // Phase 1 on every slot, ONE batched victim forward, then phase 2 —
+      // the begin/finish split is bit-equal to each slot's own step().
+      query_b_.resize(live, slots_[0].split->query_dim());
+      for (std::size_t r = 0; r < live; ++r) {
+        EnvSlot& s = slots_[r];
+        action_.assign(act_b_.row(r), act_b_.row(r) + adim);
+        query_b_.set_row(
+            r, s.split->begin_step(s.env->action_space().clamp(action_)));
+      }
+      const nn::Batch& vout =
+          slots_[0].split->frozen_policy().query_batch(query_b_, ws_victim_);
+      for (std::size_t r = 0; r < live; ++r) {
+        EnvSlot& s = slots_[r];
+        victim_out_.assign(vout.row(r), vout.row(r) + vout.dim());
+        record_step(s, act_b_.row(r), adim, logp_[r], vals_[r],
+                    s.split->finish_step(victim_out_), value_e, value_i);
+      }
+    } else {
+      for (std::size_t r = 0; r < live; ++r) {
+        EnvSlot& s = slots_[r];
+        action_.assign(act_b_.row(r), act_b_.row(r) + adim);
+        record_step(s, act_b_.row(r), adim, logp_[r], vals_[r],
+                    s.env->step(s.env->action_space().clamp(action_)),
+                    value_e, value_i);
+      }
+    }
+  }
+
+  for (auto& s : slots_) close_round(s, value_e, value_i);
+}
+
+void VecEnv::collect_serial(const nn::GaussianPolicy& policy,
+                            const nn::ValueNet& value_e,
+                            const nn::ValueNet& value_i,
+                            const std::vector<int>& budgets,
+                            std::size_t offset) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    EnvSlot& s = slots_[i];
+    const int budget = budgets[offset + i];
+    begin_round(s, budget);
+    for (int t = 0; t < budget; ++t) {
+      if (obs_norm_ != nullptr) obs_norm_->update(s.cur_obs);
+      const auto action = policy.act(s.cur_obs, s.rng);
+      const double lp = policy.log_prob(s.cur_obs, action);
+      const double ve = value_e.value(s.cur_obs);
+      record_step(s, action.data(), action.size(), lp, ve,
+                  s.env->step(s.env->action_space().clamp(action)), value_e,
+                  value_i);
+    }
+    close_round(s, value_e, value_i);
+  }
+}
+
+}  // namespace imap::rl

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/batch.h"
+#include "nn/gaussian.h"
+#include "rl/env.h"
+#include "rl/normalizer.h"
+#include "rl/rollout.h"
+#include "rl/split_step.h"
+
+namespace imap::rl {
+
+/// One environment slot of a VecEnv: its own env clone, Rng stream, episode
+/// state and rollout buffer. Slots are fully independent — a slot's trace is
+/// a pure function of its env prototype, its stream and the (frozen) policy
+/// parameters, never of E or of its neighbours.
+struct EnvSlot {
+  std::unique_ptr<Env> env;
+  SplitStepEnv* split = nullptr;  ///< cached cast; null if not splittable
+  Rng rng{0};
+  std::vector<double> cur_obs;
+  double ep_return = 0.0;
+  double ep_surrogate = 0.0;
+  int ep_len = 0;
+  bool need_reset = true;
+  int ep_successes = 0;
+  RolloutBuffer buf;
+};
+
+/// Vectorized rollout engine: E environment slots stepped in lockstep so one
+/// collection tick performs ONE batched policy-mean forward, ONE batched
+/// critic forward and — when every slot is a SplitStepEnv over the same
+/// network-backed frozen victim — ONE batched victim forward, instead of E
+/// per-sample calls of each.
+///
+/// Determinism contract: slot i draws only from its own stream and
+/// auto-resets in place, and the batched kernels are bit-identical per row
+/// to their per-sample counterparts, so collect() fills exactly the buffers
+/// that E independent serial collections (collect_serial) would — for any E
+/// and any IMAP_THREADS. Budgets must be non-increasing across the slot
+/// range so the live slots always form a prefix (shorter budgets retire
+/// from the back).
+///
+/// One VecEnv is in flight per worker thread; the policy/critics stay
+/// read-only and all mutable scratch (workspaces, stacking batches) is owned
+/// by the VecEnv itself.
+class VecEnv {
+ public:
+  /// (Re)build one slot per entry of `streams`, each a clone of `proto`
+  /// seeded with its stream.
+  void configure(const Env& proto, const std::vector<Rng>& streams);
+
+  /// Swap every slot's environment for a clone of `proto` (same spaces);
+  /// episode state restarts on the next collect.
+  void set_env(const Env& proto);
+
+  std::size_t size() const { return slots_.size(); }
+  EnvSlot& slot(std::size_t i) { return slots_[i]; }
+  const EnvSlot& slot(std::size_t i) const { return slots_[i]; }
+
+  /// Optional running observation tracker: when set, collect() folds all
+  /// live observations of a tick with one update_batch call and
+  /// collect_serial() feeds the same observations one update() at a time
+  /// (telemetry only — neither path feeds normalized values back into the
+  /// rollout, so the buffers stay bit-identical with or without it).
+  void set_obs_normalizer(VecNormalizer* norm) { obs_norm_ = norm; }
+
+  /// Lockstep vectorized collection. Slot i runs budgets[offset+i] steps
+  /// into its own buffer (bit-identical to collect_serial on the same
+  /// state). Episode state persists across calls.
+  void collect(const nn::GaussianPolicy& policy, const nn::ValueNet& value_e,
+               const nn::ValueNet& value_i, const std::vector<int>& budgets,
+               std::size_t offset);
+
+  /// Reference per-sample collection: each slot in turn runs the legacy
+  /// serial loop (act / log_prob / value / step per timestep). The
+  /// bit-identity baseline for collect() and the benches' serial arm.
+  void collect_serial(const nn::GaussianPolicy& policy,
+                      const nn::ValueNet& value_e, const nn::ValueNet& value_i,
+                      const std::vector<int>& budgets, std::size_t offset);
+
+ private:
+  void refresh_split_cache();
+  void begin_round(EnvSlot& s, int budget);
+  void record_step(EnvSlot& s, const double* act, std::size_t na, double lp,
+                   double ve, StepResult&& sr, const nn::ValueNet& value_e,
+                   const nn::ValueNet& value_i);
+  void close_round(EnvSlot& s, const nn::ValueNet& value_e,
+                   const nn::ValueNet& value_i);
+
+  std::vector<EnvSlot> slots_;
+  /// All slots split their step around the SAME network-backed frozen
+  /// policy, so their per-tick victim queries merge into one batch.
+  bool victim_batchable_ = false;
+  VecNormalizer* obs_norm_ = nullptr;
+
+  // Per-engine scratch (grows to the high-water mark once, then reused).
+  nn::Mlp::Workspace ws_policy_, ws_value_, ws_victim_;
+  nn::Batch obs_b_, act_b_, query_b_;
+  std::vector<double> logp_, vals_, action_, victim_out_;
+};
+
+}  // namespace imap::rl

@@ -129,9 +129,9 @@ TEST(OpponentEnv, ReducesGameToAdversaryMdp) {
 
 TEST(OpponentEnv, ExposesMarginalRanges) {
   const auto game = env::make_you_shall_not_pass();
-  OpponentEnv env(*game, [](const std::vector<double>&) {
+  OpponentEnv env(*game, rl::ActionFn([](const std::vector<double>&) {
     return std::vector<double>{0.0, 0.0};
-  });
+  }));
   EXPECT_EQ(env.victim_obs_range(), game->victim_obs_range());
   EXPECT_EQ(env.adversary_obs_range(), game->adversary_obs_range());
 }
@@ -187,9 +187,9 @@ TEST(ApMarl, TrainsOnGame) {
   const auto game = env::make_you_shall_not_pass();
   rl::PpoOptions ppo;
   ppo.steps_per_iter = 512;
-  ApMarl attacker(*game, [](const std::vector<double>&) {
+  ApMarl attacker(*game, rl::ActionFn([](const std::vector<double>&) {
     return std::vector<double>{-1.0, 0.0};
-  }, ppo, Rng(5));
+  }), ppo, Rng(5));
   const auto stats = attacker.train(1024);
   EXPECT_GE(stats.size(), 2u);
   EXPECT_EQ(attacker.adversary()(std::vector<double>(11, 0.0)).size(), 2u);

@@ -75,7 +75,7 @@ TEST(GradientAttack, PlugsIntoTheThreatModel) {
   Rng rng(11);
   auto victim_policy = make_victim_net(rng);
   const auto env = env::make_hopper();
-  const auto victim_fn = [&victim_policy](const std::vector<double>& o) {
+  const rl::ActionFn victim_fn = [&victim_policy](const std::vector<double>& o) {
     return victim_policy.mean_action(o);
   };
   Rng er(13);

@@ -1,0 +1,26 @@
+// Fixture: a rollout-collect-shaped hot loop that materialises per-step
+// vectors — each marked line must trigger hot-loop-alloc when linted under a
+// src/rl/ or src/attack/ path (the vectorized engine's zero-allocation
+// contract), and stay silent outside the hot-path layers.
+#include <cstddef>
+#include <vector>
+
+double fake_step(const std::vector<double>& a) { return a.empty() ? 0.0 : a[0]; }
+
+void collect(std::size_t steps, std::size_t adim) {
+  std::vector<double> action(adim);  // hoisted scratch: fine
+  double ret = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<double> obs(adim);  // BAD: per-tick observation copy
+    std::vector<double> act = action;  // BAD: per-tick action copy
+    obs[0] = static_cast<double>(t);
+    ret += fake_step(act);
+  }
+  std::size_t t = 0;
+  while (t < steps) {
+    std::vector<double> query(adim);  // BAD: per-query victim input
+    ret += fake_step(query);
+    ++t;
+  }
+  (void)ret;
+}

@@ -22,9 +22,10 @@ Enforces rules that no off-the-shelf tool knows about:
   using-ns-header    No `using namespace` at namespace scope in headers.
   parent-include     No parent-relative includes (#include "../..."): project
                      headers are included relative to src/ (e.g. "common/rng.h").
-  hot-loop-alloc     Constructing a std::vector<double> inside a loop in the
-                     nn hot files (src/nn/) allocates on every iteration; the
-                     kernel layer's zero-allocation contract requires hoisted,
+  hot-loop-alloc     Constructing a std::vector<double> inside a loop in a
+                     hot-path layer (src/nn/, src/rl/, src/attack/) allocates
+                     on every iteration; the zero-allocation contract of the
+                     kernels and the rollout engine requires hoisted,
                      capacity-reusing buffers (Batch / Mlp::Workspace).
 
 Suppression:
@@ -77,8 +78,9 @@ FIXITS = {
     ),
     "hot-loop-alloc": (
         "hoist the std::vector<double> out of the loop and reuse it (resize/"
-        "assign on a caller-owned buffer, Batch, or Mlp::Workspace); src/nn "
-        "hot paths must be allocation-free in steady state"
+        "assign on a caller-owned buffer, Batch, or Mlp::Workspace); the "
+        "src/nn, src/rl and src/attack hot paths must be allocation-free in "
+        "steady state"
     ),
 }
 
@@ -308,12 +310,12 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
         if PARENT_INCLUDE_RE.search(raw_lines[idx]):
             add(idx, "parent-include", "parent-relative #include")
 
-    # --- hot-loop-alloc (nn hot files only)
-    if relpath.startswith("src/nn/"):
+    # --- hot-loop-alloc (hot-path layers: kernels, rollout engine, attacks)
+    if relpath.startswith(("src/nn/", "src/rl/", "src/attack/")):
         for idx in hot_loop_alloc_lines(code):
             add(idx, "hot-loop-alloc",
-                "std::vector<double> constructed inside a loop in an nn "
-                "hot file")
+                "std::vector<double> constructed inside a loop in a "
+                "hot-path file")
 
     return findings
 

@@ -66,18 +66,25 @@ class RuleFiring(unittest.TestCase):
             rules_of(findings),
             ["parent-include", "pragma-once", "using-ns-header"])
 
-    def test_hot_loop_alloc_fires_in_nn_paths_only(self):
-        findings = lint_fixture("bad_hot_alloc.cpp",
-                                relpath="src/nn/bad_hot_alloc.cpp")
-        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+    def test_hot_loop_alloc_fires_in_hot_path_layers_only(self):
         # for-body, while-body, braceless for-body; hoisted decl and the
-        # reference inside a loop stay silent.
-        self.assertEqual(len(findings), 3)
-        # The rule is scoped to src/nn/: the same code elsewhere is silent.
+        # reference inside a loop stay silent — in every hot-path layer.
+        for rel in ("src/nn/bad_hot_alloc.cpp", "src/rl/bad_hot_alloc.cpp",
+                    "src/attack/bad_hot_alloc.cpp"):
+            findings = lint_fixture("bad_hot_alloc.cpp", relpath=rel)
+            self.assertEqual(rules_of(findings), ["hot-loop-alloc"], rel)
+            self.assertEqual(len(findings), 3, rel)
+        # The rule is scoped to the hot-path layers: the same code elsewhere
+        # (default src/core path) is silent.
         self.assertEqual(lint_fixture("bad_hot_alloc.cpp"), [])
-        self.assertEqual(
-            lint_fixture("bad_hot_alloc.cpp",
-                         relpath="src/rl/bad_hot_alloc.cpp"), [])
+
+    def test_hot_loop_alloc_fires_on_collect_shaped_loops(self):
+        findings = lint_fixture("bad_hot_alloc_collect.cpp",
+                                relpath="src/rl/bad_hot_alloc_collect.cpp")
+        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+        # per-tick obs, per-tick copy-init, per-query victim input.
+        self.assertEqual(len(findings), 3)
+        self.assertEqual(lint_fixture("bad_hot_alloc_collect.cpp"), [])
 
     def test_hot_loop_alloc_ignores_loop_header_and_suppresses(self):
         init = (
