@@ -24,6 +24,15 @@ class ApMarl {
   rl::ActionFn adversary() const;
   rl::PpoTrainer& trainer() { return *trainer_; }
 
+  /// Attack state is exactly the PPO trainer's (the opponent-side wrapper is
+  /// rebuilt from ctor arguments; its inner game is replayed by the trainer).
+  void save_state(ArchiveWriter& a) const { trainer_->save_state(a); }
+  void load_state(const ArchiveReader& a) { trainer_->load_state(a); }
+  bool snapshot(const std::string& path) const {
+    return trainer_->snapshot(path);
+  }
+  bool restore(const std::string& path) { return trainer_->restore(path); }
+
  private:
   std::unique_ptr<rl::PpoTrainer> trainer_;
 };

@@ -30,6 +30,10 @@ BenchConfig BenchConfig::from_env() {
   cfg.scale = env_double("IMAP_BENCH_SCALE", 1.0);
   cfg.zoo_dir = env_string("IMAP_ZOO_DIR", "./zoo");
   cfg.seed = static_cast<std::uint64_t>(env_double("IMAP_SEED", 7.0));
+  cfg.snapshot_every =
+      static_cast<int>(env_double("IMAP_SNAPSHOT_EVERY", 0.0));
+  cfg.halt_after_iters =
+      static_cast<long long>(env_double("IMAP_HALT_AFTER_ITERS", 0.0));
   return cfg;
 }
 

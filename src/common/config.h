@@ -11,10 +11,18 @@ namespace imap {
 ///   IMAP_ZOO_DIR     — directory for cached victim checkpoints
 ///                      (default "./zoo").
 ///   IMAP_SEED        — base experiment seed (default 7).
+///   IMAP_SNAPSHOT_EVERY — write a resumable training snapshot every N
+///                      iterations/rounds (0 = off). Interrupted victim
+///                      training and attack runs pick up from the snapshot.
+///   IMAP_HALT_AFTER_ITERS — stop attack training after N iterations this
+///                      process (0 = off), leaving a snapshot behind. A
+///                      debugging/testing knob; never part of cache keys.
 struct BenchConfig {
   double scale = 1.0;
   std::string zoo_dir = "./zoo";
   std::uint64_t seed = 7;
+  int snapshot_every = 0;
+  long long halt_after_iters = 0;
 
   /// Scale a step/episode budget, clamped to at least `min_value`.
   int scaled(int base, int min_value = 1) const;

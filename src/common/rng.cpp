@@ -1,5 +1,10 @@
 #include "common/rng.h"
 
+#include <sstream>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
 namespace imap {
 
 namespace {
@@ -53,5 +58,21 @@ Rng Rng::split(std::uint64_t stream) {
 }
 
 std::uint64_t Rng::next_u64() { return gen_(); }
+
+void Rng::save_state(BinaryWriter& w) const {
+  w.write_u64(seed_);
+  // The standard guarantees operator<</>> round-trip the engine exactly
+  // (textual dump of the Mersenne state + position).
+  std::ostringstream os;
+  os << gen_;
+  w.write_string(os.str());
+}
+
+void Rng::load_state(BinaryReader& r) {
+  seed_ = r.read_u64();
+  std::istringstream is(r.read_string());
+  is >> gen_;
+  IMAP_CHECK_MSG(!is.fail(), "corrupt Rng engine state in checkpoint");
+}
 
 }  // namespace imap

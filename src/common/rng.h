@@ -6,6 +6,9 @@
 
 namespace imap {
 
+class BinaryWriter;
+class BinaryReader;
+
 /// Deterministic random source used everywhere in the library.
 ///
 /// Every stochastic component (environments, policies, trainers) takes an
@@ -43,6 +46,11 @@ class Rng {
   std::uint64_t next_u64();
 
   std::uint64_t seed() const { return seed_; }
+
+  /// Serialize the exact stream state (seed + engine position) so a restored
+  /// Rng continues bit-identically from where the saved one stopped.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   std::uint64_t seed_;

@@ -29,4 +29,16 @@ void BiasReduction::observe(double j_ap) {
   prev_j_ = j_ap;
 }
 
+void BiasReduction::save_state(BinaryWriter& w) const {
+  w.write_f64(lambda_);
+  w.write_bool(has_prev_);
+  w.write_f64(prev_j_);
+}
+
+void BiasReduction::load_state(BinaryReader& r) {
+  lambda_ = r.read_f64();
+  has_prev_ = r.read_bool();
+  prev_j_ = r.read_f64();
+}
+
 }  // namespace imap::core

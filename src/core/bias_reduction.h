@@ -1,5 +1,7 @@
 #pragma once
 
+#include "common/serialize.h"
+
 namespace imap::core {
 
 /// Bias-Reduction (Sec. 5.4, Eq. 15–17): an adaptive temperature schedule
@@ -26,6 +28,10 @@ class BiasReduction {
 
   double lambda() const { return lambda_; }
   bool enabled() const { return enabled_; }
+
+  /// Serialize the dual state (λ_k and the J_AP baseline).
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   bool enabled_;

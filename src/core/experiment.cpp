@@ -51,7 +51,12 @@ std::vector<AttackKind> imap_attacks() {
 }
 
 ExperimentRunner::ExperimentRunner(BenchConfig cfg)
-    : cfg_(cfg), zoo_(cfg.zoo_dir, cfg.scale, cfg.seed) {}
+    : cfg_(cfg),
+      zoo_(cfg.zoo_dir, cfg.scale, cfg.seed, cfg.snapshot_every) {}
+
+std::string ExperimentRunner::snapshot_path(const std::string& key) const {
+  return cfg_.zoo_dir + "/snapshots/" + key + ".snap";
+}
 
 long long ExperimentRunner::default_attack_steps(
     const std::string& env_name) const {
@@ -111,16 +116,73 @@ ImapOptions ExperimentRunner::imap_options(const AttackPlan& plan,
 }
 
 namespace {
-std::vector<CurvePoint> curve_from(const std::vector<rl::IterStats>& stats) {
-  std::vector<CurvePoint> curve;
-  curve.reserve(stats.size());
-  for (const auto& s : stats)
-    curve.push_back({s.total_steps, s.mean_surrogate, s.tau});
+
+void write_curve(BinaryWriter& w, const std::vector<CurvePoint>& curve) {
+  w.write_u64(curve.size());
+  for (const auto& p : curve) {
+    w.write_i64(p.steps);
+    w.write_f64(p.victim_success);
+    w.write_f64(p.tau);
+  }
+}
+
+std::vector<CurvePoint> read_curve(BinaryReader& r) {
+  std::vector<CurvePoint> curve(r.read_u64());
+  for (auto& p : curve) {
+    p.steps = r.read_i64();
+    p.victim_success = r.read_f64();
+    p.tau = r.read_f64();
+  }
   return curve;
 }
+
+/// Snapshot/halt policy for one attack-training run.
+struct ResumeCfg {
+  std::string snap;          ///< snapshot file ("" disables persistence)
+  int every = 0;             ///< iterations between periodic snapshots
+  long long halt_after = 0;  ///< stop after N iterations this process
+};
+
+/// Drive `attacker` (SaRl / ApMarl / ImapTrainer) to `steps`, resuming from
+/// and periodically writing a snapshot that carries the trainer state plus
+/// the learning curve so far. Returns false if halted early by halt_after.
+template <typename Attacker>
+bool train_attacker(Attacker& attacker, long long steps, const ResumeCfg& rc,
+                    std::vector<CurvePoint>& curve) {
+  ArchiveReader a;
+  if (!rc.snap.empty() && ArchiveReader::load(rc.snap, a)) {
+    attacker.load_state(a);
+    auto r = a.section("runner/curve");
+    curve = read_curve(r);
+  }
+  long long iters = 0;
+  while (attacker.trainer().steps_done() < steps) {
+    const auto s = attacker.iterate();
+    curve.push_back({s.total_steps, s.mean_surrogate, s.tau});
+    ++iters;
+    const bool more = attacker.trainer().steps_done() < steps;
+    const bool halting = rc.halt_after > 0 && iters >= rc.halt_after && more;
+    const bool periodic = rc.every > 0 && iters % rc.every == 0 && more;
+    if (!rc.snap.empty() && (halting || periodic)) {
+      std::filesystem::create_directories(
+          std::filesystem::path(rc.snap).parent_path());
+      ArchiveWriter w;
+      attacker.save_state(w);
+      auto& c = w.section("runner/curve");
+      write_curve(c, curve);
+      IMAP_CHECK_MSG(w.save(rc.snap),
+                     "failed to write snapshot " << rc.snap);
+    }
+    if (halting) return false;
+  }
+  if (!rc.snap.empty()) std::filesystem::remove(rc.snap);
+  return true;
+}
+
 }  // namespace
 
-AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
+AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan,
+                                                 const std::string& key) {
   const auto deploy_env = env::make_env(plan.env_name);
   const auto victim_policy = zoo_.victim(plan.env_name, plan.defense);
   // Network-backed handle: per-sample queries are bit-identical to the old
@@ -157,7 +219,11 @@ AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
     case AttackKind::SaRl: {
       attack::SaRl attacker(*deploy_env, victim, eps, attack_ppo_options(),
                             rng);
-      out.curve = curve_from(attacker.train(steps));
+      out.completed = train_attacker(
+          attacker, steps,
+          {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+          out.curve);
+      if (!out.completed) return out;
       out.victim_eval = attack::evaluate_attack(
           *deploy_env, victim, attacker.adversary(), eps, episodes, eval_rng);
       return out;
@@ -168,7 +234,11 @@ AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
     default: {
       ImapTrainer attacker(*deploy_env, victim, eps,
                            imap_options(plan, plan.env_name), rng);
-      out.curve = curve_from(attacker.train(steps));
+      out.completed = train_attacker(
+          attacker, steps,
+          {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+          out.curve);
+      if (!out.completed) return out;
       out.victim_eval = attack::evaluate_attack(
           *deploy_env, victim, attacker.adversary(), eps, episodes, eval_rng);
       return out;
@@ -176,7 +246,8 @@ AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan) {
   }
 }
 
-AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan) {
+AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan,
+                                                const std::string& key) {
   const auto game = env::make_multiagent_env(plan.env_name);
   const auto victim_policy = zoo_.game_victim(plan.env_name);
   const auto victim = Zoo::as_policy(victim_policy);
@@ -195,7 +266,11 @@ AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan) {
 
   if (plan.attack == AttackKind::ApMarl) {
     attack::ApMarl attacker(*game, victim, attack_ppo_options(), rng);
-    out.curve = curve_from(attacker.train(steps));
+    out.completed = train_attacker(
+        attacker, steps,
+        {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+        out.curve);
+    if (!out.completed) return out;
     out.victim_eval = attack::evaluate_opponent_attack(
         *game, victim, attacker.adversary(), episodes, eval_rng);
     return out;
@@ -203,7 +278,11 @@ AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan) {
   IMAP_CHECK_MSG(is_imap(plan.attack),
                  to_string(plan.attack) << " unsupported in multi-agent");
   ImapTrainer attacker(*game, victim, imap_options(plan, plan.env_name), rng);
-  out.curve = curve_from(attacker.train(steps));
+  out.completed = train_attacker(
+      attacker, steps,
+      {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+      out.curve);
+  if (!out.completed) return out;
   out.victim_eval = attack::evaluate_opponent_attack(
       *game, victim, attacker.adversary(), episodes, eval_rng);
   return out;
@@ -215,7 +294,7 @@ std::string ExperimentRunner::cache_key(const AttackPlan& plan,
   os << plan.env_name << '|' << plan.defense << '|' << to_string(plan.attack)
      << '|' << (plan.bias_reduction ? 1 : 0) << '|' << plan.eta << '|'
      << plan.xi << '|' << plan.tau0 << '|' << steps << '|' << episodes << '|'
-     << cfg_.seed << '|' << cfg_.scale;
+     << cfg_.seed << '|' << cfg_.scale << "|v" << kFormatVersion;
   // FNV-1a over the readable key keeps filenames short and portable.
   std::uint64_t h = 1469598103934665603ULL;
   for (const char c : os.str()) {
@@ -233,7 +312,7 @@ std::string ExperimentRunner::cache_key(const AttackPlan& plan,
 
 bool ExperimentRunner::load_cached(const std::string& key,
                                    AttackOutcome& out) const {
-  BinaryReader r({});
+  BinaryReader r;
   if (!BinaryReader::load(cfg_.zoo_dir + "/results/" + key + ".res", r))
     return false;
   out.victim_eval.returns.mean = r.read_f64();
@@ -285,9 +364,10 @@ AttackOutcome ExperimentRunner::run(const AttackPlan& plan) {
 
   AttackOutcome out =
       env::spec(plan.env_name).type == env::TaskType::MultiAgent
-          ? run_multi_agent(plan)
-          : run_single_agent(plan);
-  store_cached(key, out);
+          ? run_multi_agent(plan, key)
+          : run_single_agent(plan, key);
+  // A halted run left a snapshot, not a result — resume before caching.
+  if (out.completed) store_cached(key, out);
   return out;
 }
 

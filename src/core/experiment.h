@@ -53,6 +53,10 @@ struct AttackOutcome {
   AttackPlan plan;
   rl::EvalStats victim_eval;  ///< victim TRUE rewards / success under attack
   std::vector<CurvePoint> curve;
+  /// False when BenchConfig::halt_after_iters stopped attack training early;
+  /// the run left a resumable snapshot and victim_eval is unset. Halted
+  /// outcomes are never cached.
+  bool completed = true;
 
   /// Multi-agent attacking success rate (ASR = 1 − victim win rate).
   double asr() const { return 1.0 - victim_eval.success_rate; }
@@ -77,15 +81,22 @@ class ExperimentRunner {
   rl::PpoOptions attack_ppo_options() const;
 
   /// Attack outcomes are cached under <zoo_dir>/results keyed by the full
-  /// plan + budgets + seed, so the bench binaries share runs (Table 3 reuses
-  /// Table 2's grid, Fig. 4 reuses the sparse-task curves) and interrupted
-  /// sweeps resume where they stopped.
+  /// plan + budgets + seed + archive format version, so the bench binaries
+  /// share runs (Table 3 reuses Table 2's grid, Fig. 4 reuses the
+  /// sparse-task curves) and interrupted sweeps resume where they stopped.
+  /// halt_after_iters and snapshot_every never enter the key — they change
+  /// when a run pauses, not what it computes.
   std::string cache_key(const AttackPlan& plan, long long steps,
                         int episodes) const;
 
  private:
-  AttackOutcome run_single_agent(const AttackPlan& plan);
-  AttackOutcome run_multi_agent(const AttackPlan& plan);
+  AttackOutcome run_single_agent(const AttackPlan& plan,
+                                 const std::string& key);
+  AttackOutcome run_multi_agent(const AttackPlan& plan,
+                                const std::string& key);
+  /// Mid-training snapshot file for one cached run (under
+  /// <zoo_dir>/snapshots; the directory is created on first write).
+  std::string snapshot_path(const std::string& key) const;
   ImapOptions imap_options(const AttackPlan& plan,
                            const std::string& env_name) const;
   Rng plan_rng(const AttackPlan& plan) const;

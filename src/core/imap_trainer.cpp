@@ -79,4 +79,36 @@ rl::ActionFn ImapTrainer::adversary() const {
   };
 }
 
+void ImapTrainer::save_state(ArchiveWriter& a) const {
+  trainer_->save_state(a);
+  auto& br = a.section("imap/br");
+  br_.save_state(br);
+  auto& reg = a.section("imap/reg");
+  reg.write_string(reg_->name());
+  reg_->save_state(reg);
+}
+
+void ImapTrainer::load_state(const ArchiveReader& a) {
+  trainer_->load_state(a);
+  auto br = a.section("imap/br");
+  br_.load_state(br);
+  auto reg = a.section("imap/reg");
+  IMAP_CHECK_MSG(reg.read_string() == reg_->name(),
+                 "IMAP checkpoint was written with a different regularizer");
+  reg_->load_state(reg);
+}
+
+bool ImapTrainer::snapshot(const std::string& path) const {
+  ArchiveWriter a;
+  save_state(a);
+  return a.save(path);
+}
+
+bool ImapTrainer::restore(const std::string& path) {
+  ArchiveReader a;
+  if (!ArchiveReader::load(path, a)) return false;
+  load_state(a);
+  return true;
+}
+
 }  // namespace imap::core

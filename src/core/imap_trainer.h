@@ -54,6 +54,15 @@ class ImapTrainer {
   const AdversarialRegularizer& regularizer() const { return *reg_; }
   double tau() const { return br_.tau(); }
 
+  /// Snapshot the full attack state: the PPO trainer plus the BR dual state
+  /// and the regularizer's knowledge (union buffers / mimic). Restoring into
+  /// an ImapTrainer built with identical ctor arguments resumes training
+  /// bit-identically.
+  void save_state(ArchiveWriter& a) const;
+  void load_state(const ArchiveReader& a);
+  bool snapshot(const std::string& path) const;
+  bool restore(const std::string& path);
+
  private:
   void finish_setup(const rl::Env& attack_env, ImapOptions opts, Rng rng);
 

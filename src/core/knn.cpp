@@ -150,4 +150,26 @@ void KnnBuffer::clear() {
   total_ = 0;
 }
 
+void KnnBuffer::save_state(BinaryWriter& w) const {
+  w.write_u64(dim_);
+  w.write_u64(capacity_);
+  w.write_u64(k_);
+  rng_.save_state(w);
+  w.write_u64(size_);
+  w.write_u64(total_);
+  w.write_vec(data_);
+}
+
+void KnnBuffer::load_state(BinaryReader& r) {
+  IMAP_CHECK_MSG(r.read_u64() == dim_ && r.read_u64() == capacity_ &&
+                     r.read_u64() == k_,
+                 "KNN checkpoint has wrong geometry");
+  rng_.load_state(r);
+  size_ = r.read_u64();
+  total_ = r.read_u64();
+  data_ = r.read_vec();
+  IMAP_CHECK_MSG(data_.size() == size_ * dim_, "corrupt KNN checkpoint");
+  data_.reserve(capacity_ * dim_);
+}
+
 }  // namespace imap::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 
 namespace imap::core {
 
@@ -44,6 +45,11 @@ class KnnBuffer {
   std::size_t total_added() const { return total_; }
   bool empty() const { return size_ == 0; }
   void clear();
+
+  /// Serialize the stored rows, reservoir counters and sampling stream so a
+  /// restored buffer continues the exact reservoir sequence.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   std::size_t dim_;

@@ -54,4 +54,16 @@ double MimicPolicy::kl_from(const nn::GaussianPolicy& policy,
                                mimic_.mean_action(obs), mimic_.log_std());
 }
 
+void MimicPolicy::save_state(BinaryWriter& w) const {
+  mimic_.save_state(w);
+  opt_.save_state(w);
+  rng_.save_state(w);
+}
+
+void MimicPolicy::load_state(BinaryReader& r) {
+  mimic_.load_state(r);
+  opt_.load_state(r);
+  rng_.load_state(r);
+}
+
 }  // namespace imap::core

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/serialize.h"
 #include "nn/adam.h"
 #include "nn/gaussian.h"
 #include "rl/rollout.h"
@@ -29,6 +30,10 @@ class MimicPolicy {
                  const std::vector<double>& obs) const;
 
   const nn::GaussianPolicy& policy() const { return mimic_; }
+
+  /// Serialize the mimic weights, its Adam moments and its sampling stream.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   nn::GaussianPolicy mimic_;

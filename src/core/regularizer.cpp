@@ -82,6 +82,9 @@ class ScRegularizer final : public AdversarialRegularizer {
 
   RegularizerType type() const override { return RegularizerType::SC; }
 
+  void save_state(BinaryWriter& w) const override { rng_.save_state(w); }
+  void load_state(BinaryReader& r) override { rng_.load_state(r); }
+
  private:
   RegularizerOptions opts_;
   std::size_t obs_dim_;
@@ -127,6 +130,15 @@ class PcMarginal {
     for (std::size_t i = 0; i < buf.size(); ++i) union_buffer_.add(proj[i]);
   }
 
+  void save_state(BinaryWriter& w) const {
+    union_buffer_.save_state(w);
+    rng_.save_state(w);
+  }
+  void load_state(BinaryReader& r) {
+    union_buffer_.load_state(r);
+    rng_.load_state(r);
+  }
+
  private:
   ObsSlice slice_;
   std::size_t k_;
@@ -156,6 +168,15 @@ class PcRegularizer final : public AdversarialRegularizer {
   }
 
   RegularizerType type() const override { return RegularizerType::PC; }
+
+  void save_state(BinaryWriter& w) const override {
+    adv_marginal_.save_state(w);
+    victim_marginal_.save_state(w);
+  }
+  void load_state(BinaryReader& r) override {
+    adv_marginal_.load_state(r);
+    victim_marginal_.load_state(r);
+  }
 
  private:
   RegularizerOptions opts_;
@@ -212,6 +233,9 @@ class DivergenceRegularizer final : public AdversarialRegularizer {
   }
 
   RegularizerType type() const override { return RegularizerType::D; }
+
+  void save_state(BinaryWriter& w) const override { mimic_.save_state(w); }
+  void load_state(BinaryReader& r) override { mimic_.load_state(r); }
 
   const MimicPolicy& mimic() const { return mimic_; }
 

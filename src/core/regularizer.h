@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "core/knn.h"
 #include "core/mimic.h"
 #include "nn/gaussian.h"
@@ -59,6 +60,12 @@ class AdversarialRegularizer {
                        const nn::GaussianPolicy& policy) = 0;
   virtual RegularizerType type() const = 0;
   virtual std::string name() const { return to_string(type()); }
+
+  /// Persist internal knowledge (union buffers, mimic nets, streams) so a
+  /// restored regularizer produces bit-identical bonuses. Default no-op for
+  /// stateless regularizers (R-driven).
+  virtual void save_state(BinaryWriter& w) const { (void)w; }
+  virtual void load_state(BinaryReader& r) { (void)r; }
 };
 
 /// Factory. `obs_dim` is the adversary observation width; `rng` seeds the

@@ -88,4 +88,18 @@ void RndNovelty::compute(rl::RolloutBuffer& buf) {
   update(buf);
 }
 
+void RndNovelty::save_state(BinaryWriter& w) const {
+  target_.save_state(w);
+  predictor_.save_state(w);
+  opt_.save_state(w);
+  rng_.save_state(w);
+}
+
+void RndNovelty::load_state(BinaryReader& r) {
+  target_.load_state(r);
+  predictor_.load_state(r);
+  opt_.load_state(r);
+  rng_.load_state(r);
+}
+
 }  // namespace imap::core

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/serialize.h"
 #include "nn/adam.h"
 #include "nn/batch.h"
 #include "nn/mlp.h"
@@ -37,6 +38,11 @@ class RndNovelty {
   void compute(rl::RolloutBuffer& buf);
 
   std::size_t embed_dim() const { return target_.out_dim(); }
+
+  /// Serialize both networks (the frozen target too, for safety against
+  /// init-order drift), the predictor's Adam moments and the stream.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   nn::Mlp target_;     ///< frozen random features

@@ -11,8 +11,12 @@
 
 namespace imap::core {
 
-Zoo::Zoo(std::string dir, double scale, std::uint64_t seed)
-    : dir_(std::move(dir)), scale_(scale), seed_(seed) {
+Zoo::Zoo(std::string dir, double scale, std::uint64_t seed,
+         int snapshot_every)
+    : dir_(std::move(dir)),
+      scale_(scale),
+      seed_(seed),
+      snapshot_every_(snapshot_every) {
   std::filesystem::create_directories(dir_);
 }
 
@@ -21,7 +25,7 @@ std::string Zoo::path_for(const std::string& env_name,
   std::string tag = defense;
   std::replace(tag.begin(), tag.end(), '-', '_');
   return dir_ + "/" + env_name + "_" + tag + "_s" + std::to_string(seed_) +
-         ".pol";
+         "_v" + std::to_string(kFormatVersion) + ".pol";
 }
 
 long long Zoo::victim_steps(const std::string& env_name) const {
@@ -72,11 +76,26 @@ nn::GaussianPolicy Zoo::victim(const std::string& env_name,
     stream = stream * 131 + static_cast<unsigned char>(c);
   Rng rng = seeder.split(stream);
 
-  auto policy = defense::train_victim(*training_env,
+  defense::VictimTrainSession session(*training_env,
                                       defense::defense_from_string(defense),
                                       victim_steps(env_name), opts, rng);
+  // Resume a run this process (or a previous one) left unfinished.
+  const std::string snap = path + ".snap";
+  session.restore(snap);
+  int since_snapshot = 0;
+  while (!session.done()) {
+    session.advance();
+    if (snapshot_every_ > 0 && ++since_snapshot >= snapshot_every_ &&
+        !session.done()) {
+      IMAP_CHECK_MSG(session.snapshot(snap),
+                     "failed to write snapshot " << snap);
+      since_snapshot = 0;
+    }
+  }
+  auto policy = session.policy();
   IMAP_CHECK_MSG(nn::save_policy(path, policy),
                  "failed to write checkpoint " << path);
+  std::filesystem::remove(snap);  // the finished checkpoint supersedes it
   return policy;
 }
 
@@ -99,10 +118,23 @@ nn::GaussianPolicy Zoo::game_victim(const std::string& game_name) {
   ppo.ent_coef = 0.01;
   ppo.init_log_std = -0.2;
   rl::PpoTrainer trainer(training_env, ppo, rng);
-  trainer.train(victim_steps(game_name));
+  const std::string snap = path + ".snap";
+  trainer.restore(snap);
+  const long long steps = victim_steps(game_name);
+  int since_snapshot = 0;
+  while (trainer.steps_done() < steps) {
+    trainer.iterate();
+    if (snapshot_every_ > 0 && ++since_snapshot >= snapshot_every_ &&
+        trainer.steps_done() < steps) {
+      IMAP_CHECK_MSG(trainer.snapshot(snap),
+                     "failed to write snapshot " << snap);
+      since_snapshot = 0;
+    }
+  }
   auto policy = trainer.policy();
   IMAP_CHECK_MSG(nn::save_policy(path, policy),
                  "failed to write checkpoint " << path);
+  std::filesystem::remove(snap);
   return policy;
 }
 

@@ -16,7 +16,12 @@ namespace imap::core {
 /// the paper's released pre-trained victim agents.
 class Zoo {
  public:
-  Zoo(std::string dir, double scale, std::uint64_t seed);
+  /// `snapshot_every` > 0 writes a resumable mid-training snapshot
+  /// (`<checkpoint>.snap`) every N advance units while a victim trains; an
+  /// interrupted run picks up from it on the next request and the snapshot
+  /// is removed once the finished checkpoint lands.
+  Zoo(std::string dir, double scale, std::uint64_t seed,
+      int snapshot_every = 0);
 
   /// Single-agent victim for `env_name`, trained with `defense`
   /// ("PPO", "ATLA", "SA", "ATLA-SA", "RADIAL", "WocaR"). Sparse tasks train
@@ -44,12 +49,15 @@ class Zoo {
   double scale() const { return scale_; }
 
  private:
+  /// Checkpoint path; carries the archive format version so a zoo directory
+  /// written by an older format is retrained, never misread.
   std::string path_for(const std::string& env_name,
                        const std::string& defense) const;
 
   std::string dir_;
   double scale_;
   std::uint64_t seed_;
+  int snapshot_every_;
 };
 
 }  // namespace imap::core

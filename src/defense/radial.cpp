@@ -28,8 +28,15 @@ struct RadialScratch {
 
 rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
                                                  int corners, Rng rng) {
+  return make_radial_hook(eps, coef, corners, std::make_shared<Rng>(rng));
+}
+
+rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
+                                                 int corners,
+                                                 std::shared_ptr<Rng> rng) {
   IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && corners >= 1);
-  auto shared_rng = std::make_shared<Rng>(rng);
+  IMAP_CHECK(rng != nullptr);
+  auto shared_rng = std::move(rng);
   auto scratch = std::make_shared<RadialScratch>();
 
   return [eps, coef, corners, shared_rng, scratch](

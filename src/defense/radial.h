@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "common/rng.h"
 #include "rl/ppo.h"
 
@@ -10,6 +12,12 @@ namespace imap::defense {
 /// output with interval arithmetic; here the bound is approximated by the
 /// worst of `corners` random sign-corner perturbations of the ball (the
 /// extreme points that drive the interval bound) — see DESIGN.md.
+///
+/// The shared_ptr form keeps the hook's Rng owned by the caller so resumable
+/// training sessions can checkpoint it.
+rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
+                                                 int corners,
+                                                 std::shared_ptr<Rng> rng);
 rl::PpoTrainer::RegularizerHook make_radial_hook(double eps, double coef,
                                                  int corners, Rng rng);
 

@@ -26,8 +26,15 @@ struct SmoothScratch {
 
 rl::PpoTrainer::RegularizerHook make_smoothness_hook(double eps, double coef,
                                                      int pgd_steps, Rng rng) {
+  return make_smoothness_hook(eps, coef, pgd_steps,
+                              std::make_shared<Rng>(rng));
+}
+
+rl::PpoTrainer::RegularizerHook make_smoothness_hook(
+    double eps, double coef, int pgd_steps, std::shared_ptr<Rng> rng) {
   IMAP_CHECK(eps >= 0.0 && coef >= 0.0 && pgd_steps >= 1);
-  auto shared_rng = std::make_shared<Rng>(rng);
+  IMAP_CHECK(rng != nullptr);
+  auto shared_rng = std::move(rng);
   auto scratch = std::make_shared<SmoothScratch>();
 
   return [eps, coef, pgd_steps, shared_rng, scratch](

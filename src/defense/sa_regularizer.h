@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "common/rng.h"
 #include "rl/ppo.h"
 
@@ -10,6 +12,12 @@ namespace imap::defense {
 /// maximisation over ‖δ‖∞ ≤ ε approximated by `pgd_steps` of FGSM from a
 /// random start (the convex-relaxation bound of the original is replaced by
 /// this PGD approximation — see DESIGN.md).
+///
+/// The shared_ptr form keeps the hook's Rng owned by the caller so resumable
+/// training sessions can checkpoint it; the by-value form is a convenience
+/// for one-shot training.
+rl::PpoTrainer::RegularizerHook make_smoothness_hook(
+    double eps, double coef, int pgd_steps, std::shared_ptr<Rng> rng);
 rl::PpoTrainer::RegularizerHook make_smoothness_hook(double eps, double coef,
                                                      int pgd_steps, Rng rng);
 

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
+#include "defense/atla.h"
 #include "nn/gaussian.h"
 #include "rl/env.h"
 #include "rl/ppo.h"
@@ -27,6 +30,46 @@ struct DefenseOptions {
   /// ATLA: number of alternation rounds and the adversary's share of steps.
   int atla_rounds = 3;
   double atla_adversary_fraction = 0.5;
+};
+
+/// Resumable victim training: the same schedule as train_victim, cut into
+/// advance() units (one PPO iteration, or one ATLA alternation round) with a
+/// full-state snapshot/restore between any two units. The robust-regularizer
+/// defenses run in two phases — a warm-up on the plain task, then continued
+/// training with the method's hook plus ε-ball observation noise — and the
+/// phase counter is part of the checkpoint, so restoring into a session
+/// built with identical constructor arguments resumes bit-identically.
+class VictimTrainSession {
+ public:
+  VictimTrainSession(const rl::Env& training_env, DefenseKind kind,
+                     long long steps, DefenseOptions opts, Rng rng);
+
+  DefenseKind kind() const { return kind_; }
+  bool done() const;
+  /// Advance by one resumable unit; snapshots are valid at every boundary.
+  void advance();
+
+  /// The deployed policy network — the only artifact visible (as a black
+  /// box) to attackers. Valid any time, final once done().
+  nn::GaussianPolicy policy() const;
+
+  void save_state(ArchiveWriter& a) const;
+  void load_state(const ArchiveReader& a);
+  bool snapshot(const std::string& path) const;
+  bool restore(const std::string& path);
+
+ private:
+  void enter_perturbed_phase();
+
+  std::unique_ptr<rl::Env> training_env_;
+  DefenseKind kind_;
+  long long steps_;
+  DefenseOptions opts_;
+  Rng rng_;
+  std::shared_ptr<Rng> hook_rng_;  ///< regularizer-hook stream (phase 1)
+  int phase_ = 0;  ///< 0 = plain-task warm-up, 1 = perturbed + hook
+  std::unique_ptr<rl::PpoTrainer> trainer_;  ///< non-ATLA kinds
+  std::unique_ptr<AtlaTrainer> atla_;        ///< ATLA kinds
 };
 
 /// Train one victim on its (training-time, shaped-reward) environment.

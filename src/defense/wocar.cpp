@@ -10,10 +10,16 @@ namespace imap::defense {
 
 rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
                                                 Rng rng) {
+  return make_wocar_hook(eps, coef, std::make_shared<Rng>(rng));
+}
+
+rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
+                                                std::shared_ptr<Rng> rng) {
   // Worst-case-aware: a 3-step PGD inner maximisation (strictly stronger
   // than SA's single FGSM step) and a 1.5× coefficient. Everything else is
   // shared with the smoothness hook.
-  return make_smoothness_hook(eps, 1.5 * coef, /*pgd_steps=*/3, rng);
+  return make_smoothness_hook(eps, 1.5 * coef, /*pgd_steps=*/3,
+                              std::move(rng));
 }
 
 }  // namespace imap::defense

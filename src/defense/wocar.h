@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "common/rng.h"
 #include "rl/ppo.h"
 
@@ -11,6 +13,11 @@ namespace imap::defense {
 /// ingredient that matters for the attack evaluation — a *strong* inner
 /// maximisation (multi-step PGD) with state weighting that concentrates the
 /// robustness budget on high-speed (high-value) states — see DESIGN.md.
+///
+/// The shared_ptr form keeps the hook's Rng owned by the caller so resumable
+/// training sessions can checkpoint it.
+rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
+                                                std::shared_ptr<Rng> rng);
 rl::PpoTrainer::RegularizerHook make_wocar_hook(double eps, double coef,
                                                 Rng rng);
 

@@ -36,4 +36,22 @@ void Adam::step(std::vector<double>& params,
   IMAP_NCHECK_FINITE_VEC(params, "adam.params after step");
 }
 
+void Adam::save_state(BinaryWriter& w) const {
+  w.write_u64(t_);
+  w.write_f64(opts_.lr);
+  w.write_vec(m_);
+  w.write_vec(v_);
+}
+
+void Adam::load_state(BinaryReader& r) {
+  t_ = r.read_u64();
+  opts_.lr = r.read_f64();
+  auto m = r.read_vec();
+  auto v = r.read_vec();
+  IMAP_CHECK_MSG(m.size() == m_.size() && v.size() == v_.size(),
+                 "Adam checkpoint has wrong parameter count");
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 }  // namespace imap::nn

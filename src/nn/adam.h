@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/serialize.h"
+
 namespace imap::nn {
 
 /// Adam optimiser over a flat parameter vector.
@@ -30,6 +32,12 @@ class Adam {
   void set_lr(double lr) { opts_.lr = lr; }
   double lr() const { return opts_.lr; }
   std::size_t iterations() const { return t_; }
+
+  /// Serialize moments + timestep (+ current lr, which set_lr may have
+  /// annealed). Restoring into an Adam built with the same n_params resumes
+  /// the update sequence bit-identically.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   Options opts_;

@@ -63,7 +63,7 @@ bool save_policy(const std::string& path, const GaussianPolicy& p) {
 }
 
 std::optional<GaussianPolicy> load_policy(const std::string& path) {
-  BinaryReader r({});
+  BinaryReader r;
   if (!BinaryReader::load(path, r)) return std::nullopt;
   return read_policy(r);
 }

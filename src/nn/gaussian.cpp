@@ -276,4 +276,21 @@ void ValueNet::backward_batch(const std::vector<double>& coeff) {
   net_.backward_batch(dout_);
 }
 
+void GaussianPolicy::save_state(BinaryWriter& w) const {
+  net_.save_state(w);
+  w.write_vec(log_std_);
+}
+
+void GaussianPolicy::load_state(BinaryReader& r) {
+  net_.load_state(r);
+  auto ls = r.read_vec();
+  IMAP_CHECK_MSG(ls.size() == log_std_.size(),
+                 "policy checkpoint has wrong log_std size");
+  log_std_ = std::move(ls);
+}
+
+void ValueNet::save_state(BinaryWriter& w) const { net_.save_state(w); }
+
+void ValueNet::load_state(BinaryReader& r) { net_.load_state(r); }
+
 }  // namespace imap::nn

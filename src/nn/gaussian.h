@@ -120,6 +120,10 @@ class GaussianPolicy {
   Mlp& net() { return net_; }
   const Mlp& net() const { return net_; }
 
+  /// Serialize mean-net weights + log_std (architecture-checked on load).
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
  private:
   Mlp net_;
   std::vector<double> log_std_;
@@ -163,6 +167,10 @@ class ValueNet {
 
   Mlp& net() { return net_; }
   const Mlp& net() const { return net_; }
+
+  /// Serialize critic weights (architecture-checked on load).
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   Mlp net_;

@@ -208,4 +208,21 @@ const Batch& Mlp::input_gradient_batch(Workspace& ws,
 
 void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
 
+void Mlp::save_state(BinaryWriter& w) const {
+  w.write_u64(sizes_.size());
+  for (auto s : sizes_) w.write_u64(s);
+  w.write_vec(params_);
+}
+
+void Mlp::load_state(BinaryReader& r) {
+  const auto n = r.read_u64();
+  IMAP_CHECK_MSG(n == sizes_.size(), "Mlp checkpoint has wrong depth");
+  for (auto s : sizes_)
+    IMAP_CHECK_MSG(r.read_u64() == s, "Mlp checkpoint has wrong layer sizes");
+  auto p = r.read_vec();
+  IMAP_CHECK_MSG(p.size() == params_.size(),
+                 "Mlp checkpoint has wrong parameter count");
+  params_ = std::move(p);
+}
+
 }  // namespace imap::nn

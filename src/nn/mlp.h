@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "nn/batch.h"
 #include "nn/matrix.h"
 
@@ -92,6 +93,11 @@ class Mlp {
   std::size_t in_dim() const { return sizes_.front(); }
   std::size_t out_dim() const { return sizes_.back(); }
   const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+  /// Serialize architecture + weights; load_state checks the architecture
+  /// matches and restores the weights (gradients are transient, not saved).
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   struct LayerView {

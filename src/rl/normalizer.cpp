@@ -95,4 +95,34 @@ double ScalarScaler::stddev() const {
 
 double ScalarScaler::scale(double x) const { return x / (stddev() + 1e-8); }
 
+void VecNormalizer::save_state(BinaryWriter& w) const {
+  w.write_u64(n_);
+  w.write_f64(clip_);
+  w.write_vec(mean_);
+  w.write_vec(m2_);
+}
+
+void VecNormalizer::load_state(BinaryReader& r) {
+  n_ = r.read_u64();
+  clip_ = r.read_f64();
+  auto mean = r.read_vec();
+  auto m2 = r.read_vec();
+  IMAP_CHECK_MSG(mean.size() == mean_.size() && m2.size() == m2_.size(),
+                 "normalizer checkpoint has wrong dimension");
+  mean_ = std::move(mean);
+  m2_ = std::move(m2);
+}
+
+void ScalarScaler::save_state(BinaryWriter& w) const {
+  w.write_u64(n_);
+  w.write_f64(mean_);
+  w.write_f64(m2_);
+}
+
+void ScalarScaler::load_state(BinaryReader& r) {
+  n_ = r.read_u64();
+  mean_ = r.read_f64();
+  m2_ = r.read_f64();
+}
+
 }  // namespace imap::rl

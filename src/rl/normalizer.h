@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/serialize.h"
 #include "nn/batch.h"
 
 namespace imap::rl {
@@ -30,6 +31,11 @@ class VecNormalizer {
   const std::vector<double>& mean() const { return mean_; }
   std::vector<double> variance() const;
 
+  /// Serialize the running moments — resuming without them changes every
+  /// normalised observation, so they are part of any training snapshot.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
  private:
   std::size_t n_ = 0;
   std::vector<double> mean_;
@@ -46,6 +52,9 @@ class ScalarScaler {
   void update(double x);
   double scale(double x) const;  ///< x / (running std + eps)
   double stddev() const;
+
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   std::size_t n_ = 0;

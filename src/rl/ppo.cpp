@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <utility>
 
@@ -40,6 +41,7 @@ void PpoTrainer::set_env(const Env& proto) {
   IMAP_CHECK(proto.act_dim() == env_->act_dim());
   env_ = proto.clone();
   need_reset_ = true;
+  replay_.invalidate();
   for (auto& w : workers_) w.set_env(proto);
 }
 
@@ -111,6 +113,7 @@ void PpoTrainer::collect_serial(RolloutBuffer& buf) {
   ep_successes_ = 0;
 
   if (need_reset_) {
+    replay_.on_reset(rng_);
     cur_obs_ = env_->reset(rng_);
     ep_return_ = ep_surrogate_ = 0.0;
     ep_len_ = 0;
@@ -121,6 +124,7 @@ void PpoTrainer::collect_serial(RolloutBuffer& buf) {
     auto action = policy_->act(cur_obs_, rng_);
     const double lp = policy_->log_prob(cur_obs_, action);
     const double ve = value_e_->value(cur_obs_);
+    replay_.on_step(action.data(), action.size());
     StepResult sr = env_->step(env_->action_space().clamp(action));
 
     buf.add(cur_obs_, action, lp, sr.reward, ve);
@@ -139,6 +143,7 @@ void PpoTrainer::collect_serial(RolloutBuffer& buf) {
       buf.episode_surrogate.push_back(ep_surrogate_);
       buf.episode_lengths.push_back(ep_len_);
       if (sr.task_completed) ++ep_successes_;
+      replay_.on_reset(rng_);
       cur_obs_ = env_->reset(rng_);
       ep_return_ = ep_surrogate_ = 0.0;
       ep_len_ = 0;
@@ -508,6 +513,131 @@ std::vector<IterStats> PpoTrainer::train(long long total_steps) {
   std::vector<IterStats> out;
   while (steps_done_ < total_steps) out.push_back(iterate());
   return out;
+}
+
+namespace {
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+}  // namespace
+
+void PpoTrainer::save_state(ArchiveWriter& a) const {
+  auto& meta = a.section("ppo/meta");
+  meta.write_u64(env_->obs_dim());
+  meta.write_u64(env_->act_dim());
+  meta.write_u64(policy_->n_params());
+  meta.write_u64(value_e_->n_params());
+  meta.write_u64(value_i_->n_params());
+  meta.write_i64(opts_.num_workers);
+  meta.write_i64(opts_.envs_per_worker);
+  meta.write_i64(opts_.steps_per_iter);
+  meta.write_i64(opts_.minibatch);
+  meta.write_i64(opts_.epochs);
+
+  auto& nets = a.section("ppo/nets");
+  policy_->save_state(nets);
+  value_e_->save_state(nets);
+  value_i_->save_state(nets);
+
+  auto& opt = a.section("ppo/opt");
+  policy_opt_.save_state(opt);
+  value_e_opt_.save_state(opt);
+  value_i_opt_.save_state(opt);
+
+  rng_.save_state(a.section("ppo/rng"));
+
+  auto& loop = a.section("ppo/loop");
+  loop.write_i64(steps_done_);
+  loop.write_i64(iter_);
+
+  auto& ep = a.section("ppo/episode");
+  ep.write_bool(need_reset_);
+  ep.write_vec(cur_obs_);
+  ep.write_f64(ep_return_);
+  ep.write_f64(ep_surrogate_);
+  ep.write_i64(ep_len_);
+  replay_.save_state(ep);
+
+  // Worker slots only exist once a vectorized collect has run; an un-built
+  // fleet is rebuilt deterministically from the restored Rng seed instead.
+  if (!workers_.empty()) {
+    auto& ws = a.section("ppo/workers");
+    ws.write_u64(workers_.size());
+    for (const auto& w : workers_) w.save_state(ws);
+  }
+}
+
+void PpoTrainer::load_state(const ArchiveReader& a) {
+  auto meta = a.section("ppo/meta");
+  IMAP_CHECK_MSG(meta.read_u64() == env_->obs_dim() &&
+                     meta.read_u64() == env_->act_dim(),
+                 "PPO checkpoint was trained on a different environment");
+  IMAP_CHECK_MSG(meta.read_u64() == policy_->n_params() &&
+                     meta.read_u64() == value_e_->n_params() &&
+                     meta.read_u64() == value_i_->n_params(),
+                 "PPO checkpoint has a different network architecture");
+  IMAP_CHECK_MSG(meta.read_i64() == opts_.num_workers &&
+                     meta.read_i64() == opts_.envs_per_worker &&
+                     meta.read_i64() == opts_.steps_per_iter &&
+                     meta.read_i64() == opts_.minibatch &&
+                     meta.read_i64() == opts_.epochs,
+                 "PPO checkpoint was written under different options");
+
+  auto nets = a.section("ppo/nets");
+  policy_->load_state(nets);
+  value_e_->load_state(nets);
+  value_i_->load_state(nets);
+
+  auto opt = a.section("ppo/opt");
+  policy_opt_.load_state(opt);
+  value_e_opt_.load_state(opt);
+  value_i_opt_.load_state(opt);
+
+  auto rng_r = a.section("ppo/rng");
+  rng_.load_state(rng_r);
+
+  auto loop = a.section("ppo/loop");
+  steps_done_ = loop.read_i64();
+  iter_ = static_cast<int>(loop.read_i64());
+
+  auto ep = a.section("ppo/episode");
+  need_reset_ = ep.read_bool();
+  cur_obs_ = ep.read_vec();
+  ep_return_ = ep.read_f64();
+  ep_surrogate_ = ep.read_f64();
+  ep_len_ = static_cast<int>(ep.read_i64());
+  replay_.load_state(ep);
+  if (!need_reset_ && replay_.valid()) {
+    const auto obs = replay_.rebuild(*env_);
+    IMAP_CHECK_MSG(same_bits(obs, cur_obs_),
+                   "episode replay diverged from checkpoint — environment "
+                   "prototype does not match");
+  }
+
+  if (a.has("ppo/workers")) {
+    ensure_workers();
+    auto ws = a.section("ppo/workers");
+    IMAP_CHECK_MSG(ws.read_u64() == workers_.size(),
+                   "checkpoint has wrong rollout-worker count");
+    for (auto& w : workers_) w.load_state(ws);
+  } else {
+    workers_.clear();
+  }
+}
+
+bool PpoTrainer::snapshot(const std::string& path) const {
+  ArchiveWriter a;
+  save_state(a);
+  return a.save(path);
+}
+
+bool PpoTrainer::restore(const std::string& path) {
+  ArchiveReader a;
+  if (!ArchiveReader::load(path, a)) return false;
+  load_state(a);
+  return true;
 }
 
 }  // namespace imap::rl

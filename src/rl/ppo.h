@@ -2,12 +2,15 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "nn/adam.h"
 #include "nn/gaussian.h"
 #include "rl/env.h"
 #include "rl/gae.h"
+#include "rl/replay.h"
 #include "rl/rollout.h"
 #include "rl/vec_env.h"
 
@@ -130,6 +133,20 @@ class PpoTrainer {
   void collect(RolloutBuffer& buf);
   void update(RolloutBuffer& buf, double tau, IterStats& stats);
 
+  /// Full training-state snapshot: nets, Adam moments, Rng streams, loop
+  /// counters and mid-episode state (in-flight episodes are reconstructed on
+  /// restore by replaying their action history into fresh env clones).
+  /// Restoring into a trainer built with the same prototype, options and
+  /// seed resumes training bit-identically to never having stopped.
+  void save_state(ArchiveWriter& a) const;
+  void load_state(const ArchiveReader& a);
+
+  /// Crash-safe file snapshot (atomic write); returns false on I/O failure.
+  bool snapshot(const std::string& path) const;
+  /// Restore from `path`: false if the file does not exist; corrupt or
+  /// mismatched checkpoints throw CheckError.
+  bool restore(const std::string& path);
+
  private:
   /// Partial sums of one contiguous batch slice's losses.
   struct BatchPartial {
@@ -196,6 +213,7 @@ class PpoTrainer {
   double ep_surrogate_ = 0.0;
   int ep_len_ = 0;
   bool need_reset_ = true;
+  EpisodeReplay replay_;  ///< in-flight episode history (serial path)
 
   std::vector<VecEnv> workers_;          ///< K·E>1 vectorized rollout workers
   std::vector<int> slot_budgets_;        ///< per-global-slot step budgets

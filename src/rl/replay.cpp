@@ -1,0 +1,58 @@
+#include "rl/replay.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imap::rl {
+
+void EpisodeReplay::on_reset(const Rng& rng) {
+  reset_rng_ = rng;
+  actions_.clear();
+  valid_ = true;
+}
+
+void EpisodeReplay::on_step(const double* act, std::size_t n) {
+  IMAP_CHECK(valid_);
+  if (act_dim_ == 0) act_dim_ = n;
+  IMAP_CHECK(n == act_dim_);
+  actions_.insert(actions_.end(), act, act + n);
+}
+
+std::vector<double> EpisodeReplay::rebuild(Env& env) const {
+  IMAP_CHECK_MSG(valid_, "episode replay is not valid");
+  Rng rng = reset_rng_;
+  std::vector<double> obs = env.reset(rng);
+  if (actions_.empty()) return obs;
+  IMAP_CHECK(act_dim_ == env.act_dim());
+  std::vector<double> a(act_dim_);
+  for (std::size_t off = 0; off < actions_.size(); off += act_dim_) {
+    std::copy(actions_.begin() + static_cast<std::ptrdiff_t>(off),
+              actions_.begin() + static_cast<std::ptrdiff_t>(off + act_dim_),
+              a.begin());
+    StepResult sr = env.step(env.action_space().clamp(a));
+    IMAP_CHECK_MSG(!sr.done && !sr.truncated,
+                   "episode replay crossed an episode boundary — checkpoint "
+                   "does not match the environment prototype");
+    obs = std::move(sr.obs);
+  }
+  return obs;
+}
+
+void EpisodeReplay::save_state(BinaryWriter& w) const {
+  w.write_bool(valid_);
+  reset_rng_.save_state(w);
+  w.write_u64(act_dim_);
+  w.write_vec(actions_);
+}
+
+void EpisodeReplay::load_state(BinaryReader& r) {
+  valid_ = r.read_bool();
+  reset_rng_.load_state(r);
+  act_dim_ = r.read_u64();
+  actions_ = r.read_vec();
+  IMAP_CHECK_MSG(act_dim_ == 0 || actions_.size() % act_dim_ == 0,
+                 "corrupt episode replay in checkpoint");
+}
+
+}  // namespace imap::rl

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "rl/env.h"
+
+namespace imap::rl {
+
+/// Action-history record of the episode in flight, enabling mid-episode
+/// snapshot/resume without serializing environment internals.
+///
+/// Environments are deterministic given the resetting Rng (whose state is
+/// captured here *before* reset draws from it) and the action sequence —
+/// step() takes no Rng. Replaying reset + clamp + step into a fresh clone of
+/// the same prototype therefore reproduces the environment's internal state
+/// exactly; the final observation doubles as an integrity check against the
+/// snapshotted one.
+class EpisodeReplay {
+ public:
+  /// Capture `rng`'s current state and clear the action log. Collectors call
+  /// this immediately BEFORE env.reset(rng) on the same stream.
+  void on_reset(const Rng& rng);
+
+  /// Append the raw (pre-clamp) action about to be stepped.
+  void on_step(const double* act, std::size_t n);
+
+  void invalidate() { valid_ = false; }
+  bool valid() const { return valid_; }
+
+  /// Rebuild the in-flight episode inside `env`: reset from a copy of the
+  /// captured stream, then replay the recorded actions through the same
+  /// clamp the collectors apply. Returns the final observation.
+  std::vector<double> rebuild(Env& env) const;
+
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
+ private:
+  Rng reset_rng_{0};
+  std::vector<double> actions_;  ///< flat rows of act_dim entries
+  std::size_t act_dim_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace imap::rl

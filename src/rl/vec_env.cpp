@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
@@ -26,6 +27,7 @@ void VecEnv::set_env(const Env& proto) {
     IMAP_CHECK(proto.act_dim() == s.env->act_dim());
     s.env = proto.clone();
     s.need_reset = true;
+    s.replay.invalidate();
   }
   refresh_split_cache();
 }
@@ -50,6 +52,7 @@ void VecEnv::begin_round(EnvSlot& s, int budget) {
   s.buf.reserve_step(s.env->obs_dim(), s.env->act_dim());
   s.ep_successes = 0;
   if (budget > 0 && s.need_reset) {
+    s.replay.on_reset(s.rng);
     s.cur_obs = s.env->reset(s.rng);
     s.ep_return = s.ep_surrogate = 0.0;
     s.ep_len = 0;
@@ -61,6 +64,7 @@ void VecEnv::record_step(EnvSlot& s, const double* act, std::size_t na,
                          double lp, double ve, StepResult&& sr,
                          const nn::ValueNet& value_e,
                          const nn::ValueNet& value_i) {
+  s.replay.on_step(act, na);
   s.buf.add(s.cur_obs.data(), s.cur_obs.size(), act, na, lp, sr.reward, ve);
   s.ep_return += sr.reward;
   s.ep_surrogate += sr.surrogate;
@@ -78,6 +82,7 @@ void VecEnv::record_step(EnvSlot& s, const double* act, std::size_t na,
     if (sr.task_completed) ++s.ep_successes;
     // In-place auto-reset: the slot's next tick starts the next episode,
     // drawn from the slot's own stream (the lockstep never stalls).
+    s.replay.on_reset(s.rng);
     s.cur_obs = s.env->reset(s.rng);
     s.ep_return = s.ep_surrogate = 0.0;
     s.ep_len = 0;
@@ -194,6 +199,50 @@ void VecEnv::collect_serial(const nn::GaussianPolicy& policy,
                   value_i);
     }
     close_round(s, value_e, value_i);
+  }
+}
+
+namespace {
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+}  // namespace
+
+void VecEnv::save_state(BinaryWriter& w) const {
+  w.write_u64(slots_.size());
+  for (const auto& s : slots_) {
+    s.rng.save_state(w);
+    w.write_bool(s.need_reset);
+    w.write_vec(s.cur_obs);
+    w.write_f64(s.ep_return);
+    w.write_f64(s.ep_surrogate);
+    w.write_i64(s.ep_len);
+    s.replay.save_state(w);
+  }
+}
+
+void VecEnv::load_state(BinaryReader& r) {
+  IMAP_CHECK_MSG(r.read_u64() == slots_.size(),
+                 "checkpoint has wrong rollout-slot count");
+  for (auto& s : slots_) {
+    s.rng.load_state(r);
+    s.need_reset = r.read_bool();
+    s.cur_obs = r.read_vec();
+    s.ep_return = r.read_f64();
+    s.ep_surrogate = r.read_f64();
+    s.ep_len = static_cast<int>(r.read_i64());
+    s.replay.load_state(r);
+    if (!s.need_reset && s.replay.valid()) {
+      // Reconstruct the slot env mid-episode by replaying its history into
+      // the fresh clone; the replayed observation must match the saved one
+      // exactly or the prototype does not match the checkpoint.
+      const auto obs = s.replay.rebuild(*s.env);
+      IMAP_CHECK_MSG(same_bits(obs, s.cur_obs),
+                     "episode replay diverged from checkpoint — environment "
+                     "prototype does not match");
+    }
   }
 }
 

@@ -3,10 +3,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.h"
 #include "nn/batch.h"
 #include "nn/gaussian.h"
 #include "rl/env.h"
 #include "rl/normalizer.h"
+#include "rl/replay.h"
 #include "rl/rollout.h"
 #include "rl/split_step.h"
 
@@ -27,6 +29,7 @@ struct EnvSlot {
   bool need_reset = true;
   int ep_successes = 0;
   RolloutBuffer buf;
+  EpisodeReplay replay;  ///< in-flight episode history for snapshot/resume
 };
 
 /// Vectorized rollout engine: E environment slots stepped in lockstep so one
@@ -80,6 +83,13 @@ class VecEnv {
   void collect_serial(const nn::GaussianPolicy& policy,
                       const nn::ValueNet& value_e, const nn::ValueNet& value_i,
                       const std::vector<int>& budgets, std::size_t offset);
+
+  /// Serialize every slot's persistent state (stream, episode scalars,
+  /// in-flight episode history). load_state rebuilds each slot's env by
+  /// replaying its episode into the current clone and checks the replayed
+  /// observation against the snapshotted one bit for bit.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   void refresh_split_cache();

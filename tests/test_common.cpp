@@ -125,7 +125,7 @@ TEST(Serialize, RoundTripsThroughFile) {
   w.write_vec({1.0, -2.0, 3.5});
   ASSERT_TRUE(w.save(path));
 
-  BinaryReader r({});
+  BinaryReader r;
   ASSERT_TRUE(BinaryReader::load(path, r));
   EXPECT_EQ(r.read_u64(), 123u);
   EXPECT_EQ(r.read_i64(), -77);
@@ -137,7 +137,7 @@ TEST(Serialize, RoundTripsThroughFile) {
 }
 
 TEST(Serialize, MissingFileReturnsFalse) {
-  BinaryReader r({});
+  BinaryReader r;
   EXPECT_FALSE(BinaryReader::load("/tmp/definitely_not_here.imap", r));
 }
 
@@ -149,7 +149,7 @@ TEST(Serialize, BadMagicThrows) {
     std::fputs("NOTAMAGICHEADERXXXXXXXX", f);
     std::fclose(f);
   }
-  BinaryReader r({});
+  BinaryReader r;
   EXPECT_THROW(BinaryReader::load(path, r), CheckError);
   std::remove(path.c_str());
 }

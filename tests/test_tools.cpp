@@ -1,0 +1,70 @@
+// Smoke test for the ckpt_inspect CLI: a valid archive verifies (exit 0), a
+// corrupted one is flagged (nonzero exit). The binary's path arrives via the
+// CKPT_INSPECT environment variable, wired up in tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/serialize.h"
+#include "temp_dir.h"
+
+namespace imap {
+namespace {
+
+class CkptInspectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("CKPT_INSPECT");
+    if (!bin) GTEST_SKIP() << "CKPT_INSPECT not set (run through ctest)";
+    bin_ = bin;
+    dir_ = testing::unique_temp_dir("imap_test_tools");
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  int run_on(const std::string& archive) const {
+    // Output is part of the tool's contract but the test only pins the exit
+    // status; discard the listing to keep ctest logs small.
+    const std::string cmd =
+        "'" + bin_ + "' '" + archive + "' > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    return rc;
+  }
+
+  std::string bin_;
+  std::string dir_;
+};
+
+TEST_F(CkptInspectTest, AcceptsValidArchiveRejectsCorrupted) {
+  const std::string file = dir_ + "/probe.snap";
+  ArchiveWriter w;
+  w.section("probe/meta").write_u64(3);
+  w.section("probe/data").write_vec({1.0, 2.0, 3.0});
+  ASSERT_TRUE(w.save(file));
+  EXPECT_EQ(run_on(file), 0);
+
+  // Flip one payload byte: the CRC trailer no longer matches.
+  std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(24);
+  char b = 0;
+  f.seekg(24);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(24);
+  f.write(&b, 1);
+  f.close();
+  EXPECT_NE(run_on(file), 0);
+
+  // Missing files are also a nonzero exit, not a crash.
+  EXPECT_NE(run_on(dir_ + "/absent.snap"), 0);
+}
+
+}  // namespace
+}  // namespace imap

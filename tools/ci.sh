@@ -29,6 +29,29 @@ python3 tools/lint/test_imap_lint.py || exit 1
 stage "tier-1 ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" || exit 1
 
+stage "checkpoint/resume (cross-process halt -> inspect -> resume)"
+# End-to-end drill of the Archive snapshot layer through real process
+# boundaries: process 1 halts every attack cell after one PPO iteration
+# (leaving resumable .snap files), ckpt_inspect must verify every artifact,
+# process 2 resumes the snapshots to completion and caches results.
+CKPT_ZOO="$(pwd)/${BUILD_DIR}/ci_ckpt_zoo"
+rm -rf "${CKPT_ZOO}"
+( cd "${BUILD_DIR}" &&
+  IMAP_ZOO_DIR="${CKPT_ZOO}" IMAP_BENCH_SCALE=0.01 IMAP_SNAPSHOT_EVERY=1 \
+  IMAP_HALT_AFTER_ITERS=1 ./bench/bench_fig6 > /dev/null ) || exit 1
+ls "${CKPT_ZOO}"/snapshots/*.snap > /dev/null 2>&1 \
+  || { echo "ci: halted run left no snapshots"; exit 1; }
+"${BUILD_DIR}/tools/ckpt_inspect" "${CKPT_ZOO}"/snapshots/*.snap \
+  "${CKPT_ZOO}"/*.pol || exit 1
+( cd "${BUILD_DIR}" &&
+  IMAP_ZOO_DIR="${CKPT_ZOO}" IMAP_BENCH_SCALE=0.01 IMAP_SNAPSHOT_EVERY=1 \
+  ./bench/bench_fig6 > /dev/null ) || exit 1
+ls "${CKPT_ZOO}"/snapshots/*.snap > /dev/null 2>&1 \
+  && { echo "ci: completed run left stale snapshots"; exit 1; }
+ls "${CKPT_ZOO}"/results/*.res > /dev/null 2>&1 \
+  || { echo "ci: completed run cached no results"; exit 1; }
+rm -rf "${CKPT_ZOO}"
+
 stage "bench-smoke (kernel suites, min_time=0.01s, probes skipped)"
 # Exercises the batched-kernel benchmarks end to end without the slow
 # speedup/kernel probes (those rewrite BENCH_*.json and are run manually —

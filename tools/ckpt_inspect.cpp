@@ -1,0 +1,148 @@
+// ckpt_inspect: dump the header, section table and CRC status of IMAP
+// checkpoint archives (.pol / .res / .snap — anything written by the
+// common/serialize Archive layer).
+//
+//   Usage: ckpt_inspect <archive>...
+//
+// The tool walks the container framing itself instead of going through
+// ArchiveReader so that torn or foreign files still produce a useful
+// diagnostic (magic / version / CRC status and however much of the section
+// table is intact) rather than a single exception. Exit status is 0 only if
+// every file verifies end to end.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+class Walker {
+ public:
+  explicit Walker(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  bool bytes(std::size_t n, std::string* out) {
+    if (pos_ + n > buf_.size()) return false;
+    if (out)
+      out->assign(reinterpret_cast<const char*>(buf_.data()) +
+                      static_cast<std::ptrdiff_t>(pos_),
+                  n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Inspect one archive; returns true if it verifies end to end.
+bool inspect(const std::string& path) {
+  std::vector<std::uint8_t> buf;
+  if (!read_file(path, buf)) {
+    std::cout << path << ": cannot open\n";
+    return false;
+  }
+
+  std::cout << path << ": " << buf.size() << " bytes\n";
+  if (buf.size() < 4 + 8 + 8 + 4) {
+    std::cout << "  TRUNCATED: smaller than the minimal archive\n";
+    return false;
+  }
+
+  bool ok = true;
+
+  // CRC first — everything below is untrustworthy if the trailer is wrong.
+  const std::size_t body = buf.size() - 4;
+  const std::uint32_t want = imap::crc32(buf.data(), body);
+  std::uint32_t got = 0;
+  for (int i = 0; i < 4; ++i)
+    got |= static_cast<std::uint32_t>(buf[body + static_cast<std::size_t>(i)])
+           << (8 * i);
+  if (want == got) {
+    std::cout << "  crc32     OK (" << std::hex << got << std::dec << ")\n";
+  } else {
+    std::cout << "  crc32     MISMATCH: stored " << std::hex << got
+              << ", computed " << want << std::dec << " (torn write?)\n";
+    ok = false;
+  }
+
+  Walker w(buf);
+  std::string magic;
+  w.bytes(4, &magic);
+  if (magic == "IMAP") {
+    std::cout << "  magic     IMAP\n";
+  } else {
+    std::cout << "  magic     BAD (not an IMAP archive)\n";
+    return false;
+  }
+
+  std::uint64_t version = 0;
+  w.u64(version);
+  std::cout << "  version   " << version;
+  if (version != imap::kFormatVersion) {
+    std::cout << " (this build reads v" << imap::kFormatVersion << ")";
+    ok = false;
+  }
+  std::cout << "\n";
+
+  std::uint64_t count = 0;
+  w.u64(count);
+  std::cout << "  sections  " << count << "\n";
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    std::string name;
+    std::uint64_t payload_len = 0;
+    if (!w.u64(name_len) || !w.bytes(name_len, &name) ||
+        !w.u64(payload_len) || !w.bytes(payload_len, nullptr)) {
+      std::cout << "  TRUNCATED inside section " << i << "\n";
+      return false;
+    }
+    std::cout << "    " << name;
+    for (std::size_t p = name.size(); p < 24; ++p) std::cout << ' ';
+    std::cout << ' ' << payload_len << " bytes\n";
+  }
+  if (w.pos() != body) {
+    std::cout << "  TRAILING " << (body - w.pos())
+              << " bytes after the section table\n";
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: ckpt_inspect <archive>...\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i)
+    if (!inspect(argv[i])) all_ok = false;
+  return all_ok ? 0 : 1;
+}

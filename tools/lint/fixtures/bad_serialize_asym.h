@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: declares save_state with no load_state counterpart — checkpoints
+// from this class could be written but never restored.
+
+namespace imap {
+
+class BinaryWriter;
+
+class HalfSerialized {
+ public:
+  void save_state(BinaryWriter& w) const;
+};
+
+}  // namespace imap

@@ -27,6 +27,10 @@ Enforces rules that no off-the-shelf tool knows about:
                      on every iteration; the zero-allocation contract of the
                      kernels and the rollout engine requires hoisted,
                      capacity-reusing buffers (Batch / Mlp::Workspace).
+  serialize-symmetry A header that declares save_state must declare load_state
+                     too (and vice versa). A one-sided pair means checkpoints
+                     that can be written but never restored — the
+                     checkpoint/resume bit-identity contract needs both.
 
 Suppression:
   * inline, single finding:   // imap-lint: allow(rule-name)
@@ -82,6 +86,10 @@ FIXITS = {
         "src/nn, src/rl and src/attack hot paths must be allocation-free in "
         "steady state"
     ),
+    "serialize-symmetry": (
+        "declare the matching save_state/load_state counterpart in the same "
+        "header; serialization must round-trip (see common/serialize.h)"
+    ),
 }
 
 # Files that ARE the sanctioned implementation and therefore exempt from the
@@ -119,6 +127,8 @@ HOT_ALLOC_RE = re.compile(
     r"|\bstd::vector\s*<\s*double\s*>\s+\w+\s*[;=]"
 )
 LOOP_KW_RE = re.compile(r"\b(?:for|while)\s*\(")
+SAVE_STATE_RE = re.compile(r"\bsave_state\s*\(")
+LOAD_STATE_RE = re.compile(r"\bload_state\s*\(")
 
 
 def hot_loop_alloc_lines(code: list[str]) -> list[int]:
@@ -309,6 +319,17 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
         # blanks — match against the raw line instead.
         if PARENT_INCLUDE_RE.search(raw_lines[idx]):
             add(idx, "parent-include", "parent-relative #include")
+
+    # --- serialize-symmetry (headers: every save_state needs a load_state)
+    if is_header:
+        saves = [i for i, l in enumerate(code) if SAVE_STATE_RE.search(l)]
+        loads = [i for i, l in enumerate(code) if LOAD_STATE_RE.search(l)]
+        if saves and not loads:
+            add(saves[0], "serialize-symmetry",
+                "header declares save_state but no load_state")
+        elif loads and not saves:
+            add(loads[0], "serialize-symmetry",
+                "header declares load_state but no save_state")
 
     # --- hot-loop-alloc (hot-path layers: kernels, rollout engine, attacks)
     if relpath.startswith(("src/nn/", "src/rl/", "src/attack/")):

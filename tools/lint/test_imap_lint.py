@@ -103,6 +103,34 @@ class RuleFiring(unittest.TestCase):
         )
         self.assertEqual(imap_lint.lint_file("src/nn/x.cpp", suppressed), [])
 
+    def test_serialize_symmetry_fires_on_one_sided_headers(self):
+        findings = lint_fixture("bad_serialize_asym.h",
+                                relpath="src/core/bad_serialize_asym.h")
+        self.assertEqual(rules_of(findings), ["serialize-symmetry"])
+        self.assertEqual(len(findings), 1)
+        # The mirror asymmetry (load without save) fires too.
+        load_only = (
+            "#pragma once\n"
+            "struct S { void load_state(BinaryReader& r); };\n"
+        )
+        findings = imap_lint.lint_file("src/rl/x.h", load_only)
+        self.assertEqual(rules_of(findings), ["serialize-symmetry"])
+        # A symmetric pair is silent, and the rule is header-only: an
+        # implementation file defining just one side (the other may live in
+        # another TU) is fine.
+        paired = (
+            "#pragma once\n"
+            "struct S {\n"
+            "  void save_state(BinaryWriter& w) const;\n"
+            "  void load_state(BinaryReader& r);\n"
+            "};\n"
+        )
+        self.assertEqual(imap_lint.lint_file("src/rl/x.h", paired), [])
+        self.assertEqual(
+            imap_lint.lint_file(
+                "src/rl/x.cpp", "void S::save_state(BinaryWriter& w) const {}\n"),
+            [])
+
     def test_clean_fixtures_are_silent(self):
         self.assertEqual(lint_fixture("clean.cpp"), [])
         self.assertEqual(lint_fixture("clean.h"), [])
