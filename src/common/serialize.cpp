@@ -27,10 +27,18 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
+// resize+memcpy rather than range-insert: identical effect, but GCC's
+// -Wstringop-overflow misjudges grow-from-empty vector::insert at -O3.
+void append_bytes(std::vector<std::uint8_t>& buf, const void* p,
+                  std::size_t n) {
+  const std::size_t off = buf.size();
+  buf.resize(off + n);
+  if (n != 0) std::memcpy(buf.data() + off, p, n);
+}
+
 template <class T>
 void append_pod(std::vector<std::uint8_t>& buf, T v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
+  append_bytes(buf, &v, sizeof(T));
 }
 
 void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
@@ -168,15 +176,22 @@ BinaryWriter& ArchiveWriter::section(const std::string& name) {
 
 std::vector<std::uint8_t> ArchiveWriter::bytes() const {
   std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  // Exact-size reserve: one allocation for the whole archive (and GCC's
+  // -Wstringop-overflow can otherwise misjudge the grow-from-empty insert).
+  std::size_t total = sizeof(kMagic) + 2 * sizeof(std::uint64_t) +
+                      sizeof(std::uint32_t);
+  for (const auto& [name, writer] : sections_)
+    total += 2 * sizeof(std::uint64_t) + name.size() + writer.buffer().size();
+  out.reserve(total);
+  append_bytes(out, kMagic, sizeof(kMagic));
   append_u64(out, kFormatVersion);
   append_u64(out, sections_.size());
   for (const auto& [name, writer] : sections_) {
     append_u64(out, name.size());
-    out.insert(out.end(), name.begin(), name.end());
+    append_bytes(out, name.data(), name.size());
     const auto& payload = writer.buffer();
     append_u64(out, payload.size());
-    out.insert(out.end(), payload.begin(), payload.end());
+    append_bytes(out, payload.data(), payload.size());
   }
   append_pod(out, crc32(out.data(), out.size()));
   return out;

@@ -1,0 +1,315 @@
+// AVX2 backend. SIMD lanes are only ever mapped across *independent* output
+// elements (output neurons, input dims, weight-matrix entries); each lane
+// executes the exact scalar chain — separate mul then add, ascending
+// contraction index — so these kernels are bit-identical to the scalar
+// backend. This TU is compiled with -mavx2 -mno-fma -ffp-contract=off: with
+// no FMA instructions available the compiler cannot contract mul+add and
+// change rounding.
+
+#ifdef IMAP_KERNEL_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernel_impl.h"
+
+namespace imap::nn::kernel::detail {
+
+namespace {
+
+/// Column-major weight view for the lanes-across-outputs loops: the caller's
+/// cached transpose when provided (Mlp::Workspace::wt — free), else a
+/// thread-cached local copy (O(out·in) per call against O(batch·out·in)
+/// compute; the reason uncached dispatch gates on batch size).
+const double* transposed(const double* w, const double* wt, std::size_t out,
+                         std::size_t in) {
+  if (wt != nullptr) return wt;
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < in * out) scratch.resize(in * out);
+  double* p = scratch.data();
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c) p[c * out + r] = w[r * in + c];
+  return p;
+}
+
+}  // namespace
+
+// Y[n] = W·X[n] + b, lanes across output neurons. Four adjacent outputs
+// share one broadcast of x[c] and advance their accumulators in lock-step;
+// per lane the reduction is b[r] then += w[r][c]·x[c] for ascending c —
+// the affine() chain exactly.
+void avx2_batch_affine(const double* w, const double* wt, const double* b,
+                       std::size_t out, std::size_t in, const double* x,
+                       std::size_t batch, double* y) {
+  const double* wtp = transposed(w, wt, out, in);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* xn = x + n * in;
+    double* yn = y + n * out;
+    std::size_t r = 0;
+    for (; r + 16 <= out; r += 16) {
+      __m256d a0, a1, a2, a3;
+      if (b) {
+        a0 = _mm256_loadu_pd(b + r);
+        a1 = _mm256_loadu_pd(b + r + 4);
+        a2 = _mm256_loadu_pd(b + r + 8);
+        a3 = _mm256_loadu_pd(b + r + 12);
+      } else {
+        a0 = a1 = a2 = a3 = _mm256_setzero_pd();
+      }
+      for (std::size_t c = 0; c < in; ++c) {
+        const __m256d xc = _mm256_set1_pd(xn[c]);
+        const double* col = wtp + c * out + r;
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(col), xc));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(col + 4), xc));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(col + 8), xc));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(col + 12), xc));
+      }
+      _mm256_storeu_pd(yn + r, a0);
+      _mm256_storeu_pd(yn + r + 4, a1);
+      _mm256_storeu_pd(yn + r + 8, a2);
+      _mm256_storeu_pd(yn + r + 12, a3);
+    }
+    for (; r + 4 <= out; r += 4) {
+      __m256d a = b ? _mm256_loadu_pd(b + r) : _mm256_setzero_pd();
+      for (std::size_t c = 0; c < in; ++c) {
+        const __m256d xc = _mm256_set1_pd(xn[c]);
+        a = _mm256_add_pd(a,
+                          _mm256_mul_pd(_mm256_loadu_pd(wtp + c * out + r), xc));
+      }
+      _mm256_storeu_pd(yn + r, a);
+    }
+    for (; r < out; ++r) {
+      const double* row = w + r * in;
+      double s = b ? b[r] : 0.0;
+      for (std::size_t c = 0; c < in; ++c) s += row[c] * xn[c];
+      yn[r] = s;
+    }
+  }
+}
+
+// GIN[n] = Wᵀ·G[n], lanes across input dims. For a block of input columns
+// the r-loop broadcasts g[n][r] and pulls a contiguous slice of weight row
+// r; per lane each gin element starts at 0 and accumulates in ascending r
+// order — the matvec_t_acc chain on a zeroed output.
+void avx2_batch_matvec_t(const double* w, std::size_t out, std::size_t in,
+                         const double* g, std::size_t batch, double* gin) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* gn = g + n * out;
+    double* on = gin + n * in;
+    std::size_t c = 0;
+    for (; c + 16 <= in; c += 16) {
+      __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd(),
+              a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+      for (std::size_t r = 0; r < out; ++r) {
+        const __m256d gr = _mm256_set1_pd(gn[r]);
+        const double* row = w + r * in + c;
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(row), gr));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(row + 4), gr));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(row + 8), gr));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(row + 12), gr));
+      }
+      _mm256_storeu_pd(on + c, a0);
+      _mm256_storeu_pd(on + c + 4, a1);
+      _mm256_storeu_pd(on + c + 8, a2);
+      _mm256_storeu_pd(on + c + 12, a3);
+    }
+    for (; c + 4 <= in; c += 4) {
+      __m256d a = _mm256_setzero_pd();
+      for (std::size_t r = 0; r < out; ++r) {
+        const __m256d gr = _mm256_set1_pd(gn[r]);
+        a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(w + r * in + c), gr));
+      }
+      _mm256_storeu_pd(on + c, a);
+    }
+    for (; c < in; ++c) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < out; ++r) s += w[r * in + c] * gn[r];
+      on[c] = s;
+    }
+  }
+}
+
+// dW += Σ_n G[n]⊗X[n], db += Σ_n G[n], lanes across weight columns. Each
+// dw entry is held in a register across the whole batch and accumulates
+// g[n][r]·x[n][c] in ascending n — the per-sample outer_acc chain (whose
+// scale of 1.0 is bitwise exact) — then is stored once, turning batch
+// passes over the out×in block into one.
+void avx2_batch_outer_acc(const double* g, const double* x, std::size_t batch,
+                          std::size_t out, std::size_t in, double* dw,
+                          double* db) {
+  for (std::size_t r = 0; r < out; ++r) {
+    double* dwr = dw + r * in;
+    std::size_t c = 0;
+    for (; c + 16 <= in; c += 16) {
+      __m256d a0 = _mm256_loadu_pd(dwr + c);
+      __m256d a1 = _mm256_loadu_pd(dwr + c + 4);
+      __m256d a2 = _mm256_loadu_pd(dwr + c + 8);
+      __m256d a3 = _mm256_loadu_pd(dwr + c + 12);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const __m256d gr = _mm256_set1_pd(g[n * out + r]);
+        const double* xn = x + n * in + c;
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(xn), gr));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(xn + 4), gr));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(xn + 8), gr));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(xn + 12), gr));
+      }
+      _mm256_storeu_pd(dwr + c, a0);
+      _mm256_storeu_pd(dwr + c + 4, a1);
+      _mm256_storeu_pd(dwr + c + 8, a2);
+      _mm256_storeu_pd(dwr + c + 12, a3);
+    }
+    for (; c + 4 <= in; c += 4) {
+      __m256d a = _mm256_loadu_pd(dwr + c);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const __m256d gr = _mm256_set1_pd(g[n * out + r]);
+        a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(x + n * in + c), gr));
+      }
+      _mm256_storeu_pd(dwr + c, a);
+    }
+    for (; c < in; ++c) {
+      double s = dwr[c];
+      for (std::size_t n = 0; n < batch; ++n)
+        s += g[n * out + r] * x[n * in + c];
+      dwr[c] = s;
+    }
+    double sb = db[r];
+    for (std::size_t n = 0; n < batch; ++n) sb += g[n * out + r];
+    db[r] = sb;
+  }
+}
+
+// int8 serving kernel, lanes across output neurons. One _mm256_madd_epi16
+// consumes 8 outputs × 1 column pair: the packed weight layout puts the
+// (c, c+1) int16 pair of 8 consecutive rows in one 256-bit load, the
+// activation pair broadcasts as an int32, and madd produces the exact
+// w0·x0 + w1·x1 int32 per output. Integer accumulation is associative, so
+// the result equals scalar_quant_affine bit for bit; the float dequant runs
+// the same three-op chain (t = rs·xs; y = acc·t + bias) per lane.
+void avx2_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
+                       const float* bias, std::size_t out,
+                       std::size_t in_pairs, const std::int16_t* xq,
+                       const float* xscale, std::size_t batch, float* y) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::int16_t* xr = xq + n * 2 * in_pairs;
+    const float xs = xscale[n];
+    float* yn = y + n * out;
+    const __m256 xsv = _mm256_set1_ps(xs);
+    std::size_t r = 0;
+    for (; r + 8 <= out; r += 8) {
+      __m256i acc = _mm256_setzero_si256();
+      for (std::size_t p = 0; p < in_pairs; ++p) {
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(wq_packed + (p * out + r) * 2));
+        const std::uint32_t lo = static_cast<std::uint16_t>(xr[2 * p]);
+        const std::uint32_t hi = static_cast<std::uint16_t>(xr[2 * p + 1]);
+        const __m256i xb =
+            _mm256_set1_epi32(static_cast<int>((hi << 16) | lo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, xb));
+      }
+      const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(row_scale + r), xsv);
+      const __m256 yv = _mm256_add_ps(
+          _mm256_mul_ps(_mm256_cvtepi32_ps(acc), t), _mm256_loadu_ps(bias + r));
+      _mm256_storeu_ps(yn + r, yv);
+    }
+    for (; r < out; ++r) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < in_pairs; ++p) {
+        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        acc += static_cast<std::int32_t>(wp[0]) *
+                   static_cast<std::int32_t>(xr[2 * p]) +
+               static_cast<std::int32_t>(wp[1]) *
+                   static_cast<std::int32_t>(xr[2 * p + 1]);
+      }
+      const float t = row_scale[r] * xs;
+      yn[r] = static_cast<float>(acc) * t + bias[r];
+    }
+  }
+}
+
+// Fused tanh + requantize, 8 floats per vector. The polynomial body mirrors
+// quant_fast_tanh op for op (mul/add/div/min/max are each one IEEE rounding,
+// and this TU forbids contraction), the row abs-max is an order-free integer
+// reduction, and _mm256_cvtps_epi32 rounds to nearest-even exactly like the
+// scalar lrintf — so codes and scales bit-match scalar_quant_act.
+void avx2_quant_act(float* h, std::size_t batch, std::size_t width,
+                    std::size_t out_pairs, std::int16_t* qx, float* qscale) {
+  const __m256 lo5 = _mm256_set1_ps(-5.0f);
+  const __m256 hi5 = _mm256_set1_ps(5.0f);
+  const __m256 c135135 = _mm256_set1_ps(135135.0f);
+  const __m256 c17325 = _mm256_set1_ps(17325.0f);
+  const __m256 c378 = _mm256_set1_ps(378.0f);
+  const __m256 c62370 = _mm256_set1_ps(62370.0f);
+  const __m256 c3150 = _mm256_set1_ps(3150.0f);
+  const __m256 c28 = _mm256_set1_ps(28.0f);
+  const __m256i absmask = _mm256_set1_epi32(0x7fffffff);
+  const std::size_t stride = 2 * out_pairs;
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* hn = h + n * width;
+    std::int16_t* qn = qx + n * stride;
+    __m256i amaxv = _mm256_setzero_si256();
+    std::size_t c = 0;
+    for (; c + 8 <= width; c += 8) {
+      __m256 x = _mm256_loadu_ps(hn + c);
+      x = _mm256_min_ps(_mm256_max_ps(x, lo5), hi5);
+      const __m256 x2 = _mm256_mul_ps(x, x);
+      const __m256 p = _mm256_mul_ps(
+          x, _mm256_add_ps(
+                 c135135,
+                 _mm256_mul_ps(
+                     x2, _mm256_add_ps(
+                             c17325, _mm256_mul_ps(
+                                         x2, _mm256_add_ps(c378, x2))))));
+      const __m256 q = _mm256_add_ps(
+          c135135,
+          _mm256_mul_ps(
+              x2, _mm256_add_ps(
+                      c62370,
+                      _mm256_mul_ps(
+                          x2, _mm256_add_ps(c3150,
+                                            _mm256_mul_ps(c28, x2))))));
+      const __m256 t = _mm256_div_ps(p, q);
+      _mm256_storeu_ps(hn + c, t);
+      amaxv = _mm256_max_epu32(
+          amaxv, _mm256_and_si256(_mm256_castps_si256(t), absmask));
+    }
+    __m128i m128 = _mm_max_epu32(_mm256_castsi256_si128(amaxv),
+                                 _mm256_extracti128_si256(amaxv, 1));
+    m128 = _mm_max_epu32(m128, _mm_shuffle_epi32(m128, _MM_SHUFFLE(1, 0, 3, 2)));
+    m128 = _mm_max_epu32(m128, _mm_shuffle_epi32(m128, _MM_SHUFFLE(2, 3, 0, 1)));
+    std::uint32_t m = static_cast<std::uint32_t>(_mm_cvtsi128_si32(m128));
+    for (; c < width; ++c) {
+      hn[c] = quant_fast_tanh(hn[c]);
+      m = std::max(m, std::bit_cast<std::uint32_t>(hn[c]) & 0x7fffffffu);
+    }
+    if (m != 0) {
+      const float amax = std::bit_cast<float>(m);
+      const float inv = 127.0f / amax;
+      const __m256 invv = _mm256_set1_ps(inv);
+      const __m256i cpos = _mm256_set1_epi32(127);
+      const __m256i cneg = _mm256_set1_epi32(-127);
+      c = 0;
+      for (; c + 8 <= width; c += 8) {
+        __m256i i = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(hn + c),
+                                                     invv));
+        i = _mm256_max_epi32(_mm256_min_epi32(i, cpos), cneg);
+        const __m128i packed = _mm_packs_epi32(
+            _mm256_castsi256_si128(i), _mm256_extracti128_si256(i, 1));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(qn + c), packed);
+      }
+      for (; c < width; ++c) qn[c] = quant_code(hn[c] * inv);
+      qscale[n] = amax / 127.0f;
+    } else {
+      for (c = 0; c < width; ++c) qn[c] = 0;
+      qscale[n] = 0.0f;
+    }
+    for (c = width; c < stride; ++c) qn[c] = 0;
+  }
+}
+
+}  // namespace imap::nn::kernel::detail
+
+#endif  // IMAP_KERNEL_AVX2

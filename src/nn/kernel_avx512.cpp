@@ -1,0 +1,285 @@
+// AVX-512 backend: same lane discipline as AVX2 (lanes across independent
+// output elements, each lane running the exact scalar reduction chain) at
+// twice the width — 8 doubles per zmm for the fp64 kernels, 16 int32 dot
+// pairs per zmm for the int8 serving kernel. The TU is compiled with
+// -mavx512f -mavx512bw -mno-fma -ffp-contract=off; tails reuse masked loads
+// where cheap and plain scalar otherwise, both preserving bit-identity.
+
+#ifdef IMAP_KERNEL_AVX512
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernel_impl.h"
+
+namespace imap::nn::kernel::detail {
+
+namespace {
+
+const double* transposed(const double* w, const double* wt, std::size_t out,
+                         std::size_t in) {
+  if (wt != nullptr) return wt;
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < in * out) scratch.resize(in * out);
+  double* p = scratch.data();
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c) p[c * out + r] = w[r * in + c];
+  return p;
+}
+
+}  // namespace
+
+void avx512_batch_affine(const double* w, const double* wt, const double* b,
+                         std::size_t out, std::size_t in, const double* x,
+                         std::size_t batch, double* y) {
+  const double* wtp = transposed(w, wt, out, in);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* xn = x + n * in;
+    double* yn = y + n * out;
+    std::size_t r = 0;
+    for (; r + 16 <= out; r += 16) {
+      __m512d a0, a1;
+      if (b) {
+        a0 = _mm512_loadu_pd(b + r);
+        a1 = _mm512_loadu_pd(b + r + 8);
+      } else {
+        a0 = a1 = _mm512_setzero_pd();
+      }
+      for (std::size_t c = 0; c < in; ++c) {
+        const __m512d xc = _mm512_set1_pd(xn[c]);
+        const double* col = wtp + c * out + r;
+        a0 = _mm512_add_pd(a0, _mm512_mul_pd(_mm512_loadu_pd(col), xc));
+        a1 = _mm512_add_pd(a1, _mm512_mul_pd(_mm512_loadu_pd(col + 8), xc));
+      }
+      _mm512_storeu_pd(yn + r, a0);
+      _mm512_storeu_pd(yn + r + 8, a1);
+    }
+    for (; r + 8 <= out; r += 8) {
+      __m512d a = b ? _mm512_loadu_pd(b + r) : _mm512_setzero_pd();
+      for (std::size_t c = 0; c < in; ++c) {
+        const __m512d xc = _mm512_set1_pd(xn[c]);
+        a = _mm512_add_pd(a,
+                          _mm512_mul_pd(_mm512_loadu_pd(wtp + c * out + r), xc));
+      }
+      _mm512_storeu_pd(yn + r, a);
+    }
+    if (r < out) {
+      const __mmask8 m =
+          static_cast<__mmask8>((1u << (out - r)) - 1u);
+      __m512d a = b ? _mm512_maskz_loadu_pd(m, b + r) : _mm512_setzero_pd();
+      for (std::size_t c = 0; c < in; ++c) {
+        const __m512d xc = _mm512_set1_pd(xn[c]);
+        const __m512d wv = _mm512_maskz_loadu_pd(m, wtp + c * out + r);
+        a = _mm512_add_pd(a, _mm512_mul_pd(wv, xc));
+      }
+      _mm512_mask_storeu_pd(yn + r, m, a);
+    }
+  }
+}
+
+void avx512_batch_matvec_t(const double* w, std::size_t out, std::size_t in,
+                           const double* g, std::size_t batch, double* gin) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* gn = g + n * out;
+    double* on = gin + n * in;
+    std::size_t c = 0;
+    for (; c + 16 <= in; c += 16) {
+      __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+      for (std::size_t r = 0; r < out; ++r) {
+        const __m512d gr = _mm512_set1_pd(gn[r]);
+        const double* row = w + r * in + c;
+        a0 = _mm512_add_pd(a0, _mm512_mul_pd(_mm512_loadu_pd(row), gr));
+        a1 = _mm512_add_pd(a1, _mm512_mul_pd(_mm512_loadu_pd(row + 8), gr));
+      }
+      _mm512_storeu_pd(on + c, a0);
+      _mm512_storeu_pd(on + c + 8, a1);
+    }
+    for (; c + 8 <= in; c += 8) {
+      __m512d a = _mm512_setzero_pd();
+      for (std::size_t r = 0; r < out; ++r) {
+        const __m512d gr = _mm512_set1_pd(gn[r]);
+        a = _mm512_add_pd(a, _mm512_mul_pd(_mm512_loadu_pd(w + r * in + c), gr));
+      }
+      _mm512_storeu_pd(on + c, a);
+    }
+    if (c < in) {
+      const __mmask8 m =
+          static_cast<__mmask8>((1u << (in - c)) - 1u);
+      __m512d a = _mm512_setzero_pd();
+      for (std::size_t r = 0; r < out; ++r) {
+        const __m512d gr = _mm512_set1_pd(gn[r]);
+        const __m512d wv = _mm512_maskz_loadu_pd(m, w + r * in + c);
+        a = _mm512_add_pd(a, _mm512_mul_pd(wv, gr));
+      }
+      _mm512_mask_storeu_pd(on + c, m, a);
+    }
+  }
+}
+
+void avx512_batch_outer_acc(const double* g, const double* x,
+                            std::size_t batch, std::size_t out, std::size_t in,
+                            double* dw, double* db) {
+  for (std::size_t r = 0; r < out; ++r) {
+    double* dwr = dw + r * in;
+    std::size_t c = 0;
+    for (; c + 16 <= in; c += 16) {
+      __m512d a0 = _mm512_loadu_pd(dwr + c);
+      __m512d a1 = _mm512_loadu_pd(dwr + c + 8);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const __m512d gr = _mm512_set1_pd(g[n * out + r]);
+        const double* xn = x + n * in + c;
+        a0 = _mm512_add_pd(a0, _mm512_mul_pd(_mm512_loadu_pd(xn), gr));
+        a1 = _mm512_add_pd(a1, _mm512_mul_pd(_mm512_loadu_pd(xn + 8), gr));
+      }
+      _mm512_storeu_pd(dwr + c, a0);
+      _mm512_storeu_pd(dwr + c + 8, a1);
+    }
+    for (; c + 8 <= in; c += 8) {
+      __m512d a = _mm512_loadu_pd(dwr + c);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const __m512d gr = _mm512_set1_pd(g[n * out + r]);
+        a = _mm512_add_pd(a, _mm512_mul_pd(_mm512_loadu_pd(x + n * in + c), gr));
+      }
+      _mm512_storeu_pd(dwr + c, a);
+    }
+    if (c < in) {
+      const __mmask8 m =
+          static_cast<__mmask8>((1u << (in - c)) - 1u);
+      __m512d a = _mm512_maskz_loadu_pd(m, dwr + c);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const __m512d gr = _mm512_set1_pd(g[n * out + r]);
+        const __m512d xv = _mm512_maskz_loadu_pd(m, x + n * in + c);
+        a = _mm512_add_pd(a, _mm512_mul_pd(xv, gr));
+      }
+      _mm512_mask_storeu_pd(dwr + c, m, a);
+    }
+    double sb = db[r];
+    for (std::size_t n = 0; n < batch; ++n) sb += g[n * out + r];
+    db[r] = sb;
+  }
+}
+
+// 16 outputs per _mm512_madd_epi16; same exact int32 accumulation and
+// three-op float dequant as the scalar reference (see kernel_avx2.cpp for
+// the layout rationale).
+void avx512_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
+                         const float* bias, std::size_t out,
+                         std::size_t in_pairs, const std::int16_t* xq,
+                         const float* xscale, std::size_t batch, float* y) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::int16_t* xr = xq + n * 2 * in_pairs;
+    const float xs = xscale[n];
+    float* yn = y + n * out;
+    const __m512 xsv = _mm512_set1_ps(xs);
+    std::size_t r = 0;
+    for (; r + 16 <= out; r += 16) {
+      __m512i acc = _mm512_setzero_si512();
+      for (std::size_t p = 0; p < in_pairs; ++p) {
+        const __m512i wv = _mm512_loadu_si512(
+            reinterpret_cast<const void*>(wq_packed + (p * out + r) * 2));
+        const std::uint32_t lo = static_cast<std::uint16_t>(xr[2 * p]);
+        const std::uint32_t hi = static_cast<std::uint16_t>(xr[2 * p + 1]);
+        const __m512i xb =
+            _mm512_set1_epi32(static_cast<int>((hi << 16) | lo));
+        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(wv, xb));
+      }
+      const __m512 t = _mm512_mul_ps(_mm512_loadu_ps(row_scale + r), xsv);
+      const __m512 yv = _mm512_add_ps(
+          _mm512_mul_ps(_mm512_cvtepi32_ps(acc), t), _mm512_loadu_ps(bias + r));
+      _mm512_storeu_ps(yn + r, yv);
+    }
+    for (; r < out; ++r) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < in_pairs; ++p) {
+        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        acc += static_cast<std::int32_t>(wp[0]) *
+                   static_cast<std::int32_t>(xr[2 * p]) +
+               static_cast<std::int32_t>(wp[1]) *
+                   static_cast<std::int32_t>(xr[2 * p + 1]);
+      }
+      const float t = row_scale[r] * xs;
+      yn[r] = static_cast<float>(acc) * t + bias[r];
+    }
+  }
+}
+
+// Fused tanh + requantize, 16 floats per vector (see kernel_avx2.cpp for the
+// bit-identity argument; _mm512_cvtps_epi32 rounds to nearest-even like the
+// scalar lrintf, and _mm512_cvtsepi32_epi16 packs the pre-clamped codes).
+void avx512_quant_act(float* h, std::size_t batch, std::size_t width,
+                      std::size_t out_pairs, std::int16_t* qx, float* qscale) {
+  const __m512 lo5 = _mm512_set1_ps(-5.0f);
+  const __m512 hi5 = _mm512_set1_ps(5.0f);
+  const __m512 c135135 = _mm512_set1_ps(135135.0f);
+  const __m512 c17325 = _mm512_set1_ps(17325.0f);
+  const __m512 c378 = _mm512_set1_ps(378.0f);
+  const __m512 c62370 = _mm512_set1_ps(62370.0f);
+  const __m512 c3150 = _mm512_set1_ps(3150.0f);
+  const __m512 c28 = _mm512_set1_ps(28.0f);
+  const __m512i absmask = _mm512_set1_epi32(0x7fffffff);
+  const std::size_t stride = 2 * out_pairs;
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* hn = h + n * width;
+    std::int16_t* qn = qx + n * stride;
+    __m512i amaxv = _mm512_setzero_si512();
+    std::size_t c = 0;
+    for (; c + 16 <= width; c += 16) {
+      __m512 x = _mm512_loadu_ps(hn + c);
+      x = _mm512_min_ps(_mm512_max_ps(x, lo5), hi5);
+      const __m512 x2 = _mm512_mul_ps(x, x);
+      const __m512 p = _mm512_mul_ps(
+          x, _mm512_add_ps(
+                 c135135,
+                 _mm512_mul_ps(
+                     x2, _mm512_add_ps(
+                             c17325, _mm512_mul_ps(
+                                         x2, _mm512_add_ps(c378, x2))))));
+      const __m512 q = _mm512_add_ps(
+          c135135,
+          _mm512_mul_ps(
+              x2, _mm512_add_ps(
+                      c62370,
+                      _mm512_mul_ps(
+                          x2, _mm512_add_ps(c3150,
+                                            _mm512_mul_ps(c28, x2))))));
+      const __m512 t = _mm512_div_ps(p, q);
+      _mm512_storeu_ps(hn + c, t);
+      amaxv = _mm512_max_epu32(
+          amaxv, _mm512_and_si512(_mm512_castps_si512(t), absmask));
+    }
+    std::uint32_t m = _mm512_reduce_max_epu32(amaxv);
+    for (; c < width; ++c) {
+      hn[c] = quant_fast_tanh(hn[c]);
+      m = std::max(m, std::bit_cast<std::uint32_t>(hn[c]) & 0x7fffffffu);
+    }
+    if (m != 0) {
+      const float amax = std::bit_cast<float>(m);
+      const float inv = 127.0f / amax;
+      const __m512 invv = _mm512_set1_ps(inv);
+      const __m512i cpos = _mm512_set1_epi32(127);
+      const __m512i cneg = _mm512_set1_epi32(-127);
+      c = 0;
+      for (; c + 16 <= width; c += 16) {
+        __m512i i = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(hn + c),
+                                                     invv));
+        i = _mm512_max_epi32(_mm512_min_epi32(i, cpos), cneg);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(qn + c),
+                            _mm512_cvtsepi32_epi16(i));
+      }
+      for (; c < width; ++c) qn[c] = quant_code(hn[c] * inv);
+      qscale[n] = amax / 127.0f;
+    } else {
+      for (c = 0; c < width; ++c) qn[c] = 0;
+      qscale[n] = 0.0f;
+    }
+    for (c = width; c < stride; ++c) qn[c] = 0;
+  }
+}
+
+}  // namespace imap::nn::kernel::detail
+
+#endif  // IMAP_KERNEL_AVX512

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imap::nn::kernel {
+
+/// One SIMD (or scalar) implementation of the batched kernel set. Backends
+/// are compiled-in per architecture (scalar everywhere; avx2/avx512 on
+/// x86-64; neon on aarch64) and selected at runtime: CPUID picks the widest
+/// supported one, `IMAP_KERNEL=auto|scalar|avx2|avx512|neon` overrides.
+///
+/// Every backend honours the determinism contract of `kernel::` (see
+/// nn/matrix.h): lanes only across independent output elements, separate
+/// mul/add with FP contraction disabled at the translation-unit level, each
+/// lane running the exact scalar reduction chain. The fp64 kernels are
+/// therefore bit-identical across backends; the int8 kernel is bit-identical
+/// across backends too (integer accumulation is exact, and the dequant float
+/// chain is fixed), differing only from the fp64 *reference* by the
+/// quantization error (see nn/quant.h).
+struct KernelBackend {
+  const char* name;
+
+  /// CPUID probe: true when this machine can execute the backend.
+  bool (*supported)();
+
+  /// Y[n] = W·X[n] + b. `wt` is an optional column-major copy of `w`
+  /// (wt[c·out + r]); lanes-across-outputs backends read it when non-null
+  /// and fall back to a local thread-cached transpose otherwise. The scalar
+  /// backend ignores it.
+  void (*batch_affine)(const double* w, const double* wt, const double* b,
+                       std::size_t out, std::size_t in, const double* x,
+                       std::size_t batch, double* y);
+
+  /// GIN[n] = Wᵀ·G[n] (overwrites GIN).
+  void (*batch_matvec_t)(const double* w, std::size_t out, std::size_t in,
+                         const double* g, std::size_t batch, double* gin);
+
+  /// dW += Σ_n G[n]⊗X[n], db += Σ_n G[n].
+  void (*batch_outer_acc)(const double* g, const double* x, std::size_t batch,
+                          std::size_t out, std::size_t in, double* dw,
+                          double* db);
+
+  /// int8 serving kernel (see nn/quant.h for the scheme):
+  ///   y[n][r] = float(Σ_p wq[p][r]·xq[n][p]) · (row_scale[r]·xscale[n])
+  ///             + bias[r]
+  /// Weights arrive pre-packed column-pair-major as int16 pairs
+  /// (wq_packed[(p·out + r)·2 + {0,1}] = row r's weights for columns 2p and
+  /// 2p+1); activations are int16 rows of stride 2·in_pairs, zero-padded on
+  /// the last pair when `in` is odd. Null ⇒ dispatch falls back to scalar.
+  void (*quant_affine)(const std::int16_t* wq_packed, const float* row_scale,
+                       const float* bias, std::size_t out,
+                       std::size_t in_pairs, const std::int16_t* xq,
+                       const float* xscale, std::size_t batch, float* y);
+
+  /// Fused serving activation between quantized layers: overwrite the
+  /// batch×width row block `h` with the rational fast_tanh (see
+  /// kernel_impl.h), then int8-requantize each row into pair-aligned codes
+  /// (stride 2·out_pairs, zero-padded) with per-sample scales. Every op in
+  /// the chain is one IEEE rounding (mul/add/div/min/max, integer abs-max,
+  /// round-to-nearest-even convert), so vector and scalar evaluations are
+  /// bitwise identical — backends only change the speed, never the codes.
+  /// Null ⇒ dispatch falls back to scalar.
+  void (*quant_act)(float* h, std::size_t batch, std::size_t width,
+                    std::size_t out_pairs, std::int16_t* qx, float* qscale);
+
+  /// True when batch_affine vectorises across output lanes and therefore
+  /// profits from the caller-cached transpose (Mlp::Workspace::wt).
+  bool wants_transposed;
+
+  /// Smallest batch for which this backend's batch_affine beats the scalar
+  /// blocked path — below it the dispatcher silently uses scalar. Two
+  /// thresholds: without a caller-provided transpose the backend pays an
+  /// O(out·in) per-call transpose and needs a few rows to amortise it; with
+  /// the Workspace-cached transpose the gate drops to 1 (measured, see
+  /// DESIGN.md "kernel backends").
+  std::size_t min_batch_affine;
+  std::size_t min_batch_affine_cached;
+};
+
+/// The backend answering dispatched kernel:: calls right now: the forced one
+/// (tests), else the IMAP_KERNEL choice, else the widest CPU-supported one.
+const KernelBackend& active_backend();
+
+/// The scalar reference backend (always compiled, always supported).
+const KernelBackend& scalar_backend();
+
+/// Every backend compiled into this binary, widest-first (availability on
+/// this CPU not implied — check supported()).
+const std::vector<const KernelBackend*>& all_backends();
+
+/// Compiled-in backend by name, or nullptr (e.g. "neon" on an x86 build).
+const KernelBackend* find_backend(const std::string& name);
+
+/// Test hook: force `be` (nullptr = back to env/CPU resolution). Returns the
+/// previous forced value. Not thread-safe — flip it only from test setup,
+/// never while worker threads run kernels.
+const KernelBackend* set_forced_backend(const KernelBackend* be);
+
+/// RAII forcing of one backend for a test scope. `activated()` is false when
+/// the named backend is not compiled in or the CPU cannot run it (the test
+/// should skip); the previous selection is restored either way on
+/// destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+  bool activated() const { return activated_; }
+
+ private:
+  const KernelBackend* prev_ = nullptr;
+  bool activated_ = false;
+};
+
+}  // namespace imap::nn::kernel

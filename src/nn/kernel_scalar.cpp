@@ -1,0 +1,154 @@
+// Scalar reference backend: the blocked (but SIMD-free) batched kernels that
+// every other backend is pinned against. Per-(n,r) the reduction chain is the
+// per-sample kernel::affine / matvec_t_acc / outer_acc chain exactly, so this
+// backend defines the bit pattern the fp64 contract demands.
+
+#include <algorithm>
+#include <bit>
+
+#include "nn/kernel_impl.h"
+#include "nn/matrix.h"
+
+namespace imap::nn::kernel::detail {
+
+void scalar_batch_affine(const double* w, const double* /*wt*/,
+                         const double* b, std::size_t out, std::size_t in,
+                         const double* x, std::size_t batch, double* y) {
+  std::size_t n = 0;
+  // 4-row blocks: one pass over each weight row serves four samples. The
+  // four accumulators are independent and each runs c = 0..in-1 in order,
+  // so every output bit-matches the per-sample affine() path.
+  for (; n + 4 <= batch; n += 4) {
+    const double* x0 = x + n * in;
+    const double* x1 = x0 + in;
+    const double* x2 = x1 + in;
+    const double* x3 = x2 + in;
+    double* y0 = y + n * out;
+    double* y1 = y0 + out;
+    double* y2 = y1 + out;
+    double* y3 = y2 + out;
+    for (std::size_t r = 0; r < out; ++r) {
+      const double* row = w + r * in;
+      const double br = b ? b[r] : 0.0;
+      double s0 = br, s1 = br, s2 = br, s3 = br;
+      for (std::size_t c = 0; c < in; ++c) {
+        const double wc = row[c];
+        s0 += wc * x0[c];
+        s1 += wc * x1[c];
+        s2 += wc * x2[c];
+        s3 += wc * x3[c];
+      }
+      y0[r] = s0;
+      y1[r] = s1;
+      y2[r] = s2;
+      y3[r] = s3;
+    }
+  }
+  for (; n < batch; ++n) affine(w, b, out, in, x + n * in, y + n * out);
+}
+
+void scalar_batch_matvec_t(const double* w, std::size_t out, std::size_t in,
+                           const double* g, std::size_t batch, double* gin) {
+  std::size_t n = 0;
+  for (; n + 4 <= batch; n += 4) {
+    const double* g0 = g + n * out;
+    const double* g1 = g0 + out;
+    const double* g2 = g1 + out;
+    const double* g3 = g2 + out;
+    double* o0 = gin + n * in;
+    double* o1 = o0 + in;
+    double* o2 = o1 + in;
+    double* o3 = o2 + in;
+    for (std::size_t c = 0; c < in; ++c) o0[c] = o1[c] = o2[c] = o3[c] = 0.0;
+    // r-outer / c-inner, matching matvec_t_acc: each gin element receives
+    // its contributions in ascending r order.
+    for (std::size_t r = 0; r < out; ++r) {
+      const double* row = w + r * in;
+      const double a0 = g0[r], a1 = g1[r], a2 = g2[r], a3 = g3[r];
+      for (std::size_t c = 0; c < in; ++c) {
+        const double wc = row[c];
+        o0[c] += wc * a0;
+        o1[c] += wc * a1;
+        o2[c] += wc * a2;
+        o3[c] += wc * a3;
+      }
+    }
+  }
+  for (; n < batch; ++n) {
+    double* o = gin + n * in;
+    for (std::size_t c = 0; c < in; ++c) o[c] = 0.0;
+    matvec_t_acc(w, out, in, g + n * out, o);
+  }
+}
+
+void scalar_batch_outer_acc(const double* g, const double* x,
+                            std::size_t batch, std::size_t out, std::size_t in,
+                            double* dw, double* db) {
+  // Sample-major: each dw/db entry accumulates its per-sample contributions
+  // in ascending n order — bit-identical to per-sample accumulation. The
+  // dw block (out×in) is revisited per sample but stays cache-resident for
+  // the layer widths this library uses.
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* gn = g + n * out;
+    const double* xn = x + n * in;
+    outer_acc(dw, out, in, gn, xn, 1.0);
+    for (std::size_t r = 0; r < out; ++r) db[r] += gn[r];
+  }
+}
+
+void scalar_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
+                         const float* bias, std::size_t out,
+                         std::size_t in_pairs, const std::int16_t* xq,
+                         const float* xscale, std::size_t batch, float* y) {
+  // Reference chain for the int8 kernel: int32 accumulation over column
+  // pairs (exact, hence backend-invariant), then the fixed three-op float
+  // dequant — t = row_scale·xscale, y = float(acc)·t + bias — which every
+  // SIMD variant executes with the same single roundings per element.
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::int16_t* xr = xq + n * 2 * in_pairs;
+    const float xs = xscale[n];
+    float* yn = y + n * out;
+    for (std::size_t r = 0; r < out; ++r) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < in_pairs; ++p) {
+        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        acc += static_cast<std::int32_t>(wp[0]) *
+                   static_cast<std::int32_t>(xr[2 * p]) +
+               static_cast<std::int32_t>(wp[1]) *
+                   static_cast<std::int32_t>(xr[2 * p + 1]);
+      }
+      const float t = row_scale[r] * xs;
+      yn[r] = static_cast<float>(acc) * t + bias[r];
+    }
+  }
+}
+
+void scalar_quant_act(float* h, std::size_t batch, std::size_t width,
+                      std::size_t out_pairs, std::int16_t* qx, float* qscale) {
+  // Reference chain for the fused tanh + requantize step. The row abs-max is
+  // taken on the absolute float bit patterns (an exact, order-free integer
+  // reduction — for non-NaN floats |a| <= |b| iff their masked bits compare
+  // the same way), so vectorised reductions match this loop bit for bit.
+  const std::size_t stride = 2 * out_pairs;
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* hn = h + n * width;
+    std::int16_t* qn = qx + n * stride;
+    std::uint32_t m = 0;
+    for (std::size_t c = 0; c < width; ++c) {
+      hn[c] = quant_fast_tanh(hn[c]);
+      m = std::max(m, std::bit_cast<std::uint32_t>(hn[c]) & 0x7fffffffu);
+    }
+    if (m != 0) {
+      const float amax = std::bit_cast<float>(m);
+      const float inv = 127.0f / amax;
+      for (std::size_t c = 0; c < width; ++c) qn[c] = quant_code(hn[c] * inv);
+      qscale[n] = amax / 127.0f;
+    } else {
+      for (std::size_t c = 0; c < width; ++c) qn[c] = 0;
+      qscale[n] = 0.0f;
+    }
+    for (std::size_t c = width; c < stride; ++c) qn[c] = 0;
+  }
+}
+
+}  // namespace imap::nn::kernel::detail

@@ -4,18 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-
-// The batched kernels carry a hand-vectorised AVX2 variant. SIMD lanes are
-// only ever mapped across *independent* output elements (output neurons,
-// input dims, weight-matrix entries); each lane executes the exact scalar
-// chain — separate mul then add, ascending contraction index — so the
-// vector paths are bit-identical to the scalar ones. The target attribute
-// deliberately enables avx2 but NOT fma: with no FMA instructions available
-// the compiler cannot contract mul+add and change rounding.
-#if defined(__x86_64__) && defined(__GNUC__)
-#define IMAP_KERNEL_AVX2 1
-#include <immintrin.h>
-#endif
+#include "nn/kernel_backend.h"
 
 namespace imap::nn {
 
@@ -49,271 +38,55 @@ void outer_acc(double* m, std::size_t rows, std::size_t cols, const double* u,
   }
 }
 
-namespace {
-
-#ifdef IMAP_KERNEL_AVX2
-
-bool cpu_has_avx2() {
-  static const bool ok = __builtin_cpu_supports("avx2");
-  return ok;
-}
-
-// Y[n] = W·X[n] + b, lanes across output neurons. Four adjacent outputs
-// share one broadcast of x[c] and advance their accumulators in lock-step;
-// per lane the reduction is b[r] then += w[r][c]·x[c] for ascending c —
-// the affine() chain exactly. Reads the weights through a column-major
-// copy (wt[c·out + r]) so the four-lane load is contiguous; the copy is
-// O(out·in) against O(batch·out·in) compute.
-__attribute__((target("avx2"))) void batch_affine_avx2(
-    const double* w, const double* b, std::size_t out, std::size_t in,
-    const double* x, std::size_t batch, double* y) {
-  thread_local std::vector<double> wt;
-  if (wt.size() < in * out) wt.resize(in * out);
-  double* wtp = wt.data();
-  for (std::size_t r = 0; r < out; ++r)
-    for (std::size_t c = 0; c < in; ++c) wtp[c * out + r] = w[r * in + c];
-  for (std::size_t n = 0; n < batch; ++n) {
-    const double* xn = x + n * in;
-    double* yn = y + n * out;
-    std::size_t r = 0;
-    for (; r + 16 <= out; r += 16) {
-      __m256d a0, a1, a2, a3;
-      if (b) {
-        a0 = _mm256_loadu_pd(b + r);
-        a1 = _mm256_loadu_pd(b + r + 4);
-        a2 = _mm256_loadu_pd(b + r + 8);
-        a3 = _mm256_loadu_pd(b + r + 12);
-      } else {
-        a0 = a1 = a2 = a3 = _mm256_setzero_pd();
-      }
-      for (std::size_t c = 0; c < in; ++c) {
-        const __m256d xc = _mm256_set1_pd(xn[c]);
-        const double* col = wtp + c * out + r;
-        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(col), xc));
-        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(col + 4), xc));
-        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(col + 8), xc));
-        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(col + 12), xc));
-      }
-      _mm256_storeu_pd(yn + r, a0);
-      _mm256_storeu_pd(yn + r + 4, a1);
-      _mm256_storeu_pd(yn + r + 8, a2);
-      _mm256_storeu_pd(yn + r + 12, a3);
-    }
-    for (; r + 4 <= out; r += 4) {
-      __m256d a = b ? _mm256_loadu_pd(b + r) : _mm256_setzero_pd();
-      for (std::size_t c = 0; c < in; ++c) {
-        const __m256d xc = _mm256_set1_pd(xn[c]);
-        a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(wtp + c * out + r), xc));
-      }
-      _mm256_storeu_pd(yn + r, a);
-    }
-    for (; r < out; ++r) {
-      const double* row = w + r * in;
-      double s = b ? b[r] : 0.0;
-      for (std::size_t c = 0; c < in; ++c) s += row[c] * xn[c];
-      yn[r] = s;
-    }
-  }
-}
-
-// GIN[n] = Wᵀ·G[n], lanes across input dims. For a block of input columns
-// the r-loop broadcasts g[n][r] and pulls a contiguous slice of weight row
-// r; per lane each gin element starts at 0 and accumulates in ascending r
-// order — the matvec_t_acc chain on a zeroed output.
-__attribute__((target("avx2"))) void batch_matvec_t_avx2(
-    const double* w, std::size_t out, std::size_t in, const double* g,
-    std::size_t batch, double* gin) {
-  for (std::size_t n = 0; n < batch; ++n) {
-    const double* gn = g + n * out;
-    double* on = gin + n * in;
-    std::size_t c = 0;
-    for (; c + 16 <= in; c += 16) {
-      __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd(),
-              a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
-      for (std::size_t r = 0; r < out; ++r) {
-        const __m256d gr = _mm256_set1_pd(gn[r]);
-        const double* row = w + r * in + c;
-        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(row), gr));
-        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(row + 4), gr));
-        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(row + 8), gr));
-        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(row + 12), gr));
-      }
-      _mm256_storeu_pd(on + c, a0);
-      _mm256_storeu_pd(on + c + 4, a1);
-      _mm256_storeu_pd(on + c + 8, a2);
-      _mm256_storeu_pd(on + c + 12, a3);
-    }
-    for (; c + 4 <= in; c += 4) {
-      __m256d a = _mm256_setzero_pd();
-      for (std::size_t r = 0; r < out; ++r) {
-        const __m256d gr = _mm256_set1_pd(gn[r]);
-        a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(w + r * in + c), gr));
-      }
-      _mm256_storeu_pd(on + c, a);
-    }
-    for (; c < in; ++c) {
-      double s = 0.0;
-      for (std::size_t r = 0; r < out; ++r) s += w[r * in + c] * gn[r];
-      on[c] = s;
-    }
-  }
-}
-
-// dW += Σ_n G[n]⊗X[n], db += Σ_n G[n], lanes across weight columns. Each
-// dw entry is held in a register across the whole batch and accumulates
-// g[n][r]·x[n][c] in ascending n — the per-sample outer_acc chain (whose
-// scale of 1.0 is bitwise exact) — then is stored once, turning batch
-// passes over the out×in block into one.
-__attribute__((target("avx2"))) void batch_outer_acc_avx2(
-    const double* g, const double* x, std::size_t batch, std::size_t out,
-    std::size_t in, double* dw, double* db) {
-  for (std::size_t r = 0; r < out; ++r) {
-    double* dwr = dw + r * in;
-    std::size_t c = 0;
-    for (; c + 16 <= in; c += 16) {
-      __m256d a0 = _mm256_loadu_pd(dwr + c);
-      __m256d a1 = _mm256_loadu_pd(dwr + c + 4);
-      __m256d a2 = _mm256_loadu_pd(dwr + c + 8);
-      __m256d a3 = _mm256_loadu_pd(dwr + c + 12);
-      for (std::size_t n = 0; n < batch; ++n) {
-        const __m256d gr = _mm256_set1_pd(g[n * out + r]);
-        const double* xn = x + n * in + c;
-        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(xn), gr));
-        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(xn + 4), gr));
-        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(xn + 8), gr));
-        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(xn + 12), gr));
-      }
-      _mm256_storeu_pd(dwr + c, a0);
-      _mm256_storeu_pd(dwr + c + 4, a1);
-      _mm256_storeu_pd(dwr + c + 8, a2);
-      _mm256_storeu_pd(dwr + c + 12, a3);
-    }
-    for (; c + 4 <= in; c += 4) {
-      __m256d a = _mm256_loadu_pd(dwr + c);
-      for (std::size_t n = 0; n < batch; ++n) {
-        const __m256d gr = _mm256_set1_pd(g[n * out + r]);
-        a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(x + n * in + c), gr));
-      }
-      _mm256_storeu_pd(dwr + c, a);
-    }
-    for (; c < in; ++c) {
-      double s = dwr[c];
-      for (std::size_t n = 0; n < batch; ++n) s += g[n * out + r] * x[n * in + c];
-      dwr[c] = s;
-    }
-    double sb = db[r];
-    for (std::size_t n = 0; n < batch; ++n) sb += g[n * out + r];
-    db[r] = sb;
-  }
-}
-
-#endif  // IMAP_KERNEL_AVX2
-
-}  // namespace
+// Batched entry points: thin dispatchers over the runtime-selected backend
+// (nn/kernel_backend.h). batch_affine additionally applies the backend's
+// measured small-batch gate — below it the scalar blocked path wins on
+// throughput; results are bit-identical either way, the threshold is purely
+// a speed choice and drops when the caller supplies a cached transpose.
 
 void batch_affine(const double* w, const double* b, std::size_t out,
                   std::size_t in, const double* x, std::size_t batch,
                   double* y) {
-#ifdef IMAP_KERNEL_AVX2
-  // The AVX2 variant pays an O(out·in) weight-transpose per call, so it
-  // needs a few batch rows to amortise; results are bit-identical either
-  // way, the threshold is purely a throughput choice.
-  if (batch >= 4 && cpu_has_avx2()) {
-    batch_affine_avx2(w, b, out, in, x, batch, y);
-    return;
+  batch_affine(w, nullptr, b, out, in, x, batch, y);
+}
+
+void batch_affine(const double* w, const double* wt, const double* b,
+                  std::size_t out, std::size_t in, const double* x,
+                  std::size_t batch, double* y) {
+  const KernelBackend& be = active_backend();
+  const std::size_t gate =
+      wt != nullptr ? be.min_batch_affine_cached : be.min_batch_affine;
+  if (batch >= gate) {
+    be.batch_affine(w, wt, b, out, in, x, batch, y);
+  } else {
+    scalar_backend().batch_affine(w, nullptr, b, out, in, x, batch, y);
   }
-#endif
-  std::size_t n = 0;
-  // 4-row blocks: one pass over each weight row serves four samples. The
-  // four accumulators are independent and each runs c = 0..in-1 in order,
-  // so every output bit-matches the per-sample affine() path.
-  for (; n + 4 <= batch; n += 4) {
-    const double* x0 = x + n * in;
-    const double* x1 = x0 + in;
-    const double* x2 = x1 + in;
-    const double* x3 = x2 + in;
-    double* y0 = y + n * out;
-    double* y1 = y0 + out;
-    double* y2 = y1 + out;
-    double* y3 = y2 + out;
-    for (std::size_t r = 0; r < out; ++r) {
-      const double* row = w + r * in;
-      const double br = b ? b[r] : 0.0;
-      double s0 = br, s1 = br, s2 = br, s3 = br;
-      for (std::size_t c = 0; c < in; ++c) {
-        const double wc = row[c];
-        s0 += wc * x0[c];
-        s1 += wc * x1[c];
-        s2 += wc * x2[c];
-        s3 += wc * x3[c];
-      }
-      y0[r] = s0;
-      y1[r] = s1;
-      y2[r] = s2;
-      y3[r] = s3;
-    }
-  }
-  for (; n < batch; ++n) affine(w, b, out, in, x + n * in, y + n * out);
 }
 
 void batch_matvec_t(const double* w, std::size_t out, std::size_t in,
                     const double* g, std::size_t batch, double* gin) {
-#ifdef IMAP_KERNEL_AVX2
-  if (cpu_has_avx2()) {
-    batch_matvec_t_avx2(w, out, in, g, batch, gin);
-    return;
-  }
-#endif
-  std::size_t n = 0;
-  for (; n + 4 <= batch; n += 4) {
-    const double* g0 = g + n * out;
-    const double* g1 = g0 + out;
-    const double* g2 = g1 + out;
-    const double* g3 = g2 + out;
-    double* o0 = gin + n * in;
-    double* o1 = o0 + in;
-    double* o2 = o1 + in;
-    double* o3 = o2 + in;
-    for (std::size_t c = 0; c < in; ++c) o0[c] = o1[c] = o2[c] = o3[c] = 0.0;
-    // r-outer / c-inner, matching matvec_t_acc: each gin element receives
-    // its contributions in ascending r order.
-    for (std::size_t r = 0; r < out; ++r) {
-      const double* row = w + r * in;
-      const double a0 = g0[r], a1 = g1[r], a2 = g2[r], a3 = g3[r];
-      for (std::size_t c = 0; c < in; ++c) {
-        const double wc = row[c];
-        o0[c] += wc * a0;
-        o1[c] += wc * a1;
-        o2[c] += wc * a2;
-        o3[c] += wc * a3;
-      }
-    }
-  }
-  for (; n < batch; ++n) {
-    double* o = gin + n * in;
-    for (std::size_t c = 0; c < in; ++c) o[c] = 0.0;
-    matvec_t_acc(w, out, in, g + n * out, o);
-  }
+  active_backend().batch_matvec_t(w, out, in, g, batch, gin);
 }
 
 void batch_outer_acc(const double* g, const double* x, std::size_t batch,
                      std::size_t out, std::size_t in, double* dw, double* db) {
-#ifdef IMAP_KERNEL_AVX2
-  if (cpu_has_avx2()) {
-    batch_outer_acc_avx2(g, x, batch, out, in, dw, db);
-    return;
-  }
-#endif
-  // Sample-major: each dw/db entry accumulates its per-sample contributions
-  // in ascending n order — bit-identical to per-sample accumulation. The
-  // dw block (out×in) is revisited per sample but stays cache-resident for
-  // the layer widths this library uses.
-  for (std::size_t n = 0; n < batch; ++n) {
-    const double* gn = g + n * out;
-    const double* xn = x + n * in;
-    outer_acc(dw, out, in, gn, xn, 1.0);
-    for (std::size_t r = 0; r < out; ++r) db[r] += gn[r];
-  }
+  active_backend().batch_outer_acc(g, x, batch, out, in, dw, db);
+}
+
+void quant_affine(const std::int16_t* wq_packed, const float* row_scale,
+                  const float* bias, std::size_t out, std::size_t in_pairs,
+                  const std::int16_t* xq, const float* xscale,
+                  std::size_t batch, float* y) {
+  const KernelBackend& be = active_backend();
+  auto fn = be.quant_affine ? be.quant_affine : scalar_backend().quant_affine;
+  fn(wq_packed, row_scale, bias, out, in_pairs, xq, xscale, batch, y);
+}
+
+void quant_act(float* h, std::size_t batch, std::size_t width,
+               std::size_t out_pairs, std::int16_t* qx, float* qscale) {
+  const KernelBackend& be = active_backend();
+  auto fn = be.quant_act ? be.quant_act : scalar_backend().quant_act;
+  fn(h, batch, width, out_pairs, qx, qscale);
 }
 
 }  // namespace kernel

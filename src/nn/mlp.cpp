@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/kernel_backend.h"
 
 namespace imap::nn {
 
@@ -126,19 +127,43 @@ std::vector<double> Mlp::input_gradient(
   return g;
 }
 
+void Mlp::ensure_transpose_cache(Workspace& ws) const {
+  if (ws.wt_owner == this && ws.wt_version == weight_version_ &&
+      ws.wt.size() == layers_.size())
+    return;
+  ws.wt.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& l = layers_[li];
+    auto& t = ws.wt[li];
+    if (t.size() < l.in * l.out) t.resize(l.in * l.out);
+    const double* w = params_.data() + l.w_off;
+    for (std::size_t r = 0; r < l.out; ++r)
+      for (std::size_t c = 0; c < l.in; ++c) t[c * l.out + r] = w[r * l.in + c];
+  }
+  ws.wt_owner = this;
+  ws.wt_version = weight_version_;
+}
+
 const Batch& Mlp::forward_batch(const Batch& x, Workspace& ws) const {
   IMAP_CHECK_MSG(x.dim() == in_dim(),
                  "batch dim " << x.dim() << " != " << in_dim());
   const std::size_t b = x.rows();
+  // SIMD backends that vectorise across output lanes read a column-major
+  // weight copy; keep it cached in the workspace keyed by the weight
+  // version so frozen networks never re-transpose (satellite of ISSUE 6 —
+  // this was a per-call O(out·in) cost inside the old AVX2 kernel).
+  const bool use_wt = kernel::active_backend().wants_transposed;
+  if (use_wt) ensure_transpose_cache(ws);
   ws.pre.resize(layers_.size());
   ws.post.resize(layers_.size() + 1);
   ws.post[0].assign(x);
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const auto& l = layers_[li];
     ws.pre[li].resize(b, l.out);
-    kernel::batch_affine(params_.data() + l.w_off, params_.data() + l.b_off,
-                         l.out, l.in, ws.post[li].data(), b,
-                         ws.pre[li].data());
+    kernel::batch_affine(params_.data() + l.w_off,
+                         use_wt ? ws.wt[li].data() : nullptr,
+                         params_.data() + l.b_off, l.out, l.in,
+                         ws.post[li].data(), b, ws.pre[li].data());
     auto& post = ws.post[li + 1];
     post.resize(b, l.out);
     const double* src = ws.pre[li].data();
@@ -223,6 +248,7 @@ void Mlp::load_state(BinaryReader& r) {
   IMAP_CHECK_MSG(p.size() == params_.size(),
                  "Mlp checkpoint has wrong parameter count");
   params_ = std::move(p);
+  ++weight_version_;  // cached transposes / quantizations are now stale
 }
 
 }  // namespace imap::nn

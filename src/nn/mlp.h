@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -51,11 +52,30 @@ class Mlp {
   /// grow to the high-water batch size once and are then reused — zero heap
   /// allocations per step in steady state. One Workspace may be in flight
   /// per thread; the Mlp itself stays read-only during batched forwards.
+  ///
+  /// The workspace also carries the per-layer column-major weight copies the
+  /// lanes-across-outputs SIMD backends read (`wt`), keyed by (owner,
+  /// weight_version): forward_batch rebuilds them only when the network's
+  /// weights actually changed, so frozen victims pay the O(out·in) transpose
+  /// once instead of on every tick. The `q*` buffers are scratch for the
+  /// int8 serving path (nn/quant.h) — plain members here so QuantizedMlp can
+  /// reuse the same zero-allocation arena without a circular header.
   struct Workspace {
     std::vector<Batch> pre;   ///< pre-activations per layer (B×out)
     std::vector<Batch> post;  ///< post-activations (post[0] = input copy)
     Batch g;                  ///< dL/d(pre-activation) scratch
     Batch gin;                ///< dL/d(input of layer) scratch
+
+    std::vector<std::vector<double>> wt;  ///< per-layer Wᵀ (in×out, i.e.
+                                          ///< wt[c·out + r] = w[r·in + c])
+    const void* wt_owner = nullptr;       ///< Mlp the cache was built from
+    std::uint64_t wt_version = 0;         ///< weight_version() at build time
+
+    std::vector<std::int16_t> qx;  ///< quantized activations (B×2·in_pairs)
+    std::vector<float> qscale;     ///< per-sample dequant scales (B)
+    std::vector<float> qh;         ///< layer output ping buffer (B×out)
+    std::vector<float> qh2;        ///< layer output pong buffer (B×out)
+    Batch qout;                    ///< final fp64 output rows (B×out)
   };
 
   /// Batched inference/training forward: stacks B samples through the
@@ -85,8 +105,27 @@ class Mlp {
 
   void zero_grad();
 
-  std::vector<double>& params() { return params_; }
+  /// Mutable access conservatively bumps the weight version: callers that
+  /// take this reference are about to write (Adam steps, checkpoint
+  /// restores), and over-invalidation only costs a transpose rebuild while
+  /// under-invalidation would serve stale weights from cached transposes.
+  /// Contract: do NOT hold this reference and mutate across forward calls —
+  /// re-acquire it around each mutation so the version advances (writes
+  /// through a stored reference are invisible to the counter).
+  std::vector<double>& params() {
+    ++weight_version_;
+    return params_;
+  }
   const std::vector<double>& params() const { return params_; }
+
+  /// Monotone counter identifying the current weight values; any mutable
+  /// parameter access advances it. Keys the Workspace transpose cache and
+  /// QuantizedMlp staleness checks.
+  std::uint64_t weight_version() const { return weight_version_; }
+
+  /// Ensure ws.wt holds this network's current per-layer transposes.
+  /// No-op when (owner, version) already match — the steady-state path.
+  void ensure_transpose_cache(Workspace& ws) const;
   std::vector<double>& grads() { return grads_; }
   const std::vector<double>& grads() const { return grads_; }
 
@@ -111,6 +150,7 @@ class Mlp {
   std::vector<LayerView> layers_;
   std::vector<double> params_;
   std::vector<double> grads_;
+  std::uint64_t weight_version_ = 0;
   Workspace ws_;  ///< owned arena for the convenience batched overloads
 };
 

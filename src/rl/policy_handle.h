@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/gaussian.h"
+#include "nn/quant.h"
 #include "rl/evaluate.h"
 
 namespace imap::rl {
@@ -24,14 +25,22 @@ namespace imap::rl {
 /// to batchable victims with no signature churn. Per-sample query() is
 /// bit-identical between the two shapes when the ActionFn wraps the same
 /// network's mean_action.
+///
+/// Serving mode is fixed at construction: when victim quantization is on
+/// (IMAP_VICTIM_QUANT=1 or a ScopedVictimQuant scope, see nn/quant.h), a
+/// network-backed handle builds an int8 QuantizedMlp once and answers BOTH
+/// query() and query_batch() through it — keeping the per-sample and
+/// batched paths bit-identical to each other in either mode, which the
+/// VecEnv lockstep-vs-serial invariants rely on. Training-side code never
+/// constructs handles under the toggle, so attacker/defender updates stay
+/// fp64 bit-exact.
 class PolicyHandle {
  public:
   PolicyHandle() = default;
   // NOLINTNEXTLINE(google-explicit-constructor)
   PolicyHandle(ActionFn fn) : fn_(std::move(fn)) {}
   // NOLINTNEXTLINE(google-explicit-constructor)
-  PolicyHandle(std::shared_ptr<const nn::GaussianPolicy> net)
-      : net_(std::move(net)) {}
+  PolicyHandle(std::shared_ptr<const nn::GaussianPolicy> net);
 
   /// Deep-copied frozen snapshot of `policy`: training can continue on the
   /// original while the handle keeps serving the captured parameters.
@@ -47,23 +56,27 @@ class PolicyHandle {
   /// before merging their queries into one batch.
   const nn::GaussianPolicy* net() const { return net_.get(); }
 
-  /// Per-sample query (the deterministic mean for network-backed handles).
-  std::vector<double> query(const std::vector<double>& obs) const {
-    return net_ ? net_->mean_action(obs) : fn_(obs);
-  }
+  /// True when this handle serves through the int8 quantized path.
+  bool quantized() const { return qnet_ != nullptr; }
+
+  /// Per-sample query (the deterministic mean for network-backed handles;
+  /// the quantized mean when the handle was built under the quant toggle).
+  std::vector<double> query(const std::vector<double>& obs) const;
   std::vector<double> operator()(const std::vector<double>& obs) const {
     return query(obs);
   }
 
   /// Batched mean query through a caller-owned workspace. Each output row is
-  /// bit-identical to query() on that row. Requires batched(); the returned
-  /// reference lives in `ws` until the next batched call on it.
+  /// bit-identical to query() on that row — in fp64 and quantized modes
+  /// alike. Requires batched(); the returned reference lives in `ws` until
+  /// the next batched call on it.
   const nn::Batch& query_batch(const nn::Batch& obs,
                                nn::Mlp::Workspace& ws) const;
 
  private:
   ActionFn fn_;
   std::shared_ptr<const nn::GaussianPolicy> net_;
+  std::shared_ptr<const nn::QuantizedMlp> qnet_;
 };
 
 }  // namespace imap::rl

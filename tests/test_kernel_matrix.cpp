@@ -1,0 +1,338 @@
+// Generated per-(kernel, backend, shape) parity matrix for the multi-backend
+// kernel layer (nn/kernel_backend.h). A macro table of shapes — spanning
+// batch/in/out of 1, odd values, lane multiples, and large blocks — expands
+// into one ctest case per cell, pinning every compiled backend against the
+// scalar reference: exact equality for the fp64 kernels (the determinism
+// contract), exact equality for the int8 kernel too (integer accumulation is
+// associative and the dequant chain is fixed). Backends that are not
+// compiled in or not runnable on this CPU skip their cells, so the matrix is
+// portable across build hosts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/kernel_backend.h"
+#include "nn/matrix.h"
+
+namespace {
+
+using imap::Rng;
+namespace kernel = imap::nn::kernel;
+
+// Seed folds the shape so every cell runs distinct data.
+Rng shaped_rng(std::size_t in, std::size_t out, std::size_t batch) {
+  return Rng(1000003 * in + 1009 * out + batch);
+}
+
+std::vector<double> randn_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+std::vector<double> transpose_of(const std::vector<double>& w, std::size_t out,
+                                 std::size_t in) {
+  std::vector<double> wt(in * out);
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c) wt[c * out + r] = w[r * in + c];
+  return wt;
+}
+
+// nullptr when the cell should run; otherwise the skip reason.
+const kernel::KernelBackend* lookup(const std::string& name,
+                                    std::string& skip_reason) {
+  const kernel::KernelBackend* be = kernel::find_backend(name);
+  if (be == nullptr) {
+    skip_reason = name + " backend not compiled into this binary";
+    return nullptr;
+  }
+  if (!be->supported()) {
+    skip_reason = name + " backend not supported by this CPU";
+    return nullptr;
+  }
+  return be;
+}
+
+void run_affine_cell(const std::string& backend, std::size_t in,
+                     std::size_t out, std::size_t batch) {
+  std::string why;
+  const auto* be = lookup(backend, why);
+  if (be == nullptr) GTEST_SKIP() << why;
+  Rng rng = shaped_rng(in, out, batch);
+  const auto w = randn_vec(out * in, rng);
+  const auto b = randn_vec(out, rng);
+  const auto x = randn_vec(batch * in, rng);
+  const auto wt = transpose_of(w, out, in);
+
+  // Reference: the per-sample affine chain, one row at a time.
+  std::vector<double> ref(batch * out);
+  for (std::size_t n = 0; n < batch; ++n)
+    kernel::affine(w.data(), b.data(), out, in, x.data() + n * in,
+                   ref.data() + n * out);
+
+  std::vector<double> got(batch * out, 0.0);
+  be->batch_affine(w.data(), nullptr, b.data(), out, in, x.data(), batch,
+                   got.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got[i]) << "uncached wt, element " << i;
+
+  // The cached-transpose entry must produce the same bits.
+  std::vector<double> got_wt(batch * out, 0.0);
+  be->batch_affine(w.data(), wt.data(), b.data(), out, in, x.data(), batch,
+                   got_wt.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got_wt[i]) << "cached wt, element " << i;
+
+  // Null bias is part of the kernel contract (Matrix::matvec uses it).
+  std::vector<double> ref0(batch * out), got0(batch * out, 0.0);
+  for (std::size_t n = 0; n < batch; ++n)
+    kernel::affine(w.data(), nullptr, out, in, x.data() + n * in,
+                   ref0.data() + n * out);
+  be->batch_affine(w.data(), wt.data(), nullptr, out, in, x.data(), batch,
+                   got0.data());
+  for (std::size_t i = 0; i < ref0.size(); ++i)
+    ASSERT_EQ(ref0[i], got0[i]) << "null bias, element " << i;
+}
+
+void run_matvec_t_cell(const std::string& backend, std::size_t in,
+                       std::size_t out, std::size_t batch) {
+  std::string why;
+  const auto* be = lookup(backend, why);
+  if (be == nullptr) GTEST_SKIP() << why;
+  Rng rng = shaped_rng(in, out, batch);
+  const auto w = randn_vec(out * in, rng);
+  const auto g = randn_vec(batch * out, rng);
+
+  std::vector<double> ref(batch * in, 0.0);
+  for (std::size_t n = 0; n < batch; ++n)
+    kernel::matvec_t_acc(w.data(), out, in, g.data() + n * out,
+                         ref.data() + n * in);
+
+  std::vector<double> got(batch * in, 0.0);
+  be->batch_matvec_t(w.data(), out, in, g.data(), batch, got.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got[i]) << "element " << i;
+}
+
+void run_outer_acc_cell(const std::string& backend, std::size_t in,
+                        std::size_t out, std::size_t batch) {
+  std::string why;
+  const auto* be = lookup(backend, why);
+  if (be == nullptr) GTEST_SKIP() << why;
+  Rng rng = shaped_rng(in, out, batch);
+  const auto g = randn_vec(batch * out, rng);
+  const auto x = randn_vec(batch * in, rng);
+  const auto dw0 = randn_vec(out * in, rng);  // nonzero accumulator start
+  const auto db0 = randn_vec(out, rng);
+
+  std::vector<double> ref_dw = dw0, ref_db = db0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    kernel::outer_acc(ref_dw.data(), out, in, g.data() + n * out,
+                      x.data() + n * in, 1.0);
+    for (std::size_t r = 0; r < out; ++r) ref_db[r] += g[n * out + r];
+  }
+
+  std::vector<double> dw = dw0, db = db0;
+  be->batch_outer_acc(g.data(), x.data(), batch, out, in, dw.data(),
+                      db.data());
+  for (std::size_t i = 0; i < ref_dw.size(); ++i)
+    ASSERT_EQ(ref_dw[i], dw[i]) << "dw element " << i;
+  for (std::size_t r = 0; r < out; ++r)
+    ASSERT_EQ(ref_db[r], db[r]) << "db element " << r;
+}
+
+void run_quant_cell(const std::string& backend, std::size_t in,
+                    std::size_t out, std::size_t batch) {
+  std::string why;
+  const auto* be = lookup(backend, why);
+  if (be == nullptr) GTEST_SKIP() << why;
+  if (be->quant_affine == nullptr)
+    GTEST_SKIP() << backend << " has no int8 kernel (dispatch uses scalar)";
+  Rng rng = shaped_rng(in, out, batch);
+  const std::size_t in_pairs = (in + 1) / 2;
+
+  // Random int8 codes in the packed layouts the kernel consumes; the last
+  // pair zero-pads odd widths exactly like QuantizedMlp's builder.
+  auto code = [&rng]() {
+    return static_cast<std::int16_t>(rng.uniform_int(-127, 127));
+  };
+  std::vector<std::int16_t> wq(2 * in_pairs * out, 0);
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c)
+      wq[((c / 2) * out + r) * 2 + (c % 2)] = code();
+  std::vector<std::int16_t> xq(batch * 2 * in_pairs, 0);
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t c = 0; c < in; ++c) xq[n * 2 * in_pairs + c] = code();
+  std::vector<float> row_scale(out), bias(out), xscale(batch);
+  for (auto& s : row_scale)
+    s = static_cast<float>(rng.uniform(1e-4, 2e-2));
+  for (auto& v : bias) v = static_cast<float>(rng.normal(0.0, 0.5));
+  for (auto& s : xscale) s = static_cast<float>(rng.uniform(1e-4, 2e-2));
+
+  std::vector<float> ref(batch * out, 0.0f), got(batch * out, 0.0f);
+  kernel::scalar_backend().quant_affine(wq.data(), row_scale.data(),
+                                        bias.data(), out, in_pairs, xq.data(),
+                                        xscale.data(), batch, ref.data());
+  be->quant_affine(wq.data(), row_scale.data(), bias.data(), out, in_pairs,
+                   xq.data(), xscale.data(), batch, got.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got[i]) << "element " << i;
+}
+
+void run_quant_act_cell(const std::string& backend, std::size_t /*in*/,
+                        std::size_t out, std::size_t batch) {
+  std::string why;
+  const auto* be = lookup(backend, why);
+  if (be == nullptr) GTEST_SKIP() << why;
+  if (be->quant_act == nullptr)
+    GTEST_SKIP() << backend
+                 << " has no fused activation kernel (dispatch uses scalar)";
+  Rng rng = shaped_rng(out, out, batch);
+  const std::size_t out_pairs = (out + 1) / 2;
+  const std::size_t stride = 2 * out_pairs;
+
+  // Pre-activations spanning the tanh linear and saturated regions; one
+  // all-zero row (when the batch allows) exercises the amax == 0 branch.
+  std::vector<float> h0(batch * out);
+  for (auto& v : h0) v = static_cast<float>(rng.normal(0.0, 2.0));
+  if (batch > 1)
+    for (std::size_t c = 0; c < out; ++c) h0[out + c] = 0.0f;
+
+  std::vector<float> ref_h = h0, got_h = h0;
+  std::vector<std::int16_t> ref_q(batch * stride, -1), got_q(batch * stride,
+                                                             -1);
+  std::vector<float> ref_s(batch, -1.0f), got_s(batch, -1.0f);
+  kernel::scalar_backend().quant_act(ref_h.data(), batch, out, out_pairs,
+                                     ref_q.data(), ref_s.data());
+  be->quant_act(got_h.data(), batch, out, out_pairs, got_q.data(),
+                got_s.data());
+  for (std::size_t i = 0; i < ref_h.size(); ++i)
+    ASSERT_EQ(ref_h[i], got_h[i]) << "tanh element " << i;
+  for (std::size_t i = 0; i < ref_q.size(); ++i)
+    ASSERT_EQ(ref_q[i], got_q[i]) << "code element " << i;
+  for (std::size_t n = 0; n < batch; ++n)
+    ASSERT_EQ(ref_s[n], got_s[n]) << "scale row " << n;
+}
+
+// --- the generated matrix ---------------------------------------------------
+// Shapes: in/out/batch spanning 1, odd, lane-multiple (4/8/16-wide SIMD
+// blocks plus their 16-element unrolled variants), and large. X(tag, in,
+// out, batch).
+#define IMAP_KERNEL_SHAPE_LIST(X)     \
+  X(In1_Out1_B1, 1, 1, 1)             \
+  X(In5_Out7_B1, 5, 7, 1)             \
+  X(In3_Out5_B2, 3, 5, 2)             \
+  X(In8_Out16_B4, 8, 16, 4)           \
+  X(In17_Out33_B7, 17, 33, 7)         \
+  X(In32_Out64_B16, 32, 64, 16)       \
+  X(In64_Out48_B33, 64, 48, 33)       \
+  X(In24_Out24_B64, 24, 24, 64)
+
+#define IMAP_KERNEL_CELL(backend, tag, in_, out_, batch_)            \
+  TEST(KernelMatrix_##backend, BatchAffine_##tag) {                  \
+    run_affine_cell(#backend, in_, out_, batch_);                    \
+  }                                                                  \
+  TEST(KernelMatrix_##backend, BatchMatvecT_##tag) {                 \
+    run_matvec_t_cell(#backend, in_, out_, batch_);                  \
+  }                                                                  \
+  TEST(KernelMatrix_##backend, BatchOuterAcc_##tag) {                \
+    run_outer_acc_cell(#backend, in_, out_, batch_);                 \
+  }                                                                  \
+  TEST(KernelMatrix_##backend, QuantAffine_##tag) {                  \
+    run_quant_cell(#backend, in_, out_, batch_);                     \
+  }                                                                  \
+  TEST(KernelMatrix_##backend, QuantAct_##tag) {                     \
+    run_quant_act_cell(#backend, in_, out_, batch_);                 \
+  }
+
+#define IMAP_CELL_SCALAR(tag, in_, out_, batch_) \
+  IMAP_KERNEL_CELL(scalar, tag, in_, out_, batch_)
+IMAP_KERNEL_SHAPE_LIST(IMAP_CELL_SCALAR)
+
+#define IMAP_CELL_AVX2(tag, in_, out_, batch_) \
+  IMAP_KERNEL_CELL(avx2, tag, in_, out_, batch_)
+IMAP_KERNEL_SHAPE_LIST(IMAP_CELL_AVX2)
+
+#define IMAP_CELL_AVX512(tag, in_, out_, batch_) \
+  IMAP_KERNEL_CELL(avx512, tag, in_, out_, batch_)
+IMAP_KERNEL_SHAPE_LIST(IMAP_CELL_AVX512)
+
+#define IMAP_CELL_NEON(tag, in_, out_, batch_) \
+  IMAP_KERNEL_CELL(neon, tag, in_, out_, batch_)
+IMAP_KERNEL_SHAPE_LIST(IMAP_CELL_NEON)
+
+// --- dispatch-level behaviour ----------------------------------------------
+
+TEST(KernelDispatch, ActiveBackendIsSupported) {
+  EXPECT_TRUE(kernel::active_backend().supported());
+}
+
+TEST(KernelDispatch, ScalarBackendAlwaysPresent) {
+  EXPECT_STREQ(kernel::scalar_backend().name, "scalar");
+  EXPECT_TRUE(kernel::scalar_backend().supported());
+  EXPECT_NE(kernel::find_backend("scalar"), nullptr);
+}
+
+TEST(KernelDispatch, RegistryIsWidestFirstAndEndsWithScalar) {
+  const auto& all = kernel::all_backends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_STREQ(all.back()->name, "scalar");
+}
+
+TEST(KernelDispatch, ScopedBackendForcesAndRestores) {
+  const kernel::KernelBackend& before = kernel::active_backend();
+  {
+    kernel::ScopedBackend forced("scalar");
+    ASSERT_TRUE(forced.activated());
+    EXPECT_STREQ(kernel::active_backend().name, "scalar");
+  }
+  EXPECT_EQ(&kernel::active_backend(), &before);
+}
+
+TEST(KernelDispatch, ScopedBackendUnknownNameDoesNotActivate) {
+  const kernel::KernelBackend& before = kernel::active_backend();
+  {
+    kernel::ScopedBackend forced("no-such-backend");
+    EXPECT_FALSE(forced.activated());
+    EXPECT_EQ(&kernel::active_backend(), &before);
+  }
+  EXPECT_EQ(&kernel::active_backend(), &before);
+}
+
+// The dispatcher must produce scalar-identical results whatever backend is
+// forced — the end-to-end version of the per-cell pins above, exercised
+// through the public kernel:: entry points (gates included).
+TEST(KernelDispatch, DispatchedBatchAffineMatchesScalarUnderAllBackends) {
+  const std::size_t in = 19, out = 27;
+  Rng rng(77);
+  const auto w = randn_vec(out * in, rng);
+  const auto b = randn_vec(out, rng);
+  for (std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    const auto x = randn_vec(batch * in, rng);
+    std::vector<double> ref(batch * out, 0.0);
+    {
+      kernel::ScopedBackend forced("scalar");
+      ASSERT_TRUE(forced.activated());
+      kernel::batch_affine(w.data(), b.data(), out, in, x.data(), batch,
+                           ref.data());
+    }
+    for (const auto* be : kernel::all_backends()) {
+      if (!be->supported()) continue;
+      kernel::ScopedBackend forced(be->name);
+      ASSERT_TRUE(forced.activated());
+      std::vector<double> got(batch * out, 0.0);
+      kernel::batch_affine(w.data(), b.data(), out, in, x.data(), batch,
+                           got.data());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref[i], got[i])
+            << be->name << ", batch " << batch << ", element " << i;
+    }
+  }
+}
+
+}  // namespace

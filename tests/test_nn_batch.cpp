@@ -180,14 +180,17 @@ TEST(MlpBatch, BackwardMatchesFiniteDifferences) {
     return l;
   };
   const double eps = 1e-6;
-  auto& params = net.params();
-  for (std::size_t i = 0; i < params.size(); i += 7) {
-    const double save = params[i];
-    params[i] = save + eps;
+  // Mutations go through net.params() each time (never a held reference):
+  // the accessor bumps the weight version that keys the workspace transpose
+  // cache, so every loss() re-forward sees the perturbed weights.
+  const std::size_t n_params = net.params().size();
+  for (std::size_t i = 0; i < n_params; i += 7) {
+    const double save = net.params()[i];
+    net.params()[i] = save + eps;
     const double lp = loss();
-    params[i] = save - eps;
+    net.params()[i] = save - eps;
     const double lm = loss();
-    params[i] = save;
+    net.params()[i] = save;
     const double fd = (lp - lm) / (2.0 * eps);
     EXPECT_NEAR(analytic[i], fd, 1e-4 * std::max(1.0, std::fabs(fd)))
         << "param " << i;

@@ -1,0 +1,29 @@
+// Fixture: quantized-serving buffer types (float, int8_t/int16_t/int32_t)
+// constructed inside loops — each marked line must trigger hot-loop-alloc
+// when linted under a src/nn/ path. Mirrors the buffers src/nn/quant.* uses.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void quant_serve(std::size_t batch, std::size_t pairs) {
+  std::vector<float> hoisted_h(batch);              // outside any loop: fine
+  thread_local std::vector<float> xf;               // function scope: fine
+  xf.resize(pairs);
+  for (std::size_t n = 0; n < batch; ++n) {
+    std::vector<float> qscale(batch);         // BAD: fp32 scratch per query
+    std::vector<std::int16_t> qx(2 * pairs);  // BAD: codes per query
+    std::vector<std::int32_t> acc(pairs);     // BAD: accumulators per query
+    acc[0] = static_cast<std::int32_t>(qx[0]) * static_cast<std::int32_t>(n);
+    qscale[0] = static_cast<float>(acc[0]);
+  }
+  std::size_t k = 0;
+  while (k < batch) {
+    std::vector<int8_t> codes;  // BAD: unqualified fixed-width type in loop
+    codes.push_back(0);
+    ++k;
+  }
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::vector<float>& ref = hoisted_h;  // reference: fine
+    hoisted_h[0] = ref[0];
+  }
+}

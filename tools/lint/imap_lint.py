@@ -22,11 +22,14 @@ Enforces rules that no off-the-shelf tool knows about:
   using-ns-header    No `using namespace` at namespace scope in headers.
   parent-include     No parent-relative includes (#include "../..."): project
                      headers are included relative to src/ (e.g. "common/rng.h").
-  hot-loop-alloc     Constructing a std::vector<double> inside a loop in a
-                     hot-path layer (src/nn/, src/rl/, src/attack/) allocates
-                     on every iteration; the zero-allocation contract of the
-                     kernels and the rollout engine requires hoisted,
-                     capacity-reusing buffers (Batch / Mlp::Workspace).
+  hot-loop-alloc     Constructing a numeric std::vector (double, float, or a
+                     fixed-width integer — the kernel and quantized-serving
+                     buffer types) inside a loop in a hot-path layer
+                     (src/nn/, src/rl/, src/attack/) allocates on every
+                     iteration; the zero-allocation contract of the kernels,
+                     the rollout engine and the int8 serving path requires
+                     hoisted, capacity-reusing buffers (Batch /
+                     Mlp::Workspace, including its q* scratch).
   serialize-symmetry A header that declares save_state must declare load_state
                      too (and vice versa). A one-sided pair means checkpoints
                      that can be written but never restored — the
@@ -81,10 +84,10 @@ FIXITS = {
         "via parent-relative paths"
     ),
     "hot-loop-alloc": (
-        "hoist the std::vector<double> out of the loop and reuse it (resize/"
-        "assign on a caller-owned buffer, Batch, or Mlp::Workspace); the "
-        "src/nn, src/rl and src/attack hot paths must be allocation-free in "
-        "steady state"
+        "hoist the numeric std::vector out of the loop and reuse it (resize/"
+        "assign on a caller-owned buffer, Batch, or Mlp::Workspace — the q* "
+        "scratch for quantized buffers); the src/nn, src/rl and src/attack "
+        "hot paths must be allocation-free in steady state"
     ),
     "serialize-symmetry": (
         "declare the matching save_state/load_state counterpart in the same "
@@ -120,11 +123,14 @@ FLOAT_EQ_RE = re.compile(
 )
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+\w")
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"(\.\./|.*/\.\./)')
-# A std::vector<double> *construction* (declaration or temporary); plain
+# A numeric std::vector *construction* (declaration or temporary); plain
 # references/pointers (`std::vector<double>&`) deliberately do not match.
+# Element types cover every hot-path buffer: fp64 training, fp32 and int8/
+# int16/int32 quantized-serving scratch (src/nn/quant.*).
+HOT_ALLOC_ELEM = r"(?:double|float|(?:std::)?u?int(?:8|16|32|64)_t)"
 HOT_ALLOC_RE = re.compile(
-    r"\bstd::vector\s*<\s*double\s*>\s*(?:\w+\s*)?[({]"
-    r"|\bstd::vector\s*<\s*double\s*>\s+\w+\s*[;=]"
+    r"\bstd::vector\s*<\s*" + HOT_ALLOC_ELEM + r"\s*>\s*(?:\w+\s*)?[({]"
+    r"|\bstd::vector\s*<\s*" + HOT_ALLOC_ELEM + r"\s*>\s+\w+\s*[;=]"
 )
 LOOP_KW_RE = re.compile(r"\b(?:for|while)\s*\(")
 SAVE_STATE_RE = re.compile(r"\bsave_state\s*\(")
@@ -132,7 +138,7 @@ LOAD_STATE_RE = re.compile(r"\bload_state\s*\(")
 
 
 def hot_loop_alloc_lines(code: list[str]) -> list[int]:
-    """Indices of lines that construct a std::vector<double> inside a loop.
+    """Indices of lines that construct a numeric std::vector inside a loop.
 
     A small character-level scanner tracks loop nesting: a `for`/`while`
     header opens at its '('; once the header's parens close, the next '{'
@@ -335,7 +341,7 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
     if relpath.startswith(("src/nn/", "src/rl/", "src/attack/")):
         for idx in hot_loop_alloc_lines(code):
             add(idx, "hot-loop-alloc",
-                "std::vector<double> constructed inside a loop in a "
+                "numeric std::vector constructed inside a loop in a "
                 "hot-path file")
 
     return findings

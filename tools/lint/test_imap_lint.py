@@ -78,6 +78,17 @@ class RuleFiring(unittest.TestCase):
         # (default src/core path) is silent.
         self.assertEqual(lint_fixture("bad_hot_alloc.cpp"), [])
 
+    def test_hot_loop_alloc_fires_on_quant_buffer_types(self):
+        # float / int16_t / int32_t / int8_t scratch inside loops — the
+        # quantized-serving buffer types; hoisted and thread_local
+        # function-scope vectors and a reference inside a loop stay silent.
+        findings = lint_fixture("bad_hot_alloc_quant.cpp",
+                                relpath="src/nn/bad_hot_alloc_quant.cpp")
+        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+        self.assertEqual(len(findings), 4)
+        # Path scoping still applies outside the hot-path layers.
+        self.assertEqual(lint_fixture("bad_hot_alloc_quant.cpp"), [])
+
     def test_hot_loop_alloc_fires_on_collect_shaped_loops(self):
         findings = lint_fixture("bad_hot_alloc_collect.cpp",
                                 relpath="src/rl/bad_hot_alloc_collect.cpp")
