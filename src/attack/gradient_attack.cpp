@@ -19,16 +19,21 @@ std::vector<double> mad_direction(const nn::Mlp& net,
   std::vector<double> delta(s.size());
   for (std::size_t i = 0; i < delta.size(); ++i)
     delta[i] = (i % 2 ? 0.1 : -0.1) * eps;
+  // All step buffers hoisted out of the PGD loop and reused: the tape keeps
+  // its heap blocks across forward_tape_ref calls, g/g_scratch across
+  // input_gradient_into calls — the loop is allocation-free in steady state.
   std::vector<double> adv = s;
-  std::vector<double> grad_out;  // reused across PGD steps
+  std::vector<double> grad_out;
+  std::vector<double> g;
+  std::vector<double> g_scratch;
+  nn::Mlp::Tape tape;
   for (int step = 0; step < pgd_steps; ++step) {
     for (std::size_t i = 0; i < s.size(); ++i) adv[i] = s[i] + delta[i];
-    nn::Mlp::Tape tape;
-    const auto mu = net.forward_tape(adv, tape);
+    const auto& mu = net.forward_tape_ref(adv, tape);
     grad_out.resize(mu.size());
     for (std::size_t i = 0; i < mu.size(); ++i)
       grad_out[i] = 2.0 * (mu[i] - mu_clean[i]);
-    const auto g = net.input_gradient(tape, grad_out);
+    net.input_gradient_into(tape, grad_out, g, g_scratch);
     // FGSM step: jump to the sign corner (for the 1-step case this is the
     // standard FGSM; further steps can flip coordinates whose gradient sign
     // changed at the corner).

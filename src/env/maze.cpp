@@ -151,7 +151,11 @@ double MazeEnv::wall_clearance(Vec2 dir) const {
   // March outward until a wall is closer than the robot radius; saturate.
   const Vec2 p0 = world_.body(robot_).pos;
   constexpr double kMax = 2.0;
-  for (double r = 0.1; r <= kMax; r += 0.1) {
+  constexpr double kStep = 0.1;
+  // Integer induction (cert-flp30-c): accumulating `r += 0.1` drifts by an
+  // ulp per step and silently drops the final ring before kMax.
+  for (int k = 1; kStep * k <= kMax; ++k) {
+    const double r = kStep * k;
     const Vec2 p = p0 + dir * r;
     for (const auto& seg : world_.segments()) {
       const Vec2 cp = phys::closest_point_on_segment(p, seg.a, seg.b);

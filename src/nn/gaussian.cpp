@@ -93,10 +93,18 @@ std::vector<double> GaussianPolicy::mean_action(
 
 std::vector<double> GaussianPolicy::act(const std::vector<double>& obs,
                                         Rng& rng) const {
-  std::vector<double> a = net_.forward(obs);
-  for (std::size_t i = 0; i < a.size(); ++i)
-    a[i] += std::exp(log_std_[i]) * rng.normal();
-  return a;
+  std::vector<double> out;
+  std::vector<double> scratch;
+  act_into(obs, rng, out, scratch);
+  return out;
+}
+
+void GaussianPolicy::act_into(const std::vector<double>& obs, Rng& rng,
+                              std::vector<double>& out,
+                              std::vector<double>& scratch) const {
+  net_.forward_into(obs, out, scratch);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] += std::exp(log_std_[i]) * rng.normal();
 }
 
 double GaussianPolicy::log_prob(const std::vector<double>& obs,

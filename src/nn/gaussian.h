@@ -55,6 +55,12 @@ class GaussianPolicy {
   /// Sampled action.
   std::vector<double> act(const std::vector<double>& obs, Rng& rng) const;
 
+  /// Allocation-free act() for per-step collection loops: the action lands
+  /// in `out`, `scratch` is the forward ping-pong partner; both buffers grow
+  /// once and are reused. Same RNG draw sequence, bit-identical to act().
+  void act_into(const std::vector<double>& obs, Rng& rng,
+                std::vector<double>& out, std::vector<double>& scratch) const;
+
   /// log π(a|s), recomputing the forward pass.
   double log_prob(const std::vector<double>& obs,
                   const std::vector<double>& act) const;

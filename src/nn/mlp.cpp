@@ -38,28 +38,41 @@ Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng, double init_scale)
 }
 
 std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  std::vector<double> out;
+  std::vector<double> scratch;
+  forward_into(x, out, scratch);
+  return out;
+}
+
+void Mlp::forward_into(const std::vector<double>& x, std::vector<double>& out,
+                       std::vector<double>& scratch) const {
   IMAP_CHECK_MSG(x.size() == in_dim(),
                  "input dim " << x.size() << " != " << in_dim());
-  // Ping-pong between two buffers hoisted out of the layer loop; the shared
-  // kernel::affine keeps the summation order identical to the batched path.
-  std::vector<double> h = x;
-  std::vector<double> y;
+  // Ping-pong between the two caller buffers, hoisted out of the layer loop;
+  // the shared kernel::affine keeps the summation order identical to the
+  // batched path. resize() reuses capacity, so a caller that holds out and
+  // scratch across steps pays zero allocations in steady state.
+  out.assign(x.begin(), x.end());
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const auto& l = layers_[li];
-    y.resize(l.out);
+    scratch.resize(l.out);
     kernel::affine(params_.data() + l.w_off, params_.data() + l.b_off, l.out,
-                   l.in, h.data(), y.data());
+                   l.in, out.data(), scratch.data());
     if (li + 1 < layers_.size())
-      for (double& v : y) v = std::tanh(v);
-    std::swap(h, y);
+      for (double& v : scratch) v = std::tanh(v);
+    std::swap(out, scratch);
   }
-  IMAP_NCHECK_SHAPE(h.size(), out_dim(), "Mlp::forward output");
-  IMAP_NCHECK_FINITE_VEC(h, "Mlp::forward output");
-  return h;
+  IMAP_NCHECK_SHAPE(out.size(), out_dim(), "Mlp::forward output");
+  IMAP_NCHECK_FINITE_VEC(out, "Mlp::forward output");
 }
 
 std::vector<double> Mlp::forward_tape(const std::vector<double>& x,
                                       Tape& tape) const {
+  return forward_tape_ref(x, tape);
+}
+
+const std::vector<double>& Mlp::forward_tape_ref(const std::vector<double>& x,
+                                                 Tape& tape) const {
   IMAP_CHECK(x.size() == in_dim());
   // resize/assign (not re-construction) so a reused Tape keeps its heap
   // blocks across calls.
@@ -109,22 +122,30 @@ std::vector<double> Mlp::backward(const Tape& tape,
 
 std::vector<double> Mlp::input_gradient(
     const Tape& tape, const std::vector<double>& grad_out) const {
+  std::vector<double> out;
+  std::vector<double> scratch;
+  input_gradient_into(tape, grad_out, out, scratch);
+  return out;
+}
+
+void Mlp::input_gradient_into(const Tape& tape,
+                              const std::vector<double>& grad_out,
+                              std::vector<double>& out,
+                              std::vector<double>& scratch) const {
   IMAP_CHECK(grad_out.size() == out_dim());
-  std::vector<double> g = grad_out;
-  std::vector<double> gin;
+  out.assign(grad_out.begin(), grad_out.end());
   for (std::size_t li = layers_.size(); li-- > 0;) {
     const auto& l = layers_[li];
-    gin.assign(l.in, 0.0);
-    kernel::matvec_t_acc(params_.data() + l.w_off, l.out, l.in, g.data(),
-                         gin.data());
+    scratch.assign(l.in, 0.0);
+    kernel::matvec_t_acc(params_.data() + l.w_off, l.out, l.in, out.data(),
+                         scratch.data());
     if (li > 0) {
       const auto& post = tape.post[li];
       for (std::size_t c = 0; c < l.in; ++c)
-        gin[c] *= (1.0 - post[c] * post[c]);
+        scratch[c] *= (1.0 - post[c] * post[c]);
     }
-    std::swap(g, gin);
+    std::swap(out, scratch);
   }
-  return g;
 }
 
 void Mlp::ensure_transpose_cache(Workspace& ws) const {

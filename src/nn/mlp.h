@@ -27,6 +27,12 @@ class Mlp {
   /// Inference forward (no caching).
   std::vector<double> forward(const std::vector<double>& x) const;
 
+  /// Allocation-free inference forward for per-step callers: `out` receives
+  /// the output, `scratch` is the ping-pong partner; both grow once and are
+  /// reused across calls. Bit-identical to forward().
+  void forward_into(const std::vector<double>& x, std::vector<double>& out,
+                    std::vector<double>& scratch) const;
+
   /// Activation cache for one forward pass.
   struct Tape {
     std::vector<std::vector<double>> pre;   ///< pre-activations per layer
@@ -37,6 +43,12 @@ class Mlp {
   std::vector<double> forward_tape(const std::vector<double>& x,
                                    Tape& tape) const;
 
+  /// Same pass, but returns a reference to the output activations held by
+  /// the tape instead of copying them out — allocation-free when the tape
+  /// is reused (valid until the tape's next forward).
+  const std::vector<double>& forward_tape_ref(const std::vector<double>& x,
+                                              Tape& tape) const;
+
   /// Accumulate dL/dparams into the gradient buffer given dL/doutput.
   /// Returns dL/dinput (useful for adversarial perturbation search).
   std::vector<double> backward(const Tape& tape,
@@ -46,6 +58,13 @@ class Mlp {
   /// input-gradient computations by the defenses).
   std::vector<double> input_gradient(const Tape& tape,
                                      const std::vector<double>& grad_out) const;
+
+  /// Allocation-free input_gradient: result in `out`, `scratch` is the
+  /// backward ping-pong partner; both reused across calls. Bit-identical.
+  void input_gradient_into(const Tape& tape,
+                           const std::vector<double>& grad_out,
+                           std::vector<double>& out,
+                           std::vector<double>& scratch) const;
 
   /// Reusable arena for the batched kernels: the batched activation tape
   /// (pre/post per layer) plus the backward ping-pong scratch. All buffers

@@ -120,8 +120,12 @@ void PpoTrainer::collect_serial(RolloutBuffer& buf) {
     need_reset_ = false;
   }
 
+  // Per-step buffers hoisted out of the collection loop (act_into reuses
+  // their capacity; the loop is allocation-free in steady state).
+  std::vector<double> action;
+  std::vector<double> act_scratch;
   for (int t = 0; t < opts_.steps_per_iter; ++t) {
-    auto action = policy_->act(cur_obs_, rng_);
+    policy_->act_into(cur_obs_, rng_, action, act_scratch);
     const double lp = policy_->log_prob(cur_obs_, action);
     const double ve = value_e_->value(cur_obs_);
     replay_.on_step(action.data(), action.size());
@@ -406,10 +410,14 @@ void PpoTrainer::update(RolloutBuffer& buf, double tau, IterStats& stats) {
               auto& sh = shards_[s];
               sh.policy.set_flat_params(master_params_);
               sh.policy.zero_grad();
-              sh.value_e.net().params() = value_e_->net().params();
+              // const access on the master nets: the non-const params()
+              // bumps weight_version_, which all shards would race on
+              sh.value_e.net().params() =
+                  std::as_const(*value_e_).net().params();
               sh.value_e.zero_grad();
               if (use_intrinsic) {
-                sh.value_i.net().params() = value_i_->net().params();
+                sh.value_i.net().params() =
+                    std::as_const(*value_i_).net().params();
                 sh.value_i.zero_grad();
               }
               const std::size_t sb =

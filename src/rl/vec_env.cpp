@@ -185,13 +185,17 @@ void VecEnv::collect_serial(const nn::GaussianPolicy& policy,
                             const nn::ValueNet& value_i,
                             const std::vector<int>& budgets,
                             std::size_t offset) {
+  // Per-step buffers hoisted out of both loops (act_into reuses their
+  // capacity; the step loop is allocation-free in steady state).
+  std::vector<double> action;
+  std::vector<double> act_scratch;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     EnvSlot& s = slots_[i];
     const int budget = budgets[offset + i];
     begin_round(s, budget);
     for (int t = 0; t < budget; ++t) {
       if (obs_norm_ != nullptr) obs_norm_->update(s.cur_obs);
-      const auto action = policy.act(s.cur_obs, s.rng);
+      policy.act_into(s.cur_obs, s.rng, action, act_scratch);
       const double lp = policy.log_prob(s.cur_obs, action);
       const double ve = value_e.value(s.cur_obs);
       record_step(s, action.data(), action.size(), lp, ve,
@@ -226,6 +230,7 @@ void VecEnv::save_state(BinaryWriter& w) const {
 void VecEnv::load_state(BinaryReader& r) {
   IMAP_CHECK_MSG(r.read_u64() == slots_.size(),
                  "checkpoint has wrong rollout-slot count");
+  std::vector<double> replayed;  // reused across slots
   for (auto& s : slots_) {
     s.rng.load_state(r);
     s.need_reset = r.read_bool();
@@ -238,8 +243,8 @@ void VecEnv::load_state(BinaryReader& r) {
       // Reconstruct the slot env mid-episode by replaying its history into
       // the fresh clone; the replayed observation must match the saved one
       // exactly or the prototype does not match the checkpoint.
-      const auto obs = s.replay.rebuild(*s.env);
-      IMAP_CHECK_MSG(same_bits(obs, s.cur_obs),
+      replayed = s.replay.rebuild(*s.env);
+      IMAP_CHECK_MSG(same_bits(replayed, s.cur_obs),
                      "episode replay diverged from checkpoint — environment "
                      "prototype does not match");
     }

@@ -1,0 +1,330 @@
+"""clang JSON-AST frontend for imap_check.
+
+Builds the same TuModel IR as the builtin micro-frontend (cpp_ast.py), but
+from `clang++ -fsyntax-only -Xclang -ast-dump=json` with the TU's flags taken
+verbatim from its compile_commands.json entry — compiler-accurate types,
+scopes and calls, no new library dependencies.
+
+This module is only imported when a working clang++ is found (see
+imap_check.find_clang). Any failure — clang missing, the TU not parsing
+under clang, an AST shape this walker does not recognise — raises, and the
+driver falls back to the builtin frontend for that TU with a note.
+
+Differential locations: in clang's JSON dump, `loc`/`range` objects omit
+fields that repeat the previous location, so the walker threads (file, line)
+state through the traversal and only nodes attributed to the main file are
+recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+import cpp_ast
+from cpp_ast import Call, Cmp, Decl, Scope, Token, TuModel
+
+# compile_commands arguments dropped for a syntax-only run
+_STRIP_WITH_VALUE = {"-o", "-MF", "-MT", "-MQ", "--serialize-diagnostics"}
+_STRIP = {"-c", "-MD", "-MMD", "-MP"}
+
+_FLOAT_BUILTINS = ("float", "double", "long double")
+
+
+def _syntax_only_args(entry) -> list[str]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        import shlex
+        args = shlex.split(entry.get("command", ""))
+    out = []
+    skip = False
+    for a in args[1:]:  # drop the compiler itself
+        if skip:
+            skip = False
+            continue
+        if a in _STRIP_WITH_VALUE:
+            skip = True
+            continue
+        if a in _STRIP:
+            continue
+        # GCC-only flags clang rejects; determinism flags are kept
+        if a.startswith("-Wno-maybe-uninitialized"):
+            continue
+        out.append(a)
+    return out
+
+
+def dump_ast(clang_exe: str, entry, abspath: str) -> dict:
+    cmd = ([clang_exe, "-fsyntax-only", "-Xclang", "-ast-dump=json", "-w"] +
+           _syntax_only_args(entry))
+    # the entry's file argument is already among the args; run from its dir
+    proc = subprocess.run(cmd, cwd=entry.get("directory") or None,
+                          capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0 or not proc.stdout.lstrip().startswith("{"):
+        raise RuntimeError(
+            f"clang ast-dump failed (rc={proc.returncode}): "
+            f"{proc.stderr.strip().splitlines()[-1] if proc.stderr else ''}")
+    return json.loads(proc.stdout)
+
+
+class _Walker:
+    """One pass over the JSON AST, building a TuModel for the main file."""
+
+    _SCOPE_KINDS = {
+        "FunctionDecl": "function",
+        "CXXMethodDecl": "function",
+        "CXXConstructorDecl": "function",
+        "CXXDestructorDecl": "function",
+        "LambdaExpr": "lambda",
+        "ForStmt": "loop",
+        "CXXForRangeStmt": "loop",
+        "WhileStmt": "loop",
+        "DoStmt": "loop",
+        "IfStmt": "cond",
+        "SwitchStmt": "cond",
+        "NamespaceDecl": "namespace",
+        "CXXRecordDecl": "class",
+        "EnumDecl": "enum",
+    }
+
+    def __init__(self, path: str, main_file: str):
+        self.model = TuModel(path)
+        self.model.frontend = "clang"
+        self.main_file = main_file
+        self.cur_file = ""
+        self.cur_line = 0
+        self.next_scope_id = 1
+        self.order = 0
+
+    # -- location threading -------------------------------------------------
+
+    def _update_loc(self, node) -> int:
+        loc = node.get("loc") or {}
+        if "spellingLoc" in loc:
+            loc = loc["spellingLoc"]
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+        rng = node.get("range", {}).get("begin", {})
+        if "spellingLoc" in rng:
+            rng = rng["spellingLoc"]
+        if "file" in rng:
+            self.cur_file = rng["file"]
+        if "line" in rng:
+            self.cur_line = rng["line"]
+        return self.cur_line
+
+    def _in_main(self) -> bool:
+        return (not self.cur_file or
+                os.path.basename(self.cur_file) ==
+                os.path.basename(self.main_file))
+
+    # -- type helpers -------------------------------------------------------
+
+    @staticmethod
+    def _qual_type(node) -> str:
+        t = node.get("type") or {}
+        return t.get("desugaredQualType") or t.get("qualType") or ""
+
+    @staticmethod
+    def _canon(qt: str) -> str:
+        qt = qt.replace("const ", "").replace("volatile ", "").strip()
+        if qt.endswith("&") or qt.endswith("&&"):
+            qt = qt.rstrip("&").strip()
+        # `std::vector<double, std::allocator<double>>` -> std::vector<double>
+        qt = qt.replace(", std::allocator<double>", "") \
+               .replace(", std::allocator<float>", "") \
+               .replace(", std::allocator<int>", "")
+        return cpp_ast.canonical_type(qt)
+
+    @classmethod
+    def _is_float(cls, qt: str) -> bool:
+        base = qt.replace("const", "").replace("&", "").strip()
+        return base in _FLOAT_BUILTINS
+
+    # -- tokens for messages ------------------------------------------------
+
+    def _expr_tokens(self, node) -> list:
+        """A short token stand-in for an operand (for finding messages)."""
+        line = self.cur_line
+        kind = node.get("kind", "")
+        if kind in ("FloatingLiteral", "IntegerLiteral"):
+            return [Token("num", str(node.get("value", "?")), line)]
+        if kind == "DeclRefExpr":
+            name = (node.get("referencedDecl") or {}).get("name", "?")
+            return [Token("ident", name, line)]
+        if kind == "MemberExpr":
+            return [Token("ident", node.get("name", "?"), line)]
+        for ch in node.get("inner") or []:
+            if ch.get("kind"):
+                return self._expr_tokens(ch)
+        return [Token("ident", "<expr>", line)]
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk(self, root) -> TuModel:
+        self._visit(root, self.model.file_scope, None)
+        return self.model
+
+    def _new_scope(self, kind, name, parent, line):
+        s = Scope(self.next_scope_id, kind, name, parent, line)
+        self.next_scope_id += 1
+        self.model.scopes.append(s)
+        return s
+
+    def _visit(self, node, scope: Scope, call_frame):
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+        line = self._update_loc(node)
+        in_main = self._in_main()
+
+        skind = self._SCOPE_KINDS.get(kind)
+        if skind is not None:
+            name = node.get("name", "") or ("<lambda>" if skind == "lambda"
+                                            else "")
+            sc = self._new_scope(skind, name, scope, line)
+            if skind == "function":
+                qt = self._qual_type(node)  # e.g. "std::vector<double> (...)"
+                ret = qt.split("(")[0].strip() if "(" in qt else ""
+                parent_cls = scope if scope.kind == "class" else None
+                if parent_cls is not None:
+                    sc.class_name = parent_cls.name
+                if name:
+                    qname = name if not sc.class_name or "::" in name \
+                        else f"{sc.class_name}::{name}"
+                    self.model.functions[qname] = sc
+                    if ret:
+                        self.model.func_returns.setdefault(
+                            name, self._canon(ret))
+            if skind == "class" and name:
+                self.model.classes.setdefault(name, sc)
+            if skind == "lambda" and call_frame is not None:
+                call_frame["lambdas"].append(sc)
+            for ch in node.get("inner") or []:
+                self._visit(ch, sc, None if skind == "lambda" else call_frame)
+            return
+
+        if kind == "VarDecl" and in_main:
+            qt = self._canon(self._qual_type(node))
+            is_ref = self._qual_type(node).rstrip().endswith("&")
+            d = Decl(node.get("name", ""), qt, line, scope, is_ref=is_ref,
+                     in_loop_header=False)
+            storage = node.get("storageClass", "")
+            if storage in ("static", "extern"):
+                d.init = storage  # hot-loop rule skips static locals
+            scope.decls[d.name] = d
+            self.model.decls.append(d)
+
+        if kind in ("CallExpr", "CXXMemberCallExpr") and in_main:
+            callee, recv = self._callee_of(node)
+            frame = {"lambdas": []}
+            for ch in node.get("inner") or []:
+                self._visit(ch, scope, frame)
+            if callee:
+                self.order += 1
+                c = Call(callee, recv, [], line, scope, self.order)
+                c.lambda_args = frame["lambdas"]
+                self.model.calls.append(c)
+            return
+
+        if kind == "BinaryOperator" and in_main and \
+                node.get("opcode") in ("==", "!="):
+            inner = [ch for ch in (node.get("inner") or [])
+                     if ch.get("kind")]
+            if len(inner) == 2:
+                lt = self._canon(self._strip_casts_type(inner[0]))
+                rt = self._canon(self._strip_casts_type(inner[1]))
+                c = Cmp(node["opcode"], line, scope,
+                        self._expr_tokens(inner[0]),
+                        self._expr_tokens(inner[1]))
+                c.lhs_type = lt
+                c.rhs_type = rt
+                c.lhs_lit = self._strip_casts(inner[0]).get("kind") in \
+                    ("FloatingLiteral", "IntegerLiteral")
+                c.rhs_lit = self._strip_casts(inner[1]).get("kind") in \
+                    ("FloatingLiteral", "IntegerLiteral")
+                self.model.cmps.append(c)
+
+        for ch in node.get("inner") or []:
+            self._visit(ch, scope, call_frame)
+
+    @staticmethod
+    def _strip_casts(node):
+        while node.get("kind") in ("ImplicitCastExpr", "ParenExpr",
+                                   "ExprWithCleanups",
+                                   "MaterializeTemporaryExpr"):
+            inner = [ch for ch in (node.get("inner") or []) if ch.get("kind")]
+            if not inner:
+                break
+            node = inner[0]
+        return node
+
+    def _strip_casts_type(self, node) -> str:
+        return self._qual_type(self._strip_casts(node))
+
+    def _callee_of(self, node):
+        """(callee last-name, receiver text) of a call node."""
+        inner = [ch for ch in (node.get("inner") or []) if ch.get("kind")]
+        if not inner:
+            return "", ""
+        head = self._strip_casts(inner[0])
+        if head.get("kind") == "MemberExpr":
+            name = head.get("name", "")
+            base = [ch for ch in (head.get("inner") or []) if ch.get("kind")]
+            recv = ""
+            if base:
+                b = self._strip_casts(base[0])
+                if b.get("kind") == "DeclRefExpr":
+                    recv = (b.get("referencedDecl") or {}).get("name", "")
+                    recv += "->" if "*" in self._qual_type(b) else "."
+                elif b.get("kind") == "MemberExpr":
+                    recv = b.get("name", "") + "."
+                elif b.get("kind") == "CXXThisExpr":
+                    recv = ""
+            return name, recv
+        if head.get("kind") == "DeclRefExpr":
+            rd = head.get("referencedDecl") or {}
+            name = rd.get("name", "")
+            qual = head.get("foundReferences") or ""
+            # namespace qualification: clang stores it on the DeclRefExpr's
+            # nestedNameSpecifier in newer dumps; fall back to bare name
+            return name, "std::" if "std" in str(qual) else ""
+        return "", ""
+
+
+def parse_tu(clang_exe: str, entry, root: str, relpath: str,
+             base: TuModel | None = None) -> TuModel:
+    """Parse `relpath` with clang and return a TuModel.
+
+    When `base` (a builtin-frontend model of the same TU) is given, clang's
+    compiler-accurate facts are overlaid onto it instead of replacing it:
+    declaration types (resolved through real headers), typed comparisons,
+    and return types. The base model keeps the call/argument detail the
+    serialize-symmetry and rng-parallel checks depend on, so every check
+    runs at full strength with clang-grade typing.
+    """
+    abspath = os.path.join(root, relpath)
+    ast = dump_ast(clang_exe, entry, abspath)
+    model = _Walker(relpath, abspath).walk(ast)
+    with open(abspath, encoding="utf-8", errors="replace") as fh:
+        model.tokens = cpp_ast.lex(fh.read())
+    if base is None:
+        return model
+    # overlay: prefer clang types wherever both frontends saw the same decl
+    by_key = {(d.name, d.line): d for d in model.decls}
+    for d in base.decls:
+        cd = by_key.get((d.name, d.line))
+        if cd is not None and cd.type:
+            d.type = cd.type
+    for name, ret in model.func_returns.items():
+        base.func_returns[name] = ret
+    # typed comparisons: replace builtin cmps on lines clang also typed
+    clang_lines = {c.line for c in model.cmps}
+    base.cmps = [c for c in base.cmps if c.line not in clang_lines]
+    base.cmps.extend(model.cmps)
+    base.frontend = "clang"
+    return base

@@ -1,0 +1,30 @@
+// Fixture: the comparisons that must stay quiet — tolerance checks, integer
+// equality, and exact sentinel compares under an inline suppression.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace imap {
+
+bool tolerance_compare(double a, double b) {
+  return std::abs(a - b) < 1e-12;  // OK: tolerance, not equality
+}
+
+bool integer_compare(std::int64_t n, std::size_t m) {
+  return n == static_cast<std::int64_t>(m);  // OK: integral
+}
+
+bool exact_sentinel(double x) {
+  // OK: comparing against the exact stored sentinel is intentional here
+  return x == -1.0;  // imap-check: allow(float-eq)
+}
+
+bool bit_identical(double a, double b) {
+  // OK: bit-pattern compare is the sanctioned exactness test
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+}  // namespace imap

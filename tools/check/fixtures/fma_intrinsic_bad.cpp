@@ -1,0 +1,49 @@
+// Fixture: fused multiply-add intrinsics — banned everywhere in src/ because
+// fused results differ from mul-then-add and break cross-ISA bit-identity.
+// The integer madd and non-fused NEON forms must stay quiet. (No #if arch
+// gates here: the builtin frontend keeps only the first branch of an #if
+// chain, so each variant lives in its own unconditional function.)
+#include <cstddef>
+
+namespace imap {
+
+void avx2_kernel_stub(const float* a, const float* b, float* acc) {
+  __m256 va = _mm256_loadu_ps(a);
+  __m256 vb = _mm256_loadu_ps(b);
+  __m256 vc = _mm256_loadu_ps(acc);
+  vc = _mm256_fmadd_ps(va, vb, vc);   // BAD: fused multiply-add
+  vc = _mm256_fnmsub_ps(va, vb, vc);  // BAD: fused negated multiply-sub
+  _mm256_storeu_ps(acc, vc);
+}
+
+void avx512_masked_stub(const double* a, const double* b, double* acc) {
+  __m512d va = _mm512_loadu_pd(a);
+  __m512d vb = _mm512_loadu_pd(b);
+  __m512d vc = _mm512_loadu_pd(acc);
+  vc = _mm512_mask_fmadd_pd(va, 0xFF, vb, vc);  // BAD: masked fused form
+  _mm512_storeu_pd(acc, vc);
+}
+
+void neon_kernel_stub(const float* a, const float* b, float* acc) {
+  float32x4_t va = vld1q_f32(a);
+  float32x4_t vb = vld1q_f32(b);
+  float32x4_t vc = vld1q_f32(acc);
+  vc = vfmaq_f32(vc, va, vb);  // BAD: NEON vfma is fused
+  vc = vmlaq_f32(vc, va, vb);  // OK: vmla lowers to separate mul+add
+  vst1q_f32(acc, vc);
+}
+
+void libm_stub(const double* a, const double* b, double* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    acc[i] = std::fma(a[i], b[i], acc[i]);  // BAD: libm fma is fused too
+}
+
+void integer_madd_ok(const void* a, const void* b) {
+  // OK: _mm256_madd_epi16 is an exact integer op, not floating FMA
+  __m256i va = _mm256_loadu_si256((const __m256i*)a);
+  __m256i vb = _mm256_loadu_si256((const __m256i*)b);
+  __m256i prod = _mm256_madd_epi16(va, vb);
+  (void)prod;
+}
+
+}  // namespace imap

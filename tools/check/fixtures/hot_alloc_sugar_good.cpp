@@ -1,0 +1,28 @@
+// Fixture: the hoisted / non-allocating forms — zero hot-loop-alloc findings
+// even under a src/nn/ path.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imap {
+
+using Buffer = std::vector<double>;
+
+void hoisted_buffers(std::size_t n) {
+  Buffer row(n);             // OK: hoisted, reused across iterations
+  std::string label;         // OK: hoisted
+  for (std::size_t i = 0; i < n; ++i) {
+    row.assign(n, 0.0);      // OK: assign reuses capacity
+    label.assign("row");
+    const Buffer& view = row;          // OK: reference, no allocation
+    double acc = view[0];              // OK: scalar
+    auto count = row.size();           // OK: auto resolves to size_t
+    row[0] = acc + static_cast<double>(count);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    static std::vector<double> lut(n); // OK: static — allocated once
+    row[0] += lut.empty() ? 0.0 : lut[0];
+  }
+}
+
+}  // namespace imap

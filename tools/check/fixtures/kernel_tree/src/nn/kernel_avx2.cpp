@@ -1,0 +1,4 @@
+// Minimal stand-in for the AVX2 kernel TU (kernel-flags tests).
+namespace imap::kernel {
+double affine_avx2_stub(double w, double x, double b) { return w * x + b; }
+}  // namespace imap::kernel

@@ -1,0 +1,6 @@
+// Minimal stand-in for the int8 quantization TU (kernel-flags tests).
+namespace imap::kernel {
+int quantize_stub(double x, double scale) {
+  return static_cast<int>(x / scale);
+}
+}  // namespace imap::kernel

@@ -1,0 +1,27 @@
+// Fixture: banned nondeterminism sources in src/ — wall-clock seeds, libc
+// rand, std engines. Every marked line must trip nondet-source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace imap {
+
+unsigned wall_clock_seed() {
+  auto t = std::chrono::steady_clock::now();  // BAD: wall clock
+  (void)t;
+  return static_cast<unsigned>(time(nullptr));  // BAD: libc time
+}
+
+int libc_rand() {
+  srand(42);          // BAD: libc srand
+  return std::rand(); // BAD: libc rand (std-qualified)
+}
+
+double std_engine() {
+  std::random_device rd;  // BAD: hardware entropy
+  std::mt19937_64 gen(rd());  // BAD: std engine, not the project Rng
+  return static_cast<double>(gen());
+}
+
+}  // namespace imap

@@ -1,0 +1,42 @@
+// Fixture: shared-Rng draws reachable from parallel worker lambdas — every
+// marked site must trip rng-parallel.
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include <cstddef>
+#include <vector>
+
+namespace imap {
+
+// Draw through a helper: the TU-local call graph must still see it.
+Rng g_rng;
+double noisy() { return g_rng.uniform(0.0, 1.0); }
+
+void direct_draw(Rng& rng, std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = rng.normal();  // BAD: schedule-ordered draw on shared engine
+  });
+}
+
+void transitive_draw(std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = noisy();  // BAD: helper draws from the shared engine
+  });
+}
+
+void engine_keyed_split(Rng& rng, std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    // BAD: split is seed-pure but next_u64 advances the shared engine, so
+    // the stream key itself depends on the schedule.
+    Rng local = rng.split(rng.next_u64());
+    out[i] = local.uniform(0.0, 1.0);
+  });
+}
+
+void chunked_draw(Rng& rng, std::vector<double>& out) {
+  parallel_for_chunked(out.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      out[i] = rng.uniform(0.0, 1.0);  // BAD: chunked entry point too
+  });
+}
+
+}  // namespace imap

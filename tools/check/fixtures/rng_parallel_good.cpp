@@ -1,0 +1,37 @@
+// Fixture: the sanctioned slot-keyed patterns — zero rng-parallel findings.
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include <cstddef>
+#include <vector>
+
+namespace imap {
+
+void slot_keyed_split(Rng& rng, std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    Rng local = rng.split(i);  // OK: split is seed-pure, key is the slot
+    out[i] = local.uniform(0.0, 1.0);
+  });
+}
+
+void presplit_streams(Rng& rng, std::vector<double>& out) {
+  std::vector<Rng> streams;
+  streams.reserve(out.size());
+  for (std::size_t g = 0; g < out.size(); ++g)
+    streams.push_back(rng.split(g));  // OK: engine untouched, serial region
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = streams[i].uniform(0.0, 1.0);  // OK: per-slot stream
+  });
+}
+
+void serial_draws_are_fine(Rng& rng, std::vector<double>& out) {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = rng.normal();  // OK: serial loop, deterministic order
+}
+
+void pure_parallel_work(std::vector<double>& out) {
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;  // OK: no randomness at all
+  });
+}
+
+}  // namespace imap

@@ -1,0 +1,57 @@
+// Fixture: save_state/load_state bodies that cannot round-trip — member
+// order skew, kind skew, and a trailing write with no matching read. Each
+// class must produce exactly one serialize-symmetry finding.
+#include "common/serialize.h"
+#include <cstdint>
+
+namespace imap {
+
+class SwappedOrder {
+ public:
+  void save_state(BinaryWriter& w) const {
+    w.write_u64(n_);
+    w.write_f64(mean_);  // BAD: load reads m2_ at this position
+    w.write_f64(m2_);
+  }
+  void load_state(BinaryReader& r) {
+    n_ = r.read_u64();
+    m2_ = r.read_f64();
+    mean_ = r.read_f64();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+class KindSkew {
+ public:
+  void save_state(BinaryWriter& w) const {
+    w.write_u64(count_);  // BAD: load reads f64 at this position
+    w.write_f64(scale_);
+  }
+  void load_state(BinaryReader& r) {
+    count_ = static_cast<std::uint64_t>(r.read_f64());
+    scale_ = r.read_f64();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double scale_ = 1.0;
+};
+
+class TrailingWrite {
+ public:
+  void save_state(BinaryWriter& w) const {
+    w.write_f64(lo_);
+    w.write_f64(hi_);  // BAD: load never reads a second field
+  }
+  void load_state(BinaryReader& r) { lo_ = r.read_f64(); }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace imap

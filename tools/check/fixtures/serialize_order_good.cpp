@@ -1,0 +1,59 @@
+// Fixture: round-trip-correct serialization — symmetric member order,
+// temp-then-move loads, and named sections (cross-section order is free
+// because sections are random-access by name). Zero findings.
+#include "common/serialize.h"
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace imap {
+
+class Symmetric {
+ public:
+  void save_state(BinaryWriter& w) const {
+    w.write_u64(n_);
+    w.write_f64(mean_);
+    w.write_f64(m2_);
+  }
+  void load_state(BinaryReader& r) {
+    n_ = r.read_u64();
+    mean_ = r.read_f64();
+    m2_ = r.read_f64();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+class TempThenMove {
+ public:
+  void save_state(BinaryWriter& w) const { w.write_vec_f64(data_); }
+  void load_state(BinaryReader& r) {
+    auto data = r.read_vec_f64();  // OK: temp resolves to data_ via move
+    data_ = std::move(data);
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+class Sectioned {
+ public:
+  void save_state(BinaryWriter& w) const {
+    w.section("stats").write_f64(mean_);
+    w.section("meta").write_u64(n_);
+  }
+  void load_state(BinaryReader& r) {
+    // OK: opposite section order — sections are random-access by name
+    n_ = r.section("meta").read_u64();
+    mean_ = r.section("stats").read_f64();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+};
+
+}  // namespace imap

@@ -1,0 +1,434 @@
+#!/usr/bin/env python3
+"""Self-test matrix for imap_check (tools/check).
+
+Mirrors the PR-2 lint harness (tools/lint/test_imap_lint.py): every check is
+pinned by a good/bad fixture pair under tools/check/fixtures/, suppression
+and allowlist semantics are exercised end-to-end, the CLI exit-code contract
+(0 clean / 1 findings / 2 usage-or-database error) is verified through
+subprocess runs, and a regression class asserts that imap_check and the
+regex linter agree fire/not-fire on the rules they both implement, using the
+*linter's own* fixtures as the shared corpus.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures")
+KERNEL_TREE = os.path.join(FIXTURES, "kernel_tree")
+LINT_DIR = os.path.join(REPO, "tools", "lint")
+LINT_FIXTURES = os.path.join(LINT_DIR, "fixtures")
+
+sys.path.insert(0, HERE)
+sys.path.insert(0, LINT_DIR)
+
+import checks      # noqa: E402
+import imap_check  # noqa: E402
+import imap_lint   # noqa: E402
+
+
+def check_fixture(filename, relpath, fixdir=FIXTURES, frontend="builtin"):
+    """Analyze one fixture as if it lived at `relpath` in a scratch tree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        dst = os.path.join(tmp, relpath)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copy(os.path.join(fixdir, filename), dst)
+        findings, used = imap_check.analyze_file(
+            tmp, relpath, frontend, None, None)
+    return findings
+
+
+def check_snippet(code, relpath):
+    """Analyze an inline snippet at `relpath` in a scratch tree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        dst = os.path.join(tmp, relpath)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        with open(dst, "w", encoding="utf-8") as fh:
+            fh.write(code)
+        findings, _ = imap_check.analyze_file(tmp, relpath, "builtin",
+                                              None, None)
+    return findings
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lines_of(findings, rule=None):
+    return sorted(f.line for f in findings if rule is None or f.rule == rule)
+
+
+class TestRngParallel(unittest.TestCase):
+    def test_bad_fixture_flags_every_annotated_site(self):
+        fs = check_fixture("rng_parallel_bad.cpp",
+                           "src/rl/rng_parallel_bad.cpp")
+        self.assertEqual(rules_of(fs), ["rng-parallel"])
+        # direct draw, transitive helper, engine-keyed split (draw + key),
+        # unkeyed stream, chunked entry point
+        self.assertEqual(lines_of(fs), [16, 22, 30, 30, 31, 38])
+
+    def test_good_fixture_is_clean(self):
+        fs = check_fixture("rng_parallel_good.cpp",
+                           "src/rl/rng_parallel_good.cpp")
+        self.assertEqual(fs, [])
+
+
+class TestHotLoopAlloc(unittest.TestCase):
+    def test_bad_fixture_resolves_sugar(self):
+        fs = check_fixture("hot_alloc_sugar_bad.cpp",
+                           "src/nn/hot_alloc_sugar_bad.cpp")
+        self.assertEqual(rules_of(fs), ["hot-loop-alloc"])
+        # alias, typedef, auto-construction, auto-via-return, std::string
+        self.assertEqual(lines_of(fs), [17, 18, 19, 20, 21])
+
+    def test_good_fixture_is_clean(self):
+        fs = check_fixture("hot_alloc_sugar_good.cpp",
+                           "src/nn/hot_alloc_sugar_good.cpp")
+        self.assertEqual(fs, [])
+
+    def test_cold_path_is_exempt(self):
+        fs = check_fixture("hot_alloc_sugar_bad.cpp",
+                           "src/common/hot_alloc_sugar_bad.cpp")
+        self.assertEqual(lines_of(fs, "hot-loop-alloc"), [])
+
+
+class TestFloatEq(unittest.TestCase):
+    def test_bad_fixture_types_computed_expressions(self):
+        fs = check_fixture("float_eq_bad.cpp", "src/common/float_eq_bad.cpp")
+        self.assertEqual(rules_of(fs), ["float-eq"])
+        # computed/computed, alias, call results, loop header
+        self.assertEqual(lines_of(fs), [13, 17, 21, 23])
+
+    def test_good_fixture_is_clean(self):
+        fs = check_fixture("float_eq_good.cpp",
+                           "src/common/float_eq_good.cpp")
+        self.assertEqual(fs, [])
+
+
+class TestSerializeSymmetry(unittest.TestCase):
+    def test_bad_fixture_one_finding_per_class(self):
+        fs = check_fixture("serialize_order_bad.cpp",
+                           "src/common/serialize_order_bad.cpp")
+        self.assertEqual(rules_of(fs), ["serialize-symmetry"])
+        # SwappedOrder (order skew), KindSkew (u64 vs f64), TrailingWrite
+        self.assertEqual(lines_of(fs), [18, 35, 48])
+        msgs = " | ".join(f.message for f in fs)
+        self.assertIn("mean_", msgs)
+        self.assertIn("m2_", msgs)
+
+    def test_good_fixture_is_clean(self):
+        fs = check_fixture("serialize_order_good.cpp",
+                           "src/common/serialize_order_good.cpp")
+        self.assertEqual(fs, [])
+
+
+class TestNondetSource(unittest.TestCase):
+    def test_bad_fixture_flags_every_source(self):
+        fs = check_fixture("nondet_source_bad.cpp",
+                           "src/common/nondet_source_bad.cpp")
+        self.assertEqual(rules_of(fs), ["nondet-source"])
+        # chrono now, time, srand, std::rand, random_device, mt19937_64
+        self.assertEqual(lines_of(fs), [11, 13, 17, 18, 22, 23])
+
+    def test_rng_home_is_exempt(self):
+        fs = check_fixture("nondet_source_bad.cpp", "src/common/rng.cpp")
+        self.assertEqual(lines_of(fs, "nondet-source"), [])
+
+
+class TestFmaIntrinsic(unittest.TestCase):
+    def test_bad_fixture_flags_fused_forms_only(self):
+        fs = check_fixture("fma_intrinsic_bad.cpp",
+                           "src/nn/fma_intrinsic_bad.cpp")
+        self.assertEqual(rules_of(fs), ["fma-intrinsic"])
+        # fmadd, fnmsub, masked avx512 form, NEON vfma, libm fma;
+        # integer madd and non-fused vmla stay quiet
+        self.assertEqual(lines_of(fs), [14, 15, 23, 31, 38])
+
+    def test_outside_src_is_exempt(self):
+        fs = check_fixture("fma_intrinsic_bad.cpp",
+                           "tests/fma_intrinsic_bad.cpp")
+        self.assertEqual(lines_of(fs, "fma-intrinsic"), [])
+
+
+def kernel_compdb(template, root):
+    with open(os.path.join(KERNEL_TREE, template), encoding="utf-8") as fh:
+        return json.loads(fh.read().replace("@ROOT@", root))
+
+
+class TestKernelFlags(unittest.TestCase):
+    def test_good_database_satisfies_x86_contract(self):
+        db = kernel_compdb("compile_commands.good.json.in", "/kt")
+        self.assertEqual(checks.check_kernel_flags(db, "/kt", "x86_64"), [])
+
+    def test_bad_database_violations(self):
+        db = kernel_compdb("compile_commands.bad.json.in", "/kt")
+        fs = checks.check_kernel_flags(db, "/kt", "x86_64")
+        self.assertEqual(rules_of(fs), ["kernel-flags"])
+        msgs = {f.path: f.message for f in fs}
+        self.assertIn("missing required flag `-mno-fma`",
+                      msgs["src/nn/kernel_scalar.cpp"])
+        self.assertIn("undeclared ISA flag `-mavx512f`",
+                      msgs["src/nn/kernel_avx2.cpp"])
+        self.assertIn("contraction explicitly enabled",
+                      msgs["src/nn/kernel_avx512.cpp"])
+
+    def test_missing_kernel_entry_is_a_violation(self):
+        db = kernel_compdb("compile_commands.good.json.in", "/kt")
+        db = [e for e in db if "quant" not in e["file"]]
+        fs = checks.check_kernel_flags(db, "/kt", "x86_64")
+        self.assertTrue(any("no compile_commands.json entry" in f.message
+                            for f in fs))
+
+    def test_arm_contract_does_not_require_mno_fma(self):
+        db = [{
+            "directory": "/kt",
+            "command": "g++ -std=c++17 -O2 -ffp-contract=off "
+                       "-c src/nn/kernel_scalar.cpp -o k.o",
+            "file": "src/nn/kernel_scalar.cpp",
+        }, {
+            "directory": "/kt",
+            "command": "g++ -std=c++17 -O2 -ffp-contract=off "
+                       "-c src/nn/kernel_neon.cpp -o n.o",
+            "file": "src/nn/kernel_neon.cpp",
+        }, {
+            "directory": "/kt",
+            "command": "g++ -std=c++17 -O2 -ffp-contract=off "
+                       "-c src/nn/quant.cpp -o q.o",
+            "file": "src/nn/quant.cpp",
+        }]
+        self.assertEqual(checks.check_kernel_flags(db, "/kt", "aarch64"), [])
+
+
+class TestSuppression(unittest.TestCase):
+    LOOP_ALLOC = (
+        "#include <vector>\n"
+        "void f() {\n"
+        "  for (int i = 0; i < 3; ++i) {\n"
+        "    std::vector<int> v(3);  {}\n"
+        "    v[0] = i;\n"
+        "  }\n"
+        "}\n")
+
+    def test_imap_check_allow(self):
+        code = self.LOOP_ALLOC.replace("{}", "// imap-check: "
+                                             "allow(hot-loop-alloc)")
+        self.assertEqual(check_snippet(code, "src/nn/x.cpp"), [])
+
+    def test_imap_lint_allow_is_honored_for_shared_rules(self):
+        code = self.LOOP_ALLOC.replace("{}", "// imap-lint: "
+                                             "allow(hot-loop-alloc)")
+        self.assertEqual(check_snippet(code, "src/nn/x.cpp"), [])
+
+    def test_lint_rule_alias_maps_to_check_rule(self):
+        # the linter calls its nondet rule `rng-discipline`; an existing
+        # annotation under that name must silence nondet-source too
+        code = ("#include <cstdlib>\n"
+                "void f() {\n"
+                "  srand(42);  // imap-lint: allow(rng-discipline)\n"
+                "}\n")
+        self.assertEqual(check_snippet(code, "src/rl/x.cpp"), [])
+
+    def test_unsuppressed_site_still_fires(self):
+        fs = check_snippet(self.LOOP_ALLOC.replace("{}", ""), "src/nn/x.cpp")
+        self.assertEqual(rules_of(fs), ["hot-loop-alloc"])
+
+
+class TestAllowlist(unittest.TestCase):
+    def test_entries_filter_by_rule_and_glob(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "allow.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("# comment\n"
+                         "hot-loop-alloc  src/nn/legacy_*.cpp\n")
+            entries = imap_check.load_allowlist(path)
+        self.assertTrue(imap_check.allowed(
+            entries, "hot-loop-alloc", "src/nn/legacy_gemm.cpp"))
+        self.assertFalse(imap_check.allowed(
+            entries, "hot-loop-alloc", "src/nn/mlp.cpp"))
+        self.assertFalse(imap_check.allowed(
+            entries, "float-eq", "src/nn/legacy_gemm.cpp"))
+
+    def test_malformed_entry_is_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "allow.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("not-a-real-rule src/nn/x.cpp\n")
+            with open(os.devnull, "w") as devnull:
+                stderr, sys.stderr = sys.stderr, devnull
+                try:
+                    with self.assertRaises(SystemExit) as cm:
+                        imap_check.load_allowlist(path)
+                finally:
+                    sys.stderr = stderr
+        self.assertEqual(cm.exception.code, 2)
+
+
+def run_cli(args, cwd=None):
+    return subprocess.run(
+        [sys.executable, os.path.join(HERE, "imap_check.py")] + args,
+        capture_output=True, text=True, cwd=cwd)
+
+
+class TestCli(unittest.TestCase):
+    def scratch_tree(self, tmp):
+        dst = os.path.join(tmp, "src", "nn")
+        os.makedirs(dst, exist_ok=True)
+        shutil.copy(os.path.join(FIXTURES, "hot_alloc_sugar_bad.cpp"), dst)
+        shutil.copy(os.path.join(FIXTURES, "hot_alloc_sugar_good.cpp"), dst)
+
+    def test_exit_1_on_findings(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.scratch_tree(tmp)
+            r = run_cli(["--root", tmp, "--compdb", "none",
+                         "--frontend", "builtin",
+                         "src/nn/hot_alloc_sugar_bad.cpp"])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("[hot-loop-alloc]", r.stdout)
+        self.assertIn("fix-it:", r.stdout)
+
+    def test_exit_0_on_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.scratch_tree(tmp)
+            r = run_cli(["--root", tmp, "--compdb", "none",
+                         "--frontend", "builtin",
+                         "src/nn/hot_alloc_sugar_good.cpp"])
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("0 finding(s)", r.stdout)
+
+    def test_compdb_none_requires_paths(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.scratch_tree(tmp)
+            r = run_cli(["--root", tmp, "--compdb", "none"])
+        self.assertEqual(r.returncode, 2)
+
+    def test_missing_database_is_fatal_with_recipe(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.scratch_tree(tmp)
+            r = run_cli(["--root", tmp])
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("compilation database not found", r.stderr)
+        self.assertIn("cmake -B build", r.stderr)
+
+    def test_stale_database_unlisted_tu_is_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.scratch_tree(tmp)
+            os.makedirs(os.path.join(tmp, "build"), exist_ok=True)
+            with open(os.path.join(tmp, "build", "compile_commands.json"),
+                      "w", encoding="utf-8") as fh:
+                json.dump([], fh)
+            r = run_cli(["--root", tmp])
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("stale compilation database", r.stderr)
+        self.assertIn("hot_alloc_sugar_bad.cpp", r.stderr)
+
+    def test_stale_database_vanished_file_is_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            db = [{"directory": tmp, "file": "src/nn/gone.cpp",
+                   "command": "g++ -c src/nn/gone.cpp"}]
+            os.makedirs(os.path.join(tmp, "build"), exist_ok=True)
+            os.makedirs(os.path.join(tmp, "src"), exist_ok=True)
+            with open(os.path.join(tmp, "build", "compile_commands.json"),
+                      "w", encoding="utf-8") as fh:
+                json.dump(db, fh)
+            r = run_cli(["--root", tmp])
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no longer exists", r.stderr)
+
+    @unittest.skipUnless(imap_check.machine_family() == "x86",
+                         "kernel tree fixture carries the x86 contract")
+    def test_kernel_tree_end_to_end(self):
+        for template, want in (("compile_commands.good.json.in", 0),
+                               ("compile_commands.bad.json.in", 1)):
+            with tempfile.TemporaryDirectory() as tmp:
+                shutil.copytree(os.path.join(KERNEL_TREE, "src"),
+                                os.path.join(tmp, "src"))
+                os.makedirs(os.path.join(tmp, "build"), exist_ok=True)
+                db = kernel_compdb(template, tmp)
+                with open(os.path.join(tmp, "build",
+                                       "compile_commands.json"),
+                          "w", encoding="utf-8") as fh:
+                    json.dump(db, fh)
+                r = run_cli(["--root", tmp, "--frontend", "builtin"])
+            self.assertEqual(r.returncode, want,
+                             f"{template}: {r.stdout}\n{r.stderr}")
+            if want:
+                self.assertIn("[kernel-flags]", r.stdout)
+
+
+class TestLintAgreement(unittest.TestCase):
+    """imap_check and the regex linter must agree fire/not-fire on the rules
+    they both implement, over the *linter's* fixture corpus."""
+
+    # linter rule name -> imap_check rule name
+    SHARED = {
+        "float-eq": "float-eq",
+        "hot-loop-alloc": "hot-loop-alloc",
+        "serialize-symmetry": "serialize-symmetry",
+        "rng-discipline": "nondet-source",
+    }
+
+    def verdicts(self, filename, relpath):
+        with open(os.path.join(LINT_FIXTURES, filename),
+                  encoding="utf-8") as fh:
+            text = fh.read()
+        lint_rules = {f.rule for f in imap_lint.lint_file(relpath, text)}
+        chk_rules = set(rules_of(check_fixture(filename, relpath,
+                                               fixdir=LINT_FIXTURES)))
+        lint_shared = {self.SHARED[r] for r in lint_rules if r in self.SHARED}
+        chk_shared = {r for r in chk_rules if r in set(self.SHARED.values())}
+        return lint_shared, chk_shared
+
+    def assert_agree(self, filename, relpath, expect):
+        lint_shared, chk_shared = self.verdicts(filename, relpath)
+        self.assertEqual(lint_shared, expect,
+                         f"linter verdict drifted on {filename}")
+        self.assertEqual(chk_shared, expect,
+                         f"imap_check disagrees with linter on {filename}")
+
+    def test_float_eq_fixture(self):
+        self.assert_agree("bad_float_eq.cpp", "src/core/bad_float_eq.cpp",
+                          {"float-eq"})
+
+    def test_hot_alloc_fixture(self):
+        self.assert_agree("bad_hot_alloc.cpp", "src/nn/bad_hot_alloc.cpp",
+                          {"hot-loop-alloc"})
+
+    def test_rng_fixture(self):
+        self.assert_agree("bad_rng.cpp", "src/core/bad_rng.cpp",
+                          {"nondet-source"})
+
+    def test_serialize_fixture(self):
+        self.assert_agree("bad_serialize_asym.h",
+                          "src/rl/bad_serialize_asym.h",
+                          {"serialize-symmetry"})
+
+    def test_clean_fixture(self):
+        self.assert_agree("clean.cpp", "src/core/clean.cpp", set())
+
+
+@unittest.skipUnless(imap_check.find_clang(), "no clang++ on this machine")
+class TestClangFrontend(unittest.TestCase):
+    def test_clang_overlay_matches_builtin_verdicts(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            rel = "src/common/float_eq_bad.cpp"
+            dst = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(dst), exist_ok=True)
+            shutil.copy(os.path.join(FIXTURES, "float_eq_bad.cpp"), dst)
+            entry = {"directory": tmp,
+                     "command": f"g++ -std=c++17 -c {rel} -o x.o",
+                     "file": rel}
+            fs, used = imap_check.analyze_file(
+                tmp, rel, "clang", entry, imap_check.find_clang())
+        self.assertEqual(used, "clang")
+        self.assertEqual(rules_of(fs), ["float-eq"])
+        self.assertEqual(lines_of(fs), [13, 17, 21, 23])
+
+
+if __name__ == "__main__":
+    unittest.main()

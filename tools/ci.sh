@@ -26,6 +26,13 @@ stage "lint"
 python3 tools/lint/imap_lint.py --root . src bench tests || exit 1
 python3 tools/lint/test_imap_lint.py || exit 1
 
+stage "check.ast (semantic determinism analyzer + build-flag contract)"
+# Hard-fails (exit 2) when compile_commands.json is missing or stale — the
+# kernel-flags contract is checked against what the build actually does.
+python3 tools/check/imap_check.py --root . \
+  --compdb "${BUILD_DIR}/compile_commands.json" || exit 1
+python3 tools/check/test_imap_check.py || exit 1
+
 stage "tier-1 ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" || exit 1
 
