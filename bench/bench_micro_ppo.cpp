@@ -29,6 +29,7 @@
 #include <sstream>
 
 #include "attack/threat_model.h"
+#include "common/proc.h"
 #include "common/thread_pool.h"
 #include "env/registry.h"
 #include "grid_runner.h"
@@ -186,13 +187,14 @@ BENCHMARK(BM_PpoIterationParallel)
     ->Unit(benchmark::kMillisecond);
 
 /// Run `iters` PPO iterations with the parallel options; returns (seconds,
-/// final mean_return) so the serial/pool traces can be compared.
-std::pair<double, double> probe_run(int iters) {
+/// final mean_return) so the serial/pool/fabric traces can be compared.
+std::pair<double, double> probe_run(int iters, int num_procs = 1) {
   auto env = env::make_env("Hopper");
   rl::PpoOptions opts;
   opts.steps_per_iter = 2048;
   opts.num_workers = 4;
   opts.grad_shards = 0;
+  opts.num_procs = num_procs;
   rl::PpoTrainer trainer(*env, opts, Rng(7));
   const auto t0 = std::chrono::steady_clock::now();
   double last = 0.0;
@@ -205,7 +207,9 @@ std::pair<double, double> probe_run(int iters) {
 
 void speedup_probe() {
   constexpr int kIters = 3;
-  double serial_s = 0.0, pool_s = 0.0, serial_ret = 0.0, pool_ret = 0.0;
+  constexpr int kProcs = 2;
+  double serial_s = 0.0, pool_s = 0.0, fabric_s = 0.0;
+  double serial_ret = 0.0, pool_ret = 0.0, fabric_ret = 0.0;
   {
     ScopedSerial serial;
     std::tie(serial_s, serial_ret) = probe_run(kIters);
@@ -215,22 +219,34 @@ void speedup_probe() {
     ScopedPool scope(pool);
     std::tie(pool_s, pool_ret) = probe_run(kIters);
   }
+  {
+    // Process fabric leg: same training, collection sharded across forked
+    // collector processes (threads pinned serial so the comparison isolates
+    // the process layer).
+    ScopedSerial serial;
+    std::tie(fabric_s, fabric_ret) = probe_run(kIters, kProcs);
+  }
   const double speedup = pool_s > 0.0 ? serial_s / pool_s : 1.0;
-  const bool identical = serial_ret == pool_ret;
+  const double fabric_speedup = fabric_s > 0.0 ? serial_s / fabric_s : 1.0;
+  const bool identical = serial_ret == pool_ret && serial_ret == fabric_ret;
 
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
   os << "{\"iters\": " << kIters << ", \"steps_per_iter\": 2048"
-     << ", \"workers\": 4, \"serial_s\": " << serial_s
-     << ", \"pool4_s\": " << pool_s << ", \"speedup\": " << speedup
+     << ", \"workers\": 4, \"procs\": " << kProcs
+     << ", \"serial_s\": " << serial_s << ", \"pool4_s\": " << pool_s
+     << ", \"fabric2_s\": " << fabric_s << ", \"speedup\": " << speedup
+     << ", \"fabric_speedup\": " << fabric_speedup
      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ", \"traces_identical\": " << (identical ? "true" : "false") << "}";
   bench::write_parallel_report_entry("bench_micro_ppo", os.str());
   std::cerr << "bench_micro_ppo speedup probe: serial " << serial_s
             << "s vs 4-thread pool " << pool_s << "s (" << speedup
-            << "x on " << std::thread::hardware_concurrency()
-            << " hardware threads); traces "
+            << "x) vs " << kProcs << "-proc fabric " << fabric_s << "s ("
+            << fabric_speedup << "x) on "
+            << std::thread::hardware_concurrency()
+            << " hardware threads; traces "
             << (identical ? "identical" : "DIVERGED")
             << " -> BENCH_parallel.json\n";
 }

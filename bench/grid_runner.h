@@ -8,6 +8,10 @@
 // independent of scheduling and of IMAP_THREADS. Victim checkpoints are
 // pre-trained serially (deduped by training-env) and duplicate cells are
 // coalesced by cache key, so concurrent cells never race on a cache file.
+//
+// With IMAP_PROCS > 1 the grid is instead handed to core::DagScheduler,
+// which executes the victim→attack dependency DAG on a pool of worker
+// processes (crash-recovering, same results — see core/experiment_dag.h).
 
 #pragma once
 

@@ -1,5 +1,7 @@
 #include "common/serialize.h"
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -45,12 +47,15 @@ void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
   append_pod(buf, v);
 }
 
-/// Write `bytes` to `<path>.tmp`, then atomically rename onto `path`, so a
-/// crash mid-write can only ever leave the old file (or a stray .tmp), never
-/// a torn checkpoint.
+/// Write `bytes` to a pid-unique `<path>.tmp.<pid>`, then atomically rename
+/// onto `path`, so a crash mid-write can only ever leave the old file (or a
+/// stray tmp), never a torn checkpoint. The pid suffix keeps concurrent
+/// fabric processes racing on the same artifact from scribbling over each
+/// other's temporary — last rename wins with a complete file either way.
 bool write_file_atomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return false;
@@ -101,6 +106,10 @@ void BinaryWriter::write_vec(const std::vector<double>& v) {
   write_u64(v.size());
   const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
   buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+}
+
+void BinaryWriter::append_raw(const std::uint8_t* p, std::size_t n) {
+  append_bytes(buf_, p, n);
 }
 
 bool BinaryWriter::save(const std::string& path) const {

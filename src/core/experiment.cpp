@@ -10,6 +10,7 @@
 #include "attack/random_attack.h"
 #include "attack/sa_rl.h"
 #include "common/check.h"
+#include "common/proc.h"
 #include "env/registry.h"
 
 namespace imap::core {
@@ -360,6 +361,15 @@ AttackOutcome ExperimentRunner::run(const AttackPlan& plan) {
   const auto key = cache_key(plan, steps, episodes);
   AttackOutcome cached;
   cached.plan = plan;
+  if (load_cached(key, cached)) return cached;
+
+  // Per-cell lock: two fabric processes racing on the same plan serialize,
+  // and the second finds the first's cached result on re-check. Held for
+  // the whole run — a crashed holder's lock is stolen (see proc::FileLock)
+  // and the replacement resumes from the crashed run's snapshot. Locks live
+  // in their own directory: results/ existing means a result was cached.
+  std::filesystem::create_directories(cfg_.zoo_dir + "/locks");
+  proc::FileLock lock(cfg_.zoo_dir + "/locks/" + key + ".lock");
   if (load_cached(key, cached)) return cached;
 
   AttackOutcome out =

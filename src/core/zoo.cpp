@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/check.h"
+#include "common/proc.h"
 #include "defense/victim_trainer.h"
 #include "env/multiagent.h"
 #include "env/registry.h"
@@ -65,6 +66,11 @@ nn::GaussianPolicy Zoo::victim(const std::string& env_name,
   // their dense counterpart (SparseHopper deploys the Hopper victim, etc.).
   const auto path = path_for(training_env->name(), defense);
   if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  // Concurrent fabric processes wanting the same victim serialize here; the
+  // loser of the race finds the winner's finished checkpoint on re-check
+  // instead of training a duplicate.
+  proc::FileLock lock(path + ".lock");
+  if (auto cached = nn::load_policy(path)) return std::move(*cached);
   defense::DefenseOptions opts;
   opts.eps = env::spec(env_name).epsilon;
   opts.reg_coef = 1.0;
@@ -101,6 +107,8 @@ nn::GaussianPolicy Zoo::victim(const std::string& env_name,
 
 nn::GaussianPolicy Zoo::game_victim(const std::string& game_name) {
   const auto path = path_for(game_name, "PPO");
+  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  proc::FileLock lock(path + ".lock");
   if (auto cached = nn::load_policy(path)) return std::move(*cached);
 
   const auto game = env::make_multiagent_env(game_name);

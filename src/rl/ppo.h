@@ -14,6 +14,10 @@
 #include "rl/rollout.h"
 #include "rl/vec_env.h"
 
+namespace imap::proc {
+class Channel;
+}  // namespace imap::proc
+
 namespace imap::rl {
 
 struct PpoOptions {
@@ -54,6 +58,16 @@ struct PpoOptions {
   /// identical for any thread count. 1 = legacy serial accumulation
   /// (bit-identical to older builds); 0 = pick from the minibatch size.
   int grad_shards = 1;
+
+  /// Fabric processes for sharded rollout collection and gradient-shard
+  /// reduction. 0 = read IMAP_PROCS (unset = 1, the in-process path). The
+  /// numeric trace is bit-identical for ANY process count: slot RNG streams
+  /// are keyed by the global slot index and gradient bits by grad_shards
+  /// alone, so processes only change *who* computes each contiguous shard,
+  /// never what is computed. Collection shards across min(procs, workers)
+  /// persistent forked collectors; updates shard across min(procs,
+  /// grad_shards) per-update gradient workers when grad_shards > 1.
+  int num_procs = 0;
 
   /// Run the minibatch update through the batched nn kernels (stacked
   /// observation Batch + GEMM-style forward/backward on a reusable
@@ -102,6 +116,11 @@ class PpoTrainer {
       const std::vector<std::size_t>&)>;
 
   PpoTrainer(const Env& proto, PpoOptions opts, Rng rng);
+  /// Joins any live fabric collector processes (out-of-line: Fabric is an
+  /// incomplete type here).
+  ~PpoTrainer();
+  PpoTrainer(const PpoTrainer&) = delete;
+  PpoTrainer& operator=(const PpoTrainer&) = delete;
 
   /// One sampling + optimizing stage.
   IterStats iterate();
@@ -183,6 +202,25 @@ class PpoTrainer {
   int shard_count() const;
   void ensure_shards(int n_shards);
 
+  // --- multi-process rollout fabric (ppo.cpp; see DESIGN.md, Fabric) ---
+  struct Fabric;
+  /// Resolved fabric width: opts_.num_procs, or IMAP_PROCS when it is 0.
+  int proc_count() const;
+  void ensure_fabric(int procs);
+  /// Pull the authoritative slot state (RNG streams, in-flight episodes)
+  /// from the last collector replies back into workers_.
+  void sync_fabric_state();
+  /// Sync, then join every collector. Safe to call with no fabric live.
+  void shutdown_fabric();
+  void collect_sharded(RolloutBuffer& buf, int procs);
+  /// Child-side collector loop over workers_[w_lo, w_hi).
+  void collector_body(proc::Channel& ch, std::size_t w_lo, std::size_t w_hi);
+  /// Child-side gradient-shard loop over shards [s_lo, s_hi) of n_shards.
+  void grad_shard_body(proc::Channel& ch, const RolloutBuffer& buf,
+                       const std::vector<double>& adv, const GaeResult& gae_e,
+                       const GaeResult* gae_i, int s_lo, int s_hi,
+                       int n_shards) const;
+
   /// Accumulate policy/value gradients and loss partials for
   /// order[b..e) into the given networks. Shared by the serial path
   /// (master networks) and the sharded path (scratch clones); the math and
@@ -219,6 +257,8 @@ class PpoTrainer {
   std::vector<int> slot_budgets_;        ///< per-global-slot step budgets
   std::vector<ShardScratch> shards_;     ///< gradient shards (lazy)
   RolloutBuffer rollout_;                ///< reused across iterations
+  std::unique_ptr<Fabric> fabric_;       ///< live collector fleet (lazy)
+  RolloutBuffer shard_rx_;               ///< decode staging for shard frames
 
   // Hot-path scratch reused across update() calls (capacity only grows).
   UpdateScratch scratch_;                ///< serial-path minibatch buffers

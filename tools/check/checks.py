@@ -35,6 +35,12 @@ Rules:
                       declared contraction + ISA flags, and nothing more.
   fma-intrinsic       FMA intrinsics / std::fma fuse mul+add into a single
                       rounding and are banned outside allowlisted sites.
+  ipc-framing         Raw descriptor I/O of in-memory objects
+                      (`write(fd, &hdr, sizeof hdr)` and friends) is banned
+                      in src/: struct layout is ABI- and padding-dependent
+                      and a torn write has no integrity check. Cross-process
+                      messages go through the Archive section API framed by
+                      proc::Channel (the sanctioned home, src/common/proc.*).
 """
 
 from __future__ import annotations
@@ -94,6 +100,12 @@ FIXITS = {
         "fused multiply-add performs one rounding where the scalar reference "
         "performs two; use separate mul/add intrinsics (see nn/kernel_*.cpp) "
         "or allowlist a deliberately-fused site"
+    ),
+    "ipc-framing": (
+        "serialize the object into an Archive section (BinaryWriter) and "
+        "move it with proc::Channel::send/recv — framed, versioned and "
+        "CRC-checked; raw `write(fd, &obj, sizeof obj)` ships padding bytes "
+        "and can tear mid-frame"
     ),
 }
 
@@ -324,6 +336,70 @@ def check_nondet_source(model, relpath: str, home_exempt=()):
             findings.append(Finding(
                 model.path, c.line, "nondet-source",
                 f"wall-clock read `{c.recv}now()`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ipc-framing
+# ---------------------------------------------------------------------------
+
+# Descriptor-style I/O: (fd, buf, n[, flags]) — buffer is argument 1.
+IPC_FD_WRITERS = {"write", "pwrite", "send", "writev"}
+IPC_FD_READERS = {"read", "pread", "recv", "readv"}
+# FILE*-style I/O: (buf, size, nmemb, stream) — buffer is argument 0.
+IPC_FILE_CALLEES = {"fwrite", "fread"}
+
+_ADDR_OF_RE = re.compile(
+    r"^\s*(?:\(\s*(?:const\s+)?void\s*\*\s*\)\s*)?&")
+
+
+def _is_raw_object_buffer(arg: str) -> bool:
+    """True when the buffer argument is the address of an in-memory object
+    (possibly cast): `&hdr`, `(void*)&hdr`, `reinterpret_cast<...>(&hdr)`."""
+    if _ADDR_OF_RE.match(arg):
+        return True
+    return "reinterpret_cast" in arg and "&" in arg
+
+
+def check_ipc_framing(model, relpath: str, home_exempt=()):
+    """Raw descriptor I/O of in-memory objects in src/.
+
+    Flags free / ::-qualified write/read/send/recv/pwrite/pread/fwrite/fread
+    (and the vectored forms) whose buffer argument takes an object's address
+    or whose size is computed with sizeof — the `write(fd, &msg, sizeof msg)`
+    shape. Byte-pointer plumbing (`write(fd, p + off, n)`) is not flagged;
+    that is what the sanctioned framing layer itself does.
+    """
+    findings = []
+    if not relpath.startswith("src/") or relpath in home_exempt:
+        return findings
+    for c in model.calls:
+        # Bare or ::-qualified only (the receiver text may carry a leading
+        # statement keyword, e.g. `return ::read(...)` → "return::");
+        # obj.read()/obj.send() is somebody's member API.
+        if c.recv.endswith("::"):
+            if c.recv[:-2].strip() not in ("", "return"):
+                continue
+        elif c.recv != "":
+            continue
+        fd_style = c.callee in IPC_FD_WRITERS or c.callee in IPC_FD_READERS
+        file_style = c.callee in IPC_FILE_CALLEES
+        if not (fd_style or file_style):
+            continue
+        if len(c.args) < 2:
+            continue
+        buf = c.args[0] if file_style else c.args[1]
+        raw_buf = _is_raw_object_buffer(buf)
+        sized = any("sizeof" in a for a in c.args)
+        if not (raw_buf or sized):
+            continue
+        writer = c.callee in IPC_FD_WRITERS or c.callee == "fwrite"
+        what = ("address-of buffer" if raw_buf else "sizeof-sized buffer")
+        findings.append(Finding(
+            model.path, c.line, "ipc-framing",
+            f"raw struct {'write' if writer else 'read'} "
+            f"`{c.recv}{c.callee}(...)` with {what} — cross-process "
+            "messages must be Archive sections framed by proc::Channel"))
     return findings
 
 

@@ -1,0 +1,32 @@
+// Fixture: raw struct I/O on descriptors — the exact shapes the ipc-framing
+// rule bans in src/. Every marked line must trip ipc-framing.
+#include <cstdio>
+#include <unistd.h>
+
+namespace imap {
+
+struct WireHeader {
+  unsigned magic;
+  unsigned long long payload_len;
+};
+
+void send_header(int fd, const WireHeader& h) {
+  ::write(fd, &h, sizeof(h));                          // BAD: &struct+sizeof
+  write(fd, reinterpret_cast<const char*>(&h), 16);    // BAD: cast of &struct
+}
+
+bool recv_header(int fd, WireHeader& h) {
+  return ::read(fd, &h, sizeof h) ==                   // BAD: &struct+sizeof
+         static_cast<long>(sizeof h);
+}
+
+void spool_header(std::FILE* f, const WireHeader& h) {
+  std::size_t n = sizeof(WireHeader);
+  fwrite(&h, n, 1, f);                                 // BAD: address-of buf
+}
+
+void load_header(std::FILE* f, WireHeader* h) {
+  fread(h, sizeof(WireHeader), 1, f);                  // BAD: sizeof-sized
+}
+
+}  // namespace imap

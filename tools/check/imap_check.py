@@ -24,6 +24,9 @@ Checks (see checks.py for the full semantics):
                       compile_commands.json.
   fma-intrinsic       FMA intrinsics / std::fma banned outside allowlisted
                       sites.
+  ipc-framing         raw `write(fd, &struct, sizeof ...)`-style descriptor
+                      I/O banned in src/; cross-process messages go through
+                      Archive sections framed by proc::Channel.
 
 Frontends:
 
@@ -82,6 +85,7 @@ CXX_EXTENSIONS = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
 # Sanctioned homes exempt from the corresponding rule (they implement it).
 RULE_HOME = {
     "nondet-source": ("src/common/rng.h", "src/common/rng.cpp"),
+    "ipc-framing": ("src/common/proc.h", "src/common/proc.cpp"),
 }
 
 # Kernel TUs that are architecture-gated: absent from the database on the
@@ -307,6 +311,8 @@ def analyze_file(root: str, relpath: str, frontend: str, compdb_entry,
     findings += checks.check_float_eq(model)
     findings += checks.check_serialize_symmetry(model, relpath)
     findings += checks.check_fma_intrinsics(model, relpath)
+    findings += checks.check_ipc_framing(
+        model, relpath, home_exempt=RULE_HOME["ipc-framing"])
 
     sup = suppressed_lines(root, relpath)
     kept = [f for f in findings if f.rule not in sup.get(f.line, set())]

@@ -156,6 +156,41 @@ class TestFmaIntrinsic(unittest.TestCase):
         self.assertEqual(lines_of(fs, "fma-intrinsic"), [])
 
 
+class TestIpcFraming(unittest.TestCase):
+    def test_bad_fixture_flags_every_raw_shape(self):
+        fs = check_fixture("ipc_framing_bad.cpp",
+                           "src/common/ipc_framing_bad.cpp")
+        self.assertEqual(rules_of(fs), ["ipc-framing"])
+        # ::write &h+sizeof, write reinterpret_cast(&h), ::read &h+sizeof,
+        # fwrite &h, fread sizeof-sized
+        self.assertEqual(lines_of(fs), [14, 15, 19, 25, 29])
+
+    def test_good_fixture_is_clean(self):
+        fs = check_fixture("ipc_framing_good.cpp",
+                           "src/common/ipc_framing_good.cpp")
+        self.assertEqual(lines_of(fs, "ipc-framing"), [])
+
+    def test_proc_home_is_exempt(self):
+        fs = check_fixture("ipc_framing_bad.cpp", "src/common/proc.cpp")
+        self.assertEqual(lines_of(fs, "ipc-framing"), [])
+
+    def test_outside_src_is_exempt(self):
+        fs = check_fixture("ipc_framing_bad.cpp",
+                           "tools/ipc_framing_bad.cpp")
+        self.assertEqual(lines_of(fs, "ipc-framing"), [])
+
+    def test_inline_suppression(self):
+        code = (
+            "#include <unistd.h>\n"
+            "struct H { int a; };\n"
+            "void f(int fd, const H& h) {\n"
+            "  ::write(fd, &h, sizeof h);"
+            "  // imap-check: allow(ipc-framing)\n"
+            "}\n")
+        fs = check_snippet(code, "src/common/raw_io.cpp")
+        self.assertEqual(lines_of(fs, "ipc-framing"), [])
+
+
 def kernel_compdb(template, root):
     with open(os.path.join(KERNEL_TREE, template), encoding="utf-8") as fh:
         return json.loads(fh.read().replace("@ROOT@", root))

@@ -59,6 +59,19 @@ ls "${CKPT_ZOO}"/results/*.res > /dev/null 2>&1 \
   || { echo "ci: completed run cached no results"; exit 1; }
 rm -rf "${CKPT_ZOO}"
 
+stage "fabric (2-process DAG grid + worker-crash drill vs serial run)"
+# End-to-end drill of the multi-process fabric: a 3-cell victim->attack->eval
+# grid scheduled over 2 worker processes, with the first attack cell's worker
+# killed mid-run (SIGKILL-equivalent _exit without replying). The scheduler
+# must detect the death, re-dispatch the cell, resume it from its snapshot,
+# and the merged results must be bit-identical to a fresh serial run.
+FABRIC_ZOO="$(pwd)/${BUILD_DIR}/ci_fabric_zoo"
+rm -rf "${FABRIC_ZOO}" "${FABRIC_ZOO}_serial"
+IMAP_BENCH_SCALE=0.001 "${BUILD_DIR}/tools/fabric_grid" \
+  --procs 2 --crash-nth 1 --compare \
+  --zoo "${FABRIC_ZOO}" --serial-zoo "${FABRIC_ZOO}_serial" || exit 1
+rm -rf "${FABRIC_ZOO}" "${FABRIC_ZOO}_serial"
+
 stage "bench-smoke (kernel suites, min_time=0.01s, probes skipped)"
 # Exercises the batched-kernel benchmarks end to end without the slow
 # speedup/kernel probes (those rewrite BENCH_*.json and are run manually —
@@ -70,5 +83,10 @@ IMAP_BENCH_NO_PROBE=1 "${BUILD_DIR}/bench/bench_micro_ppo" \
 IMAP_BENCH_NO_PROBE=1 "${BUILD_DIR}/bench/bench_micro_infer" \
   --benchmark_min_time=0.01 \
   --benchmark_filter='BM_VictimQueryBatch' || exit 1
+# Fabric scaling probe at smoke scale: runs the 1-vs-N process collect and
+# grid probes, asserting trace identity. Runs from the build dir so the
+# tracked repo-root BENCH_fabric.json (regenerated manually at full scale,
+# see README "Benchmarks") is not clobbered by smoke-scale numbers.
+( cd "${BUILD_DIR}" && IMAP_BENCH_SCALE=0.001 ./bench/bench_fabric ) || exit 1
 
 stage "OK — build, lint, tier-1 tests, and bench smoke all clean"

@@ -1,0 +1,156 @@
+// fabric_grid: drive a small victim→attack experiment grid through the
+// multi-process DAG scheduler and (optionally) prove it bit-identical to a
+// serial run of the same grid in a separate store.
+//
+//   Usage: fabric_grid [--procs N] [--crash-nth K] [--zoo DIR]
+//                      [--serial-zoo DIR] [--steps N] [--episodes N]
+//                      [--compare]
+//
+//   --procs N       worker processes for the DAG run (default 2)
+//   --crash-nth K   crash drill: kill the worker executing the Kth attack
+//                   dispatch mid-cell; the scheduler must re-dispatch it and
+//                   resume from the snapshot (default 0 = off)
+//   --zoo DIR       artifact store for the DAG run (default ./fabric_zoo)
+//   --serial-zoo D  store for the serial reference run (default <zoo>_serial)
+//   --steps N       attack training steps per cell (default 4096)
+//   --episodes N    eval episodes per cell (default 10)
+//   --compare       also run the grid serially (1 process, fresh store) and
+//                   bit-compare every outcome; exit 1 on any mismatch
+//
+// Exit status: 0 on success (and bit-identical outcomes under --compare),
+// 1 on mismatch or bad usage. This is the ci.sh fabric stage's workhorse.
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/experiment.h"
+#include "core/experiment_dag.h"
+
+namespace {
+
+std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+bool same(double a, double b) { return bits(a) == bits(b); }
+
+/// Bitwise outcome equality — fabric runs must not differ from serial runs
+/// by even one ULP anywhere.
+bool outcomes_identical(const imap::core::AttackOutcome& a,
+                        const imap::core::AttackOutcome& b,
+                        std::string& why) {
+  const auto& ea = a.victim_eval;
+  const auto& eb = b.victim_eval;
+  if (a.completed != b.completed) { why = "completed"; return false; }
+  if (!same(ea.returns.mean, eb.returns.mean)) { why = "mean"; return false; }
+  if (!same(ea.returns.stddev, eb.returns.stddev)) { why = "stddev"; return false; }
+  if (ea.returns.episodes != eb.returns.episodes) { why = "episodes"; return false; }
+  if (!same(ea.success_rate, eb.success_rate)) { why = "success_rate"; return false; }
+  if (!same(ea.mean_length, eb.mean_length)) { why = "mean_length"; return false; }
+  if (ea.episode_returns.size() != eb.episode_returns.size()) { why = "returns size"; return false; }
+  for (std::size_t i = 0; i < ea.episode_returns.size(); ++i)
+    if (!same(ea.episode_returns[i], eb.episode_returns[i])) { why = "episode_returns"; return false; }
+  if (a.curve.size() != b.curve.size()) { why = "curve size"; return false; }
+  for (std::size_t i = 0; i < a.curve.size(); ++i)
+    if (a.curve[i].steps != b.curve[i].steps ||
+        !same(a.curve[i].victim_success, b.curve[i].victim_success) ||
+        !same(a.curve[i].tau, b.curve[i].tau)) { why = "curve"; return false; }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int procs = 2;
+  int crash_nth = 0;
+  long long steps = 4096;
+  int episodes = 10;
+  bool compare = false;
+  std::string zoo = "./fabric_zoo";
+  std::string serial_zoo;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "fabric_grid: " << arg << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--procs") procs = std::stoi(next());
+    else if (arg == "--crash-nth") crash_nth = std::stoi(next());
+    else if (arg == "--zoo") zoo = next();
+    else if (arg == "--serial-zoo") serial_zoo = next();
+    else if (arg == "--steps") steps = std::stoll(next());
+    else if (arg == "--episodes") episodes = std::stoi(next());
+    else if (arg == "--compare") compare = true;
+    else {
+      std::cerr << "fabric_grid: unknown flag " << arg << "\n";
+      return 1;
+    }
+  }
+  if (serial_zoo.empty()) serial_zoo = zoo + "_serial";
+
+  // A small grid with real DAG structure: three attack cells sharing one
+  // victim checkpoint (SparseHopper deploys the dense Hopper victim).
+  using imap::core::AttackKind;
+  std::vector<imap::core::AttackPlan> plans;
+  for (const auto& [env, kind] :
+       std::vector<std::pair<std::string, AttackKind>>{
+           {"Hopper", AttackKind::None},
+           {"Hopper", AttackKind::ImapPC},
+           {"SparseHopper", AttackKind::ImapSC}}) {
+    imap::core::AttackPlan p;
+    p.env_name = env;
+    p.attack = kind;
+    p.attack_steps = steps;
+    p.eval_episodes = episodes;
+    plans.push_back(p);
+  }
+
+  imap::BenchConfig cfg = imap::BenchConfig::from_env();
+  cfg.zoo_dir = zoo;
+  if (cfg.snapshot_every <= 0) cfg.snapshot_every = 1;  // crash drill fodder
+
+  imap::core::DagOptions dopts;
+  dopts.procs = procs;
+  dopts.crash_nth_attack = crash_nth;
+  imap::core::DagScheduler sched(cfg, dopts);
+  const auto out = sched.run(plans);
+  const auto& st = sched.stats();
+  std::cout << "{\"nodes\": " << st.nodes << ", \"procs\": " << st.procs
+            << ", \"dispatched\": " << st.dispatched
+            << ", \"re_dispatched\": " << st.re_dispatched
+            << ", \"worker_deaths\": " << st.worker_deaths << "}\n";
+
+  if (crash_nth > 0 && (st.worker_deaths < 1 || st.re_dispatched < 1)) {
+    std::cerr << "fabric_grid: crash drill did not kill/re-dispatch\n";
+    return 1;
+  }
+
+  if (compare) {
+    imap::BenchConfig scfg = cfg;
+    scfg.zoo_dir = serial_zoo;
+    imap::core::DagOptions sopts;
+    sopts.procs = 1;
+    imap::core::DagScheduler serial(scfg, sopts);
+    const auto ref = serial.run(plans);
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      std::string why;
+      if (!outcomes_identical(out[i], ref[i], why)) {
+        std::cerr << "fabric_grid: MISMATCH vs serial in plan " << i << " ("
+                  << plans[i].env_name << "): " << why << "\n";
+        return 1;
+      }
+    }
+    std::cout << "fabric vs serial: " << plans.size()
+              << " outcomes bit-identical\n";
+  }
+  return 0;
+}
