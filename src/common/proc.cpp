@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
@@ -294,6 +295,21 @@ void WorkerProcess::terminate() {
   ::kill(pid_, SIGKILL);
   reap_blocking();
   ch_.close_both();
+}
+
+std::optional<FileSig> file_sig(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT || errno == ENOTDIR) return std::nullopt;
+    IMAP_CHECK_MSG(false,
+                   "stat(" << path << ") failed: " << std::strerror(errno));
+  }
+  FileSig sig;
+  sig.mtime_ns = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1'000'000'000ull +
+                 static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+  sig.size = static_cast<std::uint64_t>(st.st_size);
+  sig.inode = static_cast<std::uint64_t>(st.st_ino);
+  return sig;
 }
 
 std::vector<std::size_t> poll_readable(const std::vector<int>& fds,

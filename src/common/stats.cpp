@@ -57,4 +57,62 @@ ReturnSummary summarize(const std::vector<double>& returns) {
   return ReturnSummary{mean(returns), stddev(returns), returns.size()};
 }
 
+namespace {
+
+std::size_t bucket_of(std::uint64_t value) {
+  std::size_t b = 0;
+  while (value != 0 && b + 1 < LogHistogram::kBuckets) {
+    value >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LogHistogram::record(std::uint64_t value) {
+  buckets_[bucket_of(value)].inc();
+  count_.inc();
+  sum_.inc(value);
+  // Monotonic max via CAS; contended updates only retry while racing a
+  // *larger* concurrent sample, so this stays wait-free in practice.
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double LogHistogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t LogHistogram::bucket_bound(std::size_t b) {
+  if (b == 0) return 0;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+double LogHistogram::percentile(double p) const {
+  IMAP_CHECK(p >= 0.0 && p <= 100.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[b].get();
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Interpolate inside [lo, hi] by the rank fraction within the bucket.
+      const double lo =
+          b == 0 ? 0.0 : static_cast<double>(bucket_bound(b - 1) + 1);
+      const double hi = static_cast<double>(bucket_bound(b));
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
 }  // namespace imap

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace imap {
@@ -39,5 +42,54 @@ struct ReturnSummary {
 };
 
 ReturnSummary summarize(const std::vector<double>& returns);
+
+/// Monotonic event counter with a lock-free (relaxed-atomic) fast path.
+/// Increments from any thread never block and never fence each other; reads
+/// are eventually consistent totals, which is all a metrics export needs.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Lock-free log2-bucketed histogram of non-negative integer samples
+/// (latencies in microseconds, coalesced batch sizes, ...).
+///
+/// Bucket b counts samples whose bit width is b, i.e. values in
+/// [2^(b-1), 2^b); bucket 0 counts zeros. record() is one relaxed
+/// fetch_add per sample plus two for sum/count — no locks, no allocation —
+/// so it can sit on a serving hot path. Percentiles are read-side estimates:
+/// the cumulative bucket walk resolves the target bucket exactly and
+/// interpolates linearly inside it (error bounded by the bucket's span,
+/// i.e. at most 2x at the bucket's upper edge).
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  ///< covers values < 2^39
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.get(); }
+  std::uint64_t sum() const { return sum_.get(); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Estimated p-th percentile (p in [0, 100]); 0 when empty.
+  double percentile(double p) const;
+
+  /// Count in bucket b (samples with bit width b; see class comment).
+  std::uint64_t bucket(std::size_t b) const { return buckets_[b].get(); }
+
+  /// Inclusive upper bound of bucket b (2^b - 1; 0 for bucket 0).
+  static std::uint64_t bucket_bound(std::size_t b);
+
+ private:
+  std::array<Counter, kBuckets> buckets_;
+  Counter count_;
+  Counter sum_;
+  std::atomic<std::uint64_t> max_{0};
+};
 
 }  // namespace imap

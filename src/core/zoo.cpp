@@ -59,18 +59,69 @@ rl::PolicyHandle Zoo::as_policy(const nn::GaussianPolicy& policy) {
   return rl::PolicyHandle::snapshot(policy);
 }
 
+std::string Zoo::checkpoint_path(const std::string& env_name,
+                                 const std::string& defense) const {
+  if (env::spec(env_name).type == env::TaskType::MultiAgent)
+    return path_for(env_name, "PPO");
+  return path_for(env::make_training_env(env_name)->name(), defense);
+}
+
+std::uint64_t Zoo::full_loads() const {
+  std::lock_guard<std::mutex> lk(memo_m_);
+  return full_loads_;
+}
+
+std::shared_ptr<const nn::GaussianPolicy> Zoo::load_memoized(
+    const std::string& path) {
+  // One stat decides everything: absent file -> miss (and the memo entry,
+  // if any, is stale); signature match -> the previous parse+CRC check of
+  // these exact bytes still stands, reuse it without reopening the file.
+  const auto sig = proc::file_sig(path);
+  std::lock_guard<std::mutex> lk(memo_m_);
+  if (!sig) {
+    memo_.erase(path);
+    return nullptr;
+  }
+  const auto it = memo_.find(path);
+  if (it != memo_.end() && it->second.sig == *sig) return it->second.policy;
+  auto loaded = nn::load_policy(path);
+  if (!loaded) return nullptr;  // vanished between stat and open
+  ++full_loads_;
+  auto policy =
+      std::make_shared<const nn::GaussianPolicy>(std::move(*loaded));
+  memo_[path] = Memo{*sig, policy};
+  return policy;
+}
+
+std::shared_ptr<const nn::GaussianPolicy> Zoo::remember(
+    const std::string& path, nn::GaussianPolicy policy) {
+  auto sp = std::make_shared<const nn::GaussianPolicy>(std::move(policy));
+  const auto sig = proc::file_sig(path);
+  IMAP_CHECK_MSG(sig.has_value(), "checkpoint missing after save: " << path);
+  std::lock_guard<std::mutex> lk(memo_m_);
+  memo_[path] = Memo{*sig, sp};
+  return sp;
+}
+
 nn::GaussianPolicy Zoo::victim(const std::string& env_name,
                                const std::string& defense) {
+  return *victim_shared(env_name, defense);
+}
+
+std::shared_ptr<const nn::GaussianPolicy> Zoo::victim_shared(
+    const std::string& env_name, const std::string& defense) {
   const auto training_env = env::make_training_env(env_name);
   // Key the cache by the TRAINING env so sparse tasks reuse the victim of
   // their dense counterpart (SparseHopper deploys the Hopper victim, etc.).
   const auto path = path_for(training_env->name(), defense);
-  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  if (auto cached = load_memoized(path)) return cached;
   // Concurrent fabric processes wanting the same victim serialize here; the
   // loser of the race finds the winner's finished checkpoint on re-check
-  // instead of training a duplicate.
+  // instead of training a duplicate. The re-check is memoized: when the
+  // file state is unchanged since the pre-lock stat it costs one stat, not
+  // an archive re-read.
   proc::FileLock lock(path + ".lock");
-  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  if (auto cached = load_memoized(path)) return cached;
   defense::DefenseOptions opts;
   opts.eps = env::spec(env_name).epsilon;
   opts.reg_coef = 1.0;
@@ -102,14 +153,19 @@ nn::GaussianPolicy Zoo::victim(const std::string& env_name,
   IMAP_CHECK_MSG(nn::save_policy(path, policy),
                  "failed to write checkpoint " << path);
   std::filesystem::remove(snap);  // the finished checkpoint supersedes it
-  return policy;
+  return remember(path, std::move(policy));
 }
 
 nn::GaussianPolicy Zoo::game_victim(const std::string& game_name) {
+  return *game_victim_shared(game_name);
+}
+
+std::shared_ptr<const nn::GaussianPolicy> Zoo::game_victim_shared(
+    const std::string& game_name) {
   const auto path = path_for(game_name, "PPO");
-  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  if (auto cached = load_memoized(path)) return cached;
   proc::FileLock lock(path + ".lock");
-  if (auto cached = nn::load_policy(path)) return std::move(*cached);
+  if (auto cached = load_memoized(path)) return cached;
 
   const auto game = env::make_multiagent_env(game_name);
   env::VictimSideEnv training_env(*game,
@@ -143,7 +199,7 @@ nn::GaussianPolicy Zoo::game_victim(const std::string& game_name) {
   IMAP_CHECK_MSG(nn::save_policy(path, policy),
                  "failed to write checkpoint " << path);
   std::filesystem::remove(snap);
-  return policy;
+  return remember(path, std::move(policy));
 }
 
 }  // namespace imap::core

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/config.h"
+#include "common/proc.h"
 #include "nn/gaussian.h"
 #include "rl/evaluate.h"
 #include "rl/policy_handle.h"
@@ -33,6 +36,26 @@ class Zoo {
   /// scripted opponent pool.
   nn::GaussianPolicy game_victim(const std::string& game_name);
 
+  /// Shared-ownership variants backed by the in-memory memo: a warm lookup
+  /// (checkpoint already verified, file unchanged on disk) costs one stat()
+  /// and a shared_ptr copy — no archive re-read, no CRC re-check, no weight
+  /// copy. This is the lookup the serving daemon's model cache rides.
+  std::shared_ptr<const nn::GaussianPolicy> victim_shared(
+      const std::string& env_name, const std::string& defense = "PPO");
+  std::shared_ptr<const nn::GaussianPolicy> game_victim_shared(
+      const std::string& game_name);
+
+  /// On-disk checkpoint path a (deploy env × defense) victim is cached
+  /// under. Public so the serving layer can fingerprint (stat + CRC) the
+  /// artifact it is holding in memory; sparse tasks map to their dense
+  /// training counterpart's path, games to their PPO checkpoint.
+  std::string checkpoint_path(const std::string& env_name,
+                              const std::string& defense) const;
+
+  /// Archive parses performed so far (cold loads + post-training loads).
+  /// Warm memoized lookups do not advance it — pinned by tests.
+  std::uint64_t full_loads() const;
+
   /// Wrap a policy as the deployed black-box ActionFn (deterministic mean).
   static rl::ActionFn as_fn(const nn::GaussianPolicy& policy);
 
@@ -54,10 +77,31 @@ class Zoo {
   std::string path_for(const std::string& env_name,
                        const std::string& defense) const;
 
+  /// One memoized, CRC-verified parse per distinct on-disk state of a
+  /// checkpoint. The stat signature taken at verification time guards the
+  /// entry: a lookup whose fresh stat matches returns the cached network
+  /// without touching the file contents; a mismatch (artifact rewritten by
+  /// a retrain or another fabric process) re-reads and re-verifies. Returns
+  /// nullptr when the file does not exist.
+  std::shared_ptr<const nn::GaussianPolicy> load_memoized(
+      const std::string& path);
+  /// Install a just-trained policy under `path`'s current signature so the
+  /// next lookup is warm.
+  std::shared_ptr<const nn::GaussianPolicy> remember(
+      const std::string& path, nn::GaussianPolicy policy);
+
+  struct Memo {
+    proc::FileSig sig;
+    std::shared_ptr<const nn::GaussianPolicy> policy;
+  };
+
   std::string dir_;
   double scale_;
   std::uint64_t seed_;
   int snapshot_every_;
+  mutable std::mutex memo_m_;  ///< victim() is called from serving threads
+  std::unordered_map<std::string, Memo> memo_;
+  std::uint64_t full_loads_ = 0;
 };
 
 }  // namespace imap::core

@@ -193,39 +193,95 @@ void avx2_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
                        const float* bias, std::size_t out,
                        std::size_t in_pairs, const std::int16_t* xq,
                        const float* xscale, std::size_t batch, float* y) {
-  for (std::size_t n = 0; n < batch; ++n) {
-    const std::int16_t* xr = xq + n * 2 * in_pairs;
-    const float xs = xscale[n];
-    float* yn = y + n * out;
-    const __m256 xsv = _mm256_set1_ps(xs);
-    std::size_t r = 0;
-    for (; r + 8 <= out; r += 8) {
-      __m256i acc = _mm256_setzero_si256();
-      for (std::size_t p = 0; p < in_pairs; ++p) {
-        const __m256i wv = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(wq_packed + (p * out + r) * 2));
-        const std::uint32_t lo = static_cast<std::uint16_t>(xr[2 * p]);
-        const std::uint32_t hi = static_cast<std::uint16_t>(xr[2 * p + 1]);
-        const __m256i xb =
-            _mm256_set1_epi32(static_cast<int>((hi << 16) | lo));
-        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, xb));
+  // Weight-stationary over the tile-major layout (kernel_backend.h): a full
+  // kQuantTile(16)-row tile is contiguous, consumed here as two 256-bit
+  // halves per column pair (lanes 0-7 and 8-15 of the tile's cache line).
+  // Contiguous streaming keeps the tile cache-resident across the batch
+  // sweep, and samples are blocked 4 at a time so each weight load serves
+  // four madds — the matrix streams once per 4 samples rather than once per
+  // sample. The activation pair broadcasts as one 32-bit load
+  // (little-endian memory already holds lo | hi<<16 at xr + 2p). Each
+  // sample's per-lane arithmetic order is unchanged — bit-identical across
+  // batch sizes and backends.
+  const auto bcast_pair = [](const std::int16_t* p2) {
+    std::int32_t word;
+    std::memcpy(&word, p2, sizeof word);
+    return _mm256_set1_epi32(word);
+  };
+  const std::size_t stride = 2 * in_pairs;
+  const std::size_t full = out / kQuantTile;
+  for (std::size_t tile = 0; tile < full; ++tile) {
+    const std::int16_t* wt = wq_packed + tile * in_pairs * 2 * kQuantTile;
+    for (std::size_t half = 0; half < 2; ++half) {
+      const std::size_t r = tile * kQuantTile + half * 8;
+      const std::int16_t* wh = wt + half * 16;
+      const __m256 rsv = _mm256_loadu_ps(row_scale + r);
+      const __m256 bv = _mm256_loadu_ps(bias + r);
+      std::size_t n = 0;
+      for (; n + 4 <= batch; n += 4) {
+        const std::int16_t* x0 = xq + n * stride;
+        const std::int16_t* x1 = x0 + stride;
+        const std::int16_t* x2 = x1 + stride;
+        const std::int16_t* x3 = x2 + stride;
+        __m256i a0 = _mm256_setzero_si256();
+        __m256i a1 = _mm256_setzero_si256();
+        __m256i a2 = _mm256_setzero_si256();
+        __m256i a3 = _mm256_setzero_si256();
+        for (std::size_t p = 0; p < in_pairs; ++p) {
+          const __m256i wv = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(wh + p * 2 * kQuantTile));
+          a0 = _mm256_add_epi32(a0,
+                                _mm256_madd_epi16(wv, bcast_pair(x0 + 2 * p)));
+          a1 = _mm256_add_epi32(a1,
+                                _mm256_madd_epi16(wv, bcast_pair(x1 + 2 * p)));
+          a2 = _mm256_add_epi32(a2,
+                                _mm256_madd_epi16(wv, bcast_pair(x2 + 2 * p)));
+          a3 = _mm256_add_epi32(a3,
+                                _mm256_madd_epi16(wv, bcast_pair(x3 + 2 * p)));
+        }
+        const __m256i acc[4] = {a0, a1, a2, a3};
+        for (std::size_t j = 0; j < 4; ++j) {
+          const __m256 t = _mm256_mul_ps(rsv, _mm256_set1_ps(xscale[n + j]));
+          const __m256 yv =
+              _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc[j]), t), bv);
+          _mm256_storeu_ps(y + (n + j) * out + r, yv);
+        }
       }
-      const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(row_scale + r), xsv);
-      const __m256 yv = _mm256_add_ps(
-          _mm256_mul_ps(_mm256_cvtepi32_ps(acc), t), _mm256_loadu_ps(bias + r));
-      _mm256_storeu_ps(yn + r, yv);
+      for (; n < batch; ++n) {
+        const std::int16_t* xr = xq + n * stride;
+        __m256i acc = _mm256_setzero_si256();
+        for (std::size_t p = 0; p < in_pairs; ++p) {
+          const __m256i wv = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(wh + p * 2 * kQuantTile));
+          acc = _mm256_add_epi32(acc,
+                                 _mm256_madd_epi16(wv, bcast_pair(xr + 2 * p)));
+        }
+        const __m256 t = _mm256_mul_ps(rsv, _mm256_set1_ps(xscale[n]));
+        const __m256 yv =
+            _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc), t), bv);
+        _mm256_storeu_ps(y + n * out + r, yv);
+      }
     }
-    for (; r < out; ++r) {
+  }
+  // Remainder rows: column-pair-major of width w after the tiles.
+  const std::size_t w = out - full * kQuantTile;
+  const std::int16_t* wrem = wq_packed + full * in_pairs * 2 * kQuantTile;
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    const std::size_t r = full * kQuantTile + lane;
+    const float rs = row_scale[r];
+    const float br = bias[r];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::int16_t* xr = xq + n * 2 * in_pairs;
       std::int32_t acc = 0;
       for (std::size_t p = 0; p < in_pairs; ++p) {
-        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        const std::int16_t* wp = wrem + (p * w + lane) * 2;
         acc += static_cast<std::int32_t>(wp[0]) *
                    static_cast<std::int32_t>(xr[2 * p]) +
                static_cast<std::int32_t>(wp[1]) *
                    static_cast<std::int32_t>(xr[2 * p + 1]);
       }
-      const float t = row_scale[r] * xs;
-      yn[r] = static_cast<float>(acc) * t + bias[r];
+      const float t = rs * xscale[n];
+      y[n * out + r] = static_cast<float>(acc) * t + br;
     }
   }
 }

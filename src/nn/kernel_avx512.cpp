@@ -163,46 +163,154 @@ void avx512_batch_outer_acc(const double* g, const double* x,
   }
 }
 
-// 16 outputs per _mm512_madd_epi16; same exact int32 accumulation and
-// three-op float dequant as the scalar reference (see kernel_avx2.cpp for
-// the layout rationale).
+namespace {
+
+/// One 32-bit load broadcast of the activation pair at `p2`: little-endian
+/// memory already holds lo | hi<<16, so no shift/or reassembly is needed.
+inline __m512i bcast_pair(const std::int16_t* p2) {
+  std::int32_t word;
+  std::memcpy(&word, p2, sizeof word);
+  return _mm512_set1_epi32(word);
+}
+
+// Full-tile sweep of the int8 kernel over the tile-major layout
+// (kernel_backend.h): a kQuantTile-row tile is 2·kQuantTile·in_pairs
+// contiguous codes, so the p loop streams consecutive 64-byte lines — one
+// _mm512_loadu_si512 each — and the whole tile stays cache-resident across
+// the batch sweep. Samples are blocked 8 at a time (8 accumulators + the
+// weight vector leave 23 of the 32 zmm registers free) so every weight line
+// loaded serves eight madds: the weight matrix streams from cache/memory
+// once per 8 samples instead of once per sample — the amortization the
+// serving coalescer banks on. Each sample's per-lane op chain (madd
+// accumulation in ascending p, then t = rs·xs, y = cvt(acc)·t + b) matches
+// the scalar reference, so outputs are bit-identical for every batch size.
+//
+// Two ISA variants of the same loop: the baseline accumulates with
+// vpaddd(vpmaddwd(w, x)); the AVX512-VNNI variant fuses that pair into one
+// vpdpwssd uop — the identical int32 result at half the port-0/5 pressure,
+// which is what bounds this loop once the tile is cache-resident. The TU's
+// baseline ISA stays avx512f/bw; only the VNNI function carries the extra
+// target attribute, and avx512_quant_affine picks it via CPUID at runtime.
+#define IMAP_QUANT_TILE_SWEEP(ACCUM)                                          \
+  const std::size_t stride = 2 * in_pairs;                                    \
+  const std::size_t full = out / kQuantTile;                                  \
+  for (std::size_t tile = 0; tile < full; ++tile) {                           \
+    const std::size_t r = tile * kQuantTile;                                  \
+    const std::int16_t* wt = wq_packed + tile * in_pairs * 2 * kQuantTile;    \
+    const __m512 rsv = _mm512_loadu_ps(row_scale + r);                        \
+    const __m512 bv = _mm512_loadu_ps(bias + r);                              \
+    std::size_t n = 0;                                                        \
+    for (; n + 8 <= batch; n += 8) {                                          \
+      const std::int16_t* x0 = xq + n * stride;                               \
+      const std::int16_t* x1 = x0 + stride;                                   \
+      const std::int16_t* x2 = x1 + stride;                                   \
+      const std::int16_t* x3 = x2 + stride;                                   \
+      const std::int16_t* x4 = x3 + stride;                                   \
+      const std::int16_t* x5 = x4 + stride;                                   \
+      const std::int16_t* x6 = x5 + stride;                                   \
+      const std::int16_t* x7 = x6 + stride;                                   \
+      __m512i a0 = _mm512_setzero_si512();                                    \
+      __m512i a1 = _mm512_setzero_si512();                                    \
+      __m512i a2 = _mm512_setzero_si512();                                    \
+      __m512i a3 = _mm512_setzero_si512();                                    \
+      __m512i a4 = _mm512_setzero_si512();                                    \
+      __m512i a5 = _mm512_setzero_si512();                                    \
+      __m512i a6 = _mm512_setzero_si512();                                    \
+      __m512i a7 = _mm512_setzero_si512();                                    \
+      for (std::size_t p = 0; p < in_pairs; ++p) {                            \
+        const __m512i wv = _mm512_loadu_si512(                                \
+            reinterpret_cast<const void*>(wt + p * 2 * kQuantTile));          \
+        a0 = ACCUM(a0, wv, bcast_pair(x0 + 2 * p));                           \
+        a1 = ACCUM(a1, wv, bcast_pair(x1 + 2 * p));                           \
+        a2 = ACCUM(a2, wv, bcast_pair(x2 + 2 * p));                           \
+        a3 = ACCUM(a3, wv, bcast_pair(x3 + 2 * p));                           \
+        a4 = ACCUM(a4, wv, bcast_pair(x4 + 2 * p));                           \
+        a5 = ACCUM(a5, wv, bcast_pair(x5 + 2 * p));                           \
+        a6 = ACCUM(a6, wv, bcast_pair(x6 + 2 * p));                           \
+        a7 = ACCUM(a7, wv, bcast_pair(x7 + 2 * p));                           \
+      }                                                                       \
+      const __m512i acc[8] = {a0, a1, a2, a3, a4, a5, a6, a7};                \
+      for (std::size_t j = 0; j < 8; ++j) {                                   \
+        const __m512 t = _mm512_mul_ps(rsv, _mm512_set1_ps(xscale[n + j]));   \
+        const __m512 yv =                                                     \
+            _mm512_add_ps(_mm512_mul_ps(_mm512_cvtepi32_ps(acc[j]), t), bv);  \
+        _mm512_storeu_ps(y + (n + j) * out + r, yv);                          \
+      }                                                                       \
+    }                                                                         \
+    for (; n < batch; ++n) {                                                  \
+      const std::int16_t* xr = xq + n * stride;                               \
+      __m512i acc = _mm512_setzero_si512();                                   \
+      for (std::size_t p = 0; p < in_pairs; ++p) {                            \
+        const __m512i wv = _mm512_loadu_si512(                                \
+            reinterpret_cast<const void*>(wt + p * 2 * kQuantTile));          \
+        acc = ACCUM(acc, wv, bcast_pair(xr + 2 * p));                         \
+      }                                                                       \
+      const __m512 t = _mm512_mul_ps(rsv, _mm512_set1_ps(xscale[n]));         \
+      const __m512 yv =                                                       \
+          _mm512_add_ps(_mm512_mul_ps(_mm512_cvtepi32_ps(acc), t), bv);       \
+      _mm512_storeu_ps(y + n * out + r, yv);                                  \
+    }                                                                         \
+  }
+
+#define IMAP_ACCUM_MADD(acc, w, x) \
+  _mm512_add_epi32(acc, _mm512_madd_epi16(w, x))
+#define IMAP_ACCUM_VNNI(acc, w, x) _mm512_dpwssd_epi32(acc, w, x)
+
+void quant_tiles(const std::int16_t* wq_packed, const float* row_scale,
+                 const float* bias, std::size_t out, std::size_t in_pairs,
+                 const std::int16_t* xq, const float* xscale,
+                 std::size_t batch, float* y) {
+  IMAP_QUANT_TILE_SWEEP(IMAP_ACCUM_MADD)
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void quant_tiles_vnni(
+    const std::int16_t* wq_packed, const float* row_scale, const float* bias,
+    std::size_t out, std::size_t in_pairs, const std::int16_t* xq,
+    const float* xscale, std::size_t batch, float* y) {
+  IMAP_QUANT_TILE_SWEEP(IMAP_ACCUM_VNNI)
+}
+
+#undef IMAP_ACCUM_VNNI
+#undef IMAP_ACCUM_MADD
+#undef IMAP_QUANT_TILE_SWEEP
+
+}  // namespace
+
+// 16 outputs per _mm512_madd_epi16 (or vpdpwssd); same exact int32
+// accumulation and three-op float dequant as the scalar reference (see
+// kernel_avx2.cpp for the layout rationale, quant_tiles above for the
+// tiling and ISA-variant rationale).
 void avx512_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
                          const float* bias, std::size_t out,
                          std::size_t in_pairs, const std::int16_t* xq,
                          const float* xscale, std::size_t batch, float* y) {
-  for (std::size_t n = 0; n < batch; ++n) {
-    const std::int16_t* xr = xq + n * 2 * in_pairs;
-    const float xs = xscale[n];
-    float* yn = y + n * out;
-    const __m512 xsv = _mm512_set1_ps(xs);
-    std::size_t r = 0;
-    for (; r + 16 <= out; r += 16) {
-      __m512i acc = _mm512_setzero_si512();
-      for (std::size_t p = 0; p < in_pairs; ++p) {
-        const __m512i wv = _mm512_loadu_si512(
-            reinterpret_cast<const void*>(wq_packed + (p * out + r) * 2));
-        const std::uint32_t lo = static_cast<std::uint16_t>(xr[2 * p]);
-        const std::uint32_t hi = static_cast<std::uint16_t>(xr[2 * p + 1]);
-        const __m512i xb =
-            _mm512_set1_epi32(static_cast<int>((hi << 16) | lo));
-        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(wv, xb));
-      }
-      const __m512 t = _mm512_mul_ps(_mm512_loadu_ps(row_scale + r), xsv);
-      const __m512 yv = _mm512_add_ps(
-          _mm512_mul_ps(_mm512_cvtepi32_ps(acc), t), _mm512_loadu_ps(bias + r));
-      _mm512_storeu_ps(yn + r, yv);
-    }
-    for (; r < out; ++r) {
+  static const bool use_vnni = __builtin_cpu_supports("avx512vnni");
+  if (use_vnni)
+    quant_tiles_vnni(wq_packed, row_scale, bias, out, in_pairs, xq, xscale,
+                     batch, y);
+  else
+    quant_tiles(wq_packed, row_scale, bias, out, in_pairs, xq, xscale, batch,
+                y);
+  // Remainder rows: column-pair-major of width w after the tiles.
+  const std::size_t full = out / kQuantTile;
+  const std::size_t w = out - full * kQuantTile;
+  const std::int16_t* wrem = wq_packed + full * in_pairs * 2 * kQuantTile;
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    const std::size_t r = full * kQuantTile + lane;
+    const float rs = row_scale[r];
+    const float br = bias[r];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::int16_t* xr = xq + n * 2 * in_pairs;
       std::int32_t acc = 0;
       for (std::size_t p = 0; p < in_pairs; ++p) {
-        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        const std::int16_t* wp = wrem + (p * w + lane) * 2;
         acc += static_cast<std::int32_t>(wp[0]) *
                    static_cast<std::int32_t>(xr[2 * p]) +
                static_cast<std::int32_t>(wp[1]) *
                    static_cast<std::int32_t>(xr[2 * p + 1]);
       }
-      const float t = row_scale[r] * xs;
-      yn[r] = static_cast<float>(acc) * t + bias[r];
+      const float t = rs * xscale[n];
+      y[n * out + r] = static_cast<float>(acc) * t + br;
     }
   }
 }

@@ -7,6 +7,38 @@
 
 namespace imap::nn::kernel {
 
+/// Output-row tile height of the packed int8 weight layout (see
+/// quant_packed_index). 16 rows × one int16 column pair = 32 codes = one
+/// 64-byte cache line = exactly one AVX-512 vector; AVX2 consumes a tile as
+/// two 256-bit halves and scalar walks lanes within it.
+inline constexpr std::size_t kQuantTile = 16;
+
+/// Flat index of weight element (row r, column c) inside a quantized
+/// layer's packed buffer (2·in_pairs·out int16 codes). The layout is
+/// tile-major: full kQuantTile-row tiles first, each storing its 32 codes
+/// for column pair p = c/2 contiguously —
+///   ((r/16)·in_pairs + p)·32 + (r%16)·2 + c%2
+/// — so a tile's weights stream as consecutive cache lines and distribute
+/// evenly across cache sets (a row-interleaved layout at stride 2·out puts
+/// every line of a row tile in the same few sets once out·4 bytes hits a
+/// power of two, and the conflict misses defeat cross-sample reuse). The
+/// out%16 remainder rows sit after the tiles in column-pair-major order:
+///   full·in_pairs·32 + (p·w + r - full·16)·2 + c%2,  w = out%16.
+/// Odd `in` zero-pads the last pair. Shared by the packer (nn/quant.cpp),
+/// every backend kernel, and the layout tests.
+inline std::size_t quant_packed_index(std::size_t r, std::size_t c,
+                                      std::size_t out, std::size_t in_pairs) {
+  const std::size_t p = c / 2;
+  const std::size_t tile = r / kQuantTile;
+  if ((tile + 1) * kQuantTile <= out)
+    return (tile * in_pairs + p) * 2 * kQuantTile + (r % kQuantTile) * 2 +
+           c % 2;
+  const std::size_t full = out / kQuantTile;
+  const std::size_t w = out - full * kQuantTile;
+  return full * in_pairs * 2 * kQuantTile +
+         (p * w + (r - full * kQuantTile)) * 2 + c % 2;
+}
+
 /// One SIMD (or scalar) implementation of the batched kernel set. Backends
 /// are compiled-in per architecture (scalar everywhere; avx2/avx512 on
 /// x86-64; neon on aarch64) and selected at runtime: CPUID picks the widest
@@ -46,10 +78,11 @@ struct KernelBackend {
   /// int8 serving kernel (see nn/quant.h for the scheme):
   ///   y[n][r] = float(Σ_p wq[p][r]·xq[n][p]) · (row_scale[r]·xscale[n])
   ///             + bias[r]
-  /// Weights arrive pre-packed column-pair-major as int16 pairs
-  /// (wq_packed[(p·out + r)·2 + {0,1}] = row r's weights for columns 2p and
-  /// 2p+1); activations are int16 rows of stride 2·in_pairs, zero-padded on
-  /// the last pair when `in` is odd. Null ⇒ dispatch falls back to scalar.
+  /// Weights arrive pre-packed tile-major as int16 pairs (element (r, c) at
+  /// quant_packed_index(r, c, out, in_pairs) — one cache line per
+  /// kQuantTile-row tile per column pair); activations are int16 rows of
+  /// stride 2·in_pairs, zero-padded on the last pair when `in` is odd.
+  /// Null ⇒ dispatch falls back to scalar.
   void (*quant_affine)(const std::int16_t* wq_packed, const float* row_scale,
                        const float* bias, std::size_t out,
                        std::size_t in_pairs, const std::int16_t* xq,

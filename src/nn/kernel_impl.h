@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "nn/kernel_backend.h"  // kQuantTile / quant_packed_index layout
+
 /// Internal declarations of the per-backend kernel implementations. Each
 /// backend lives in its own translation unit (nn/kernel_<backend>.cpp)
 /// compiled with exactly the ISA flags it needs plus -ffp-contract=off, so

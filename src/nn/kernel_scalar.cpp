@@ -104,21 +104,56 @@ void scalar_quant_affine(const std::int16_t* wq_packed, const float* row_scale,
   // pairs (exact, hence backend-invariant), then the fixed three-op float
   // dequant — t = row_scale·xscale, y = float(acc)·t + bias — which every
   // SIMD variant executes with the same single roundings per element.
-  for (std::size_t n = 0; n < batch; ++n) {
-    const std::int16_t* xr = xq + n * 2 * in_pairs;
-    const float xs = xscale[n];
-    float* yn = y + n * out;
-    for (std::size_t r = 0; r < out; ++r) {
+  //
+  // The weights arrive tile-major (see kernel_backend.h): a kQuantTile-row
+  // tile's 2·kQuantTile·in_pairs codes are contiguous, so the whole tile
+  // distributes evenly across cache sets and stays resident while the batch
+  // sweep reuses it — the weight matrix streams from memory once per batch
+  // instead of once per sample. Per-element arithmetic order (the p chain)
+  // is untouched — tile/lane/sample loop order cannot change any rounding,
+  // so results stay bit-identical for every batch size.
+  const std::size_t full = out / kQuantTile;
+  for (std::size_t tile = 0; tile < full; ++tile) {
+    const std::int16_t* wt = wq_packed + tile * in_pairs * 2 * kQuantTile;
+    for (std::size_t lane = 0; lane < kQuantTile; ++lane) {
+      const std::size_t r = tile * kQuantTile + lane;
+      const float rs = row_scale[r];
+      const float br = bias[r];
+      for (std::size_t n = 0; n < batch; ++n) {
+        const std::int16_t* xr = xq + n * 2 * in_pairs;
+        std::int32_t acc = 0;
+        for (std::size_t p = 0; p < in_pairs; ++p) {
+          const std::int16_t* wp = wt + p * 2 * kQuantTile + lane * 2;
+          acc += static_cast<std::int32_t>(wp[0]) *
+                     static_cast<std::int32_t>(xr[2 * p]) +
+                 static_cast<std::int32_t>(wp[1]) *
+                     static_cast<std::int32_t>(xr[2 * p + 1]);
+        }
+        const float t = rs * xscale[n];
+        y[n * out + r] = static_cast<float>(acc) * t + br;
+      }
+    }
+  }
+  // Remainder rows (out % kQuantTile) live after the tiles in
+  // column-pair-major order of width w — small enough to stay cached.
+  const std::size_t w = out - full * kQuantTile;
+  const std::int16_t* wrem = wq_packed + full * in_pairs * 2 * kQuantTile;
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    const std::size_t r = full * kQuantTile + lane;
+    const float rs = row_scale[r];
+    const float br = bias[r];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::int16_t* xr = xq + n * 2 * in_pairs;
       std::int32_t acc = 0;
       for (std::size_t p = 0; p < in_pairs; ++p) {
-        const std::int16_t* wp = wq_packed + (p * out + r) * 2;
+        const std::int16_t* wp = wrem + (p * w + lane) * 2;
         acc += static_cast<std::int32_t>(wp[0]) *
                    static_cast<std::int32_t>(xr[2 * p]) +
                static_cast<std::int32_t>(wp[1]) *
                    static_cast<std::int32_t>(xr[2 * p + 1]);
       }
-      const float t = row_scale[r] * xs;
-      yn[r] = static_cast<float>(acc) * t + bias[r];
+      const float t = rs * xscale[n];
+      y[n * out + r] = static_cast<float>(acc) * t + br;
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "nn/kernel_backend.h"
 #include "nn/matrix.h"
 
 namespace imap::nn {
@@ -92,7 +93,8 @@ QuantizedMlp::QuantizedMlp(const Mlp& net)
         const double inv = 127.0 / amax;
         for (std::size_t c = 0; c < q.in; ++c) {
           const std::int16_t code = clamp_code(std::lrint(row[c] * inv));
-          q.wq_packed[((c / 2) * q.out + r) * 2 + (c % 2)] = code;
+          q.wq_packed[kernel::quant_packed_index(r, c, q.out, q.in_pairs)] =
+              code;
         }
         q.row_scale[r] = static_cast<float>(amax / 127.0);
       } else {

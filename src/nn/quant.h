@@ -14,10 +14,13 @@ namespace imap::nn {
 /// Scheme (per layer):
 ///  * Weights: per-row symmetric int8. row_scale[r] = max_c|W[r][c]| / 127,
 ///    wq[r][c] = round(W[r][c] / row_scale[r]) ∈ [-127, 127]. Stored as
-///    int16 pairs packed column-pair-major — wq_packed[(p·out + r)·2 + {0,1}]
-///    holds row r's columns 2p and 2p+1 — so the SIMD kernels consume them
-///    with one multiply-add per pair (madd_epi16) across output lanes. Odd
-///    `in` zero-pads the last pair.
+///    int16 pairs packed tile-major (kernel::quant_packed_index, see
+///    nn/kernel_backend.h): each kQuantTile-row tile keeps its 32 codes per
+///    column pair in one contiguous cache line, so the SIMD kernels consume
+///    a tile with one multiply-add per pair (madd_epi16) across output
+///    lanes, and a tile streams contiguously — it stays cache-resident
+///    across a batch sweep instead of thrashing a few cache sets. Odd `in`
+///    zero-pads the last pair.
 ///  * Activations: per-sample symmetric int8 (dynamic). For each sample,
 ///    amax = max_c|x[c]|, xq[c] = round(127·x[c]/amax) ∈ [-127, 127],
 ///    xscale = amax / 127 (amax = 0 ⇒ all-zero codes, xscale 0).

@@ -18,6 +18,16 @@ PolicyHandle PolicyHandle::snapshot(const nn::GaussianPolicy& policy) {
   return PolicyHandle(std::make_shared<const nn::GaussianPolicy>(policy));
 }
 
+PolicyHandle PolicyHandle::serving(
+    std::shared_ptr<const nn::GaussianPolicy> net, bool quantized) {
+  IMAP_CHECK_MSG(net != nullptr, "serving handle needs a network");
+  PolicyHandle h;
+  h.net_ = std::move(net);
+  if (quantized)
+    h.qnet_ = std::make_shared<const nn::QuantizedMlp>(h.net_->net());
+  return h;
+}
+
 std::vector<double> PolicyHandle::query(const std::vector<double>& obs) const {
   if (qnet_) return qnet_->forward(obs);
   return net_ ? net_->mean_action(obs) : fn_(obs);

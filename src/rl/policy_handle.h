@@ -46,6 +46,15 @@ class PolicyHandle {
   /// original while the handle keeps serving the captured parameters.
   static PolicyHandle snapshot(const nn::GaussianPolicy& policy);
 
+  /// Explicit serving-mode handle: `quantized` selects the int8 path
+  /// directly instead of consulting the process-wide IMAP_VICTIM_QUANT
+  /// toggle. This is what the serving daemon uses — its model cache builds
+  /// handles from request-handler threads, where flipping the global toggle
+  /// (documented single-threaded) would race with any training job that
+  /// constructs fp64 handles concurrently.
+  static PolicyHandle serving(std::shared_ptr<const nn::GaussianPolicy> net,
+                              bool quantized);
+
   explicit operator bool() const { return net_ != nullptr || fn_ != nullptr; }
 
   /// True when the handle exposes a network and so supports query_batch.
@@ -58,6 +67,12 @@ class PolicyHandle {
 
   /// True when this handle serves through the int8 quantized path.
   bool quantized() const { return qnet_ != nullptr; }
+
+  /// Network I/O widths (0 for opaque-function handles, which carry no
+  /// shape). The serving layer validates request rows against these before
+  /// a malformed observation can reach a kernel.
+  std::size_t obs_dim() const { return net_ ? net_->obs_dim() : 0; }
+  std::size_t act_dim() const { return net_ ? net_->act_dim() : 0; }
 
   /// Per-sample query (the deterministic mean for network-backed handles;
   /// the quantized mean when the handle was built under the quant toggle).

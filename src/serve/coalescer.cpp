@@ -1,0 +1,93 @@
+#include "serve/coalescer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "nn/batch.h"
+
+namespace imap::serve {
+
+Coalescer::Coalescer(Options opts, ServeMetrics* metrics)
+    : opts_(opts), metrics_(metrics) {}
+
+void Coalescer::compute(const ServedModel& model, std::vector<Slot*>& batch) {
+  const std::size_t n = batch.size();
+  const std::size_t act = model.handle.act_dim();
+  // Workspace and gather buffer are thread_local: after warm-up a worker
+  // thread issues forwards with zero steady-state allocations.
+  thread_local nn::Mlp::Workspace ws;
+  thread_local nn::Batch in;
+  in.resize(n, model.handle.obs_dim());
+  for (std::size_t i = 0; i < n; ++i) in.set_row(i, *batch[i]->obs);
+  const nn::Batch& out = model.handle.query_batch(in, ws);
+  for (std::size_t i = 0; i < n; ++i)
+    batch[i]->out.assign(out.row(i), out.row(i) + act);
+  if (metrics_ != nullptr) {
+    metrics_->coalesced_batches.inc();
+    metrics_->batch_size.record(n);
+  }
+}
+
+std::vector<double> Coalescer::infer(
+    const std::shared_ptr<const ServedModel>& model,
+    const std::vector<double>& obs) {
+  IMAP_CHECK_MSG(model != nullptr && model->handle.batched(),
+                 "coalescer needs a network-backed model");
+  IMAP_CHECK_MSG(obs.size() == model->handle.obs_dim(),
+                 "observation width " << obs.size() << " != model width "
+                                      << model->handle.obs_dim());
+
+  const std::size_t max_batch =
+      opts_.max_batch > 1 ? static_cast<std::size_t>(opts_.max_batch) : 1;
+  if (!opts_.enabled || max_batch <= 1) {
+    // Baseline path: one forward per request, same metrics accounting.
+    Slot slot;
+    slot.obs = &obs;
+    std::vector<Slot*> batch{&slot};
+    compute(*model, batch);
+    return std::move(slot.out);
+  }
+
+  Slot slot;
+  slot.obs = &obs;
+
+  std::unique_lock<std::mutex> lk(m_);
+  auto& open = groups_[model.get()];
+  // A full-but-not-yet-taken group is closed to newcomers: start the next
+  // batch instead of growing past max_batch under the leader.
+  if (open == nullptr || open->slots.size() >= max_batch) {
+    open = std::make_shared<Group>();
+    open->model = model;
+  }
+  const std::shared_ptr<Group> group = open;
+  group->slots.push_back(&slot);
+
+  if (group->slots.size() == 1) {
+    // Leader: wait for followers, bounded by the batching deadline.
+    if (opts_.max_wait_us > 0) {
+      group->cv.wait_for(lk, std::chrono::microseconds(opts_.max_wait_us),
+                         [&] { return group->slots.size() >= max_batch; });
+    }
+    // Detach the batch so late arrivals form the next one while this
+    // forward runs.
+    const auto it = groups_.find(model.get());
+    if (it != groups_.end() && it->second == group) groups_.erase(it);
+    std::vector<Slot*> batch = std::move(group->slots);
+    lk.unlock();
+
+    compute(*model, batch);
+
+    lk.lock();
+    for (Slot* s : batch) s->done = true;
+    group->cv.notify_all();
+    return std::move(slot.out);
+  }
+
+  // Follower: wake the leader early when the batch just filled, then wait
+  // for the scatter.
+  if (group->slots.size() >= max_batch) group->cv.notify_all();
+  group->cv.wait(lk, [&] { return slot.done; });
+  return std::move(slot.out);
+}
+
+}  // namespace imap::serve

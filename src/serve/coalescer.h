@@ -1,0 +1,80 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/model_cache.h"
+
+namespace imap::serve {
+
+/// Cross-connection request coalescer.
+///
+/// Concurrent /infer requests for the SAME resident victim are gathered into
+/// one `PolicyHandle::query_batch` call — the first arrival becomes the
+/// batch leader and waits up to `max_wait_us` for followers (or until
+/// `max_batch` rows are pending, whichever is first), issues the single
+/// forward, and scatters rows back to each waiting connection. Requests for
+/// different victims never share a batch.
+///
+/// Correctness rides the PolicyHandle contract: every query_batch output row
+/// is bit-identical to a per-sample query() of that row, in fp64 and int8
+/// modes alike. Coalescing therefore changes only *when* the kernel runs,
+/// never *what* any connection receives.
+///
+/// A taken batch is detached from the group map before its forward runs, so
+/// late arrivals start forming the next batch immediately — under sustained
+/// load several batches for one victim can be in flight at once, which is
+/// exactly the pipelining that buys the throughput win.
+class Coalescer {
+ public:
+  struct Options {
+    int max_batch = 32;        ///< rows per forward (<= 1 disables gathering)
+    long long max_wait_us = 200;  ///< leader's wait for followers
+    bool enabled = true;       ///< off: every request is its own forward
+  };
+
+  explicit Coalescer(Options opts, ServeMetrics* metrics = nullptr);
+
+  /// Answer one observation through `model`, riding a coalesced batch when
+  /// possible. Blocks the calling (pool worker) thread until its row is
+  /// computed. Throws CheckError when `obs` does not match the model width.
+  std::vector<double> infer(const std::shared_ptr<const ServedModel>& model,
+                            const std::vector<double>& obs);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  /// One pending request: where to read the observation, where the leader
+  /// scatters the action row.
+  struct Slot {
+    const std::vector<double>* obs = nullptr;
+    std::vector<double> out;
+    bool done = false;
+  };
+
+  /// An open batch for one victim. Members rendezvous on the group's own
+  /// condition variable; the leader holds a shared_ptr across the forward,
+  /// so detaching the group from the map never invalidates it.
+  struct Group {
+    std::shared_ptr<const ServedModel> model;
+    std::vector<Slot*> slots;
+    std::condition_variable cv;
+  };
+
+  /// Gather rows, run the one forward, scatter rows. Called outside m_.
+  void compute(const ServedModel& model, std::vector<Slot*>& batch);
+
+  Options opts_;
+  ServeMetrics* metrics_;
+  std::mutex m_;
+  /// Open (not yet taken) batch per resident model. Keyed by snapshot
+  /// identity, not (env, defense): a hot-swapped victim must never share a
+  /// batch with rows bound for its predecessor.
+  std::map<const ServedModel*, std::shared_ptr<Group>> groups_;
+};
+
+}  // namespace imap::serve

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace imap::serve {
+
+/// One parsed HTTP/1.1 request. The daemon speaks a deliberately small
+/// dialect: request line + headers + optional Content-Length body,
+/// keep-alive connections, no chunked encoding, no continuation lines.
+/// Query parameters are split on '&'/'=' without percent-decoding — every
+/// value the API accepts (env names, defenses, integers) is URL-safe as is.
+struct HttpRequest {
+  std::string method;  ///< "GET" / "POST"
+  std::string path;    ///< target without the query string, e.g. "/infer"
+  std::map<std::string, std::string> params;  ///< parsed query string
+  std::string body;
+
+  /// Query parameter by name, or `fallback` when absent.
+  std::string param(const std::string& name,
+                    const std::string& fallback = "") const;
+  long long param_ll(const std::string& name, long long fallback) const;
+};
+
+enum class ParseStatus {
+  Incomplete,  ///< need more bytes
+  Ok,          ///< one request consumed from the front of the buffer
+  Bad,         ///< malformed — the connection should answer 400 and close
+};
+
+/// Maximum accepted request size (request line + headers + body). A client
+/// exceeding it is malformed by definition — the bound keeps one connection
+/// from growing an unbounded buffer.
+inline constexpr std::size_t kMaxRequestBytes = 8u << 20;
+
+/// Try to consume one complete request from the front of `buf` (bytes
+/// accumulated from the socket so far; consumed bytes are erased, pipelined
+/// followers stay in place).
+ParseStatus parse_request(std::string& buf, HttpRequest& out);
+
+/// Serialize a response with Content-Length and keep-alive headers.
+std::string format_response(int status, const std::string& content_type,
+                            const std::string& body);
+
+/// Reason phrase for the handful of status codes the daemon emits.
+const char* status_text(int status);
+
+/// Loopback listening socket (SO_REUSEADDR, non-blocking accepts). Pass
+/// port 0 for an ephemeral port; `bound_port` reports the actual one.
+/// Throws CheckError on failure.
+int listen_on(std::uint16_t port);
+std::uint16_t bound_port(int listen_fd);
+
+/// Accept one pending connection, or -1 when none is pending.
+int accept_connection(int listen_fd);
+
+/// Append whatever is currently readable on `fd` to `buf`. Returns false on
+/// EOF or a hard error (the connection is dead), true otherwise.
+bool recv_available(int fd, std::string& buf);
+
+/// Write all of `data`, looping over partial writes. Returns false when the
+/// peer is gone (EPIPE / reset) — the torn-request case the serving loop
+/// must absorb without disturbing other connections.
+bool send_all(int fd, const std::string& data);
+
+}  // namespace imap::serve

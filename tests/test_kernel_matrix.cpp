@@ -164,7 +164,7 @@ void run_quant_cell(const std::string& backend, std::size_t in,
   std::vector<std::int16_t> wq(2 * in_pairs * out, 0);
   for (std::size_t r = 0; r < out; ++r)
     for (std::size_t c = 0; c < in; ++c)
-      wq[((c / 2) * out + r) * 2 + (c % 2)] = code();
+      wq[kernel::quant_packed_index(r, c, out, in_pairs)] = code();
   std::vector<std::int16_t> xq(batch * 2 * in_pairs, 0);
   for (std::size_t n = 0; n < batch; ++n)
     for (std::size_t c = 0; c < in; ++c) xq[n * 2 * in_pairs + c] = code();

@@ -52,7 +52,7 @@ import shlex
 import cpp_ast
 from cpp_ast import FLOAT_TYPES, is_allocating_type, is_float_literal
 
-HOT_DIRS = ("src/nn/", "src/rl/", "src/attack/")
+HOT_DIRS = ("src/nn/", "src/rl/", "src/attack/", "src/serve/")
 
 PARALLEL_ENTRY = {"parallel_for", "parallel_for_chunked", "submit"}
 
@@ -77,8 +77,8 @@ FIXITS = {
     "hot-loop-alloc": (
         "hoist the allocating declaration out of the loop and reuse it "
         "(resize/assign on a caller-owned buffer, Batch, or Mlp::Workspace); "
-        "the src/nn, src/rl and src/attack hot paths must be allocation-free "
-        "in steady state"
+        "the src/nn, src/rl, src/attack and src/serve hot paths must be "
+        "allocation-free in steady state"
     ),
     "float-eq": (
         "exact floating-point comparison is brittle; compare with a "

@@ -1,0 +1,29 @@
+// Fixture: serving-loop shapes — per-request scratch constructed inside the
+// dispatch/scatter loops of a request handler. Checked under a src/serve/
+// path, every marked line must trip hot-loop-alloc; the serving hot path
+// answers thousands of requests per second and must reuse its buffers.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imap {
+
+void answer_requests(std::size_t pending, std::size_t act_dim) {
+  for (std::size_t r = 0; r < pending; ++r) {
+    std::vector<double> action(act_dim);  // BAD: per-request action row
+    std::string response;                 // BAD: per-request response text
+    response += 'a';
+    action[0] = static_cast<double>(response.size());
+  }
+}
+
+void scatter_batch(std::size_t rows, std::size_t act_dim) {
+  std::size_t i = 0;
+  while (i < rows) {
+    std::vector<double> out(act_dim);  // BAD: per-row scatter buffer
+    out[0] = static_cast<double>(i);
+    ++i;
+  }
+}
+
+}  // namespace imap

@@ -1,0 +1,31 @@
+// Fixture: the allocation-free counterpart of hot_alloc_serve_bad.cpp —
+// hoisted and thread_local buffers resized per request. Must stay clean
+// under a src/serve/ path.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imap {
+
+void answer_requests(std::size_t pending, std::size_t act_dim) {
+  std::vector<double> action;  // hoisted: capacity survives the loop
+  std::string response;
+  for (std::size_t r = 0; r < pending; ++r) {
+    action.assign(act_dim, 0.0);
+    response.clear();
+    response += 'a';
+    action[0] = static_cast<double>(response.size());
+  }
+}
+
+void scatter_batch(std::size_t rows, std::size_t act_dim) {
+  thread_local std::vector<double> out;  // per-thread reusable scratch
+  std::size_t i = 0;
+  while (i < rows) {
+    out.assign(act_dim, 0.0);
+    out[0] = static_cast<double>(i);
+    ++i;
+  }
+}
+
+}  // namespace imap

@@ -97,6 +97,20 @@ class TestHotLoopAlloc(unittest.TestCase):
                            "src/common/hot_alloc_sugar_bad.cpp")
         self.assertEqual(lines_of(fs, "hot-loop-alloc"), [])
 
+    def test_serving_layer_is_a_hot_path(self):
+        # Per-request action row / response text / scatter buffer inside the
+        # dispatch loops — src/serve/ answers requests at rate and is held to
+        # the same allocation-free steady state as the kernels.
+        fs = check_fixture("hot_alloc_serve_bad.cpp",
+                           "src/serve/hot_alloc_serve_bad.cpp")
+        self.assertEqual(rules_of(fs), ["hot-loop-alloc"])
+        self.assertEqual(lines_of(fs), [13, 14, 23])
+
+    def test_serving_layer_good_fixture_is_clean(self):
+        fs = check_fixture("hot_alloc_serve_good.cpp",
+                           "src/serve/hot_alloc_serve_good.cpp")
+        self.assertEqual(fs, [])
+
 
 class TestFloatEq(unittest.TestCase):
     def test_bad_fixture_types_computed_expressions(self):
@@ -173,6 +187,14 @@ class TestIpcFraming(unittest.TestCase):
     def test_proc_home_is_exempt(self):
         fs = check_fixture("ipc_framing_bad.cpp", "src/common/proc.cpp")
         self.assertEqual(lines_of(fs, "ipc-framing"), [])
+
+    def test_serving_layer_is_covered(self):
+        # The serving daemon moves raw bytes on sockets all day; struct-shaped
+        # I/O there is exactly the torn-message risk the rule exists for.
+        fs = check_fixture("ipc_framing_bad.cpp",
+                           "src/serve/ipc_framing_bad.cpp")
+        self.assertEqual(rules_of(fs), ["ipc-framing"])
+        self.assertEqual(lines_of(fs), [14, 15, 19, 25, 29])
 
     def test_outside_src_is_exempt(self):
         fs = check_fixture("ipc_framing_bad.cpp",

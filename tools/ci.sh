@@ -88,5 +88,53 @@ IMAP_BENCH_NO_PROBE=1 "${BUILD_DIR}/bench/bench_micro_infer" \
 # tracked repo-root BENCH_fabric.json (regenerated manually at full scale,
 # see README "Benchmarks") is not clobbered by smoke-scale numbers.
 ( cd "${BUILD_DIR}" && IMAP_BENCH_SCALE=0.001 ./bench/bench_fabric ) || exit 1
+# Serving-coalescer probe at smoke scale: every cell still runs (including
+# the bit-identity comparison against direct PolicyHandle queries — the
+# probe exits nonzero on any mismatch), just with tiny iteration counts.
+# From the build dir so the tracked BENCH_serve.json stays full-scale.
+( cd "${BUILD_DIR}" &&
+  IMAP_BENCH_SERVE_ITERS=2 IMAP_BENCH_SERVE_REPS=1 ./bench/bench_serve \
+  > /dev/null ) || exit 1
 
-stage "OK — build, lint, tier-1 tests, and bench smoke all clean"
+stage "serve (daemon lifecycle: start, concurrent smoke, clean shutdown)"
+# End-to-end drill of the imap_serve daemon as a real process: ephemeral
+# port, resident victim trained at smoke scale on first /infer, concurrent
+# curl clients, Prometheus scrape, then SIGTERM and a clean exit.
+SERVE_ZOO="$(pwd)/${BUILD_DIR}/ci_serve_zoo"
+SERVE_LOG="$(pwd)/${BUILD_DIR}/ci_serve_port"
+rm -rf "${SERVE_ZOO}" "${SERVE_LOG}"
+IMAP_ZOO_DIR="${SERVE_ZOO}" IMAP_BENCH_SCALE=0.01 IMAP_SERVE_PORT=0 \
+  "${BUILD_DIR}/tools/imap_serve" --print-port > "${SERVE_LOG}" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -s "${SERVE_LOG}" ] && break
+  sleep 0.1
+done
+SERVE_PORT="$(head -n1 "${SERVE_LOG}")"
+[ -n "${SERVE_PORT}" ] || { echo "ci: imap_serve printed no port"; exit 1; }
+curl -fsS "http://127.0.0.1:${SERVE_PORT}/health" | grep -q '"status":"ok"' \
+  || { echo "ci: /health failed"; kill "${SERVE_PID}"; exit 1; }
+# Concurrent inference smoke: identical observations must produce identical
+# action rows whether or not they shared a coalesced batch.
+SERVE_OBS="$(python3 -c 'print(" ".join(["0.01"] * 11))')"
+for i in 1 2 3 4; do
+  curl -fsS -d "${SERVE_OBS}" \
+    "http://127.0.0.1:${SERVE_PORT}/infer?env=Hopper" \
+    > "${SERVE_LOG}.${i}" &
+done
+wait $(jobs -p | grep -v "^${SERVE_PID}$") 2>/dev/null
+for i in 2 3 4; do
+  cmp -s "${SERVE_LOG}.1" "${SERVE_LOG}.${i}" \
+    || { echo "ci: concurrent /infer rows diverged"; kill "${SERVE_PID}"; exit 1; }
+done
+[ -s "${SERVE_LOG}.1" ] || { echo "ci: /infer empty"; kill "${SERVE_PID}"; exit 1; }
+curl -fsS "http://127.0.0.1:${SERVE_PORT}/metrics" \
+  | grep -q '^imap_serve_infer_requests_total 4$' \
+  || { echo "ci: /metrics did not count 4 infers"; kill "${SERVE_PID}"; exit 1; }
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
+SERVE_RC=$?
+[ "${SERVE_RC}" -eq 0 ] || { echo "ci: imap_serve exit ${SERVE_RC}"; exit 1; }
+rm -rf "${SERVE_ZOO}" "${SERVE_LOG}" "${SERVE_LOG}".[1-4]
+
+stage "OK — build, lint, tier-1 tests, bench smoke, and serve drill all clean"

@@ -1,0 +1,109 @@
+// imap_serve: the long-running robustness-evaluation serving daemon.
+//
+// Loads the victim zoo once, keeps hot models resident in a TTL'd cache and
+// answers HTTP on 127.0.0.1 (see src/serve/server.h for the route table).
+// Concurrent single-row /infer requests for the same victim are coalesced
+// into one batched int8 forward — responses stay bit-identical to direct
+// per-request queries.
+//
+//   Usage: imap_serve [--port N] [--print-port]
+//
+// Configuration (flags override environment):
+//   IMAP_SERVE_PORT         listen port (default 8950; 0 = ephemeral)
+//   IMAP_SERVE_THREADS      request-handler workers (default 8)
+//   IMAP_SERVE_MAX_BATCH    rows per coalesced forward (default 32)
+//   IMAP_SERVE_MAX_WAIT_US  batching deadline in microseconds (default 200)
+//   IMAP_SERVE_COALESCE     1/0: cross-connection coalescing (default 1)
+//   IMAP_SERVE_QUANT        1/0: serve victims through int8 (default 1)
+//   IMAP_SERVE_CACHE_TTL_MS model-cache TTL (default 60000)
+//   IMAP_SERVE_CACHE_CAP    resident-model capacity (default 16)
+//   IMAP_SERVE_JOB_PROCS    attack-job fabric processes (0 = IMAP_PROCS)
+//   plus the usual IMAP_ZOO_DIR / IMAP_BENCH_SCALE / IMAP_SEED knobs.
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/config.h"
+#include "common/proc.h"
+#include "serve/server.h"
+
+namespace {
+
+// Classic self-pipe: the handler sets the flag and pokes the pipe the main
+// thread is blocked on (write(2) is async-signal-safe), so shutdown starts
+// immediately instead of on the next poll timeout.
+volatile std::sig_atomic_t g_stop = 0;
+int g_wake_w = -1;
+
+void on_signal(int) {
+  g_stop = 1;
+  if (g_wake_w >= 0) {
+    const ssize_t rc = ::write(g_wake_w, "x", 1);
+    (void)rc;
+  }
+}
+
+int env_int(const char* name, int fallback) {
+  return static_cast<int>(imap::env_double(name, fallback));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  imap::serve::ServeOptions opts;
+  opts.bench = imap::BenchConfig::from_env();
+  opts.port = static_cast<std::uint16_t>(env_int("IMAP_SERVE_PORT", 8950));
+  opts.threads = env_int("IMAP_SERVE_THREADS", 8);
+  opts.coalesce.max_batch = env_int("IMAP_SERVE_MAX_BATCH", 32);
+  opts.coalesce.max_wait_us = env_int("IMAP_SERVE_MAX_WAIT_US", 200);
+  opts.coalesce.enabled = env_int("IMAP_SERVE_COALESCE", 1) != 0;
+  opts.cache.quant = env_int("IMAP_SERVE_QUANT", 1) != 0;
+  opts.cache.ttl_ms = env_int("IMAP_SERVE_CACHE_TTL_MS", 60'000);
+  opts.cache.capacity = env_int("IMAP_SERVE_CACHE_CAP", 16);
+  opts.job_procs = env_int("IMAP_SERVE_JOB_PROCS", 0);
+
+  bool print_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      opts.port = static_cast<std::uint16_t>(std::stoi(argv[++i]));
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else {
+      std::cerr << "imap_serve: unknown flag " << arg << "\n";
+      return 1;
+    }
+  }
+
+  int wake[2];
+  if (::pipe(wake) != 0) {
+    std::cerr << "imap_serve: pipe() failed\n";
+    return 1;
+  }
+  g_wake_w = wake[1];
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  imap::serve::Server server(opts);
+  server.start();
+  if (print_port) std::cout << server.port() << std::endl;
+  std::cerr << "imap_serve: listening on 127.0.0.1:" << server.port()
+            << " (zoo: " << opts.bench.zoo_dir
+            << ", coalesce: " << (opts.coalesce.enabled ? "on" : "off")
+            << ", max_batch: " << opts.coalesce.max_batch
+            << ", max_wait_us: " << opts.coalesce.max_wait_us
+            << ", quant: " << (opts.cache.quant ? "int8" : "fp64") << ")\n";
+
+  // The server runs on its own pool; this thread blocks on the self-pipe
+  // until a signal arrives.
+  while (g_stop == 0) imap::proc::poll_readable({wake[0]}, 1000);
+  std::cerr << "imap_serve: draining and shutting down\n";
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fixture: numeric std::vector scratch inside serving loops — linted under
+// a src/serve/ path each marked line must trip hot-loop-alloc (the request
+// hot path reuses gather/scatter buffers, it never allocates per request).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void gather_rows(std::size_t pending, std::size_t obs_dim) {
+  for (std::size_t r = 0; r < pending; ++r) {
+    std::vector<double> obs(obs_dim);  // BAD: per-request gather row
+    obs[0] = static_cast<double>(r);
+  }
+}
+
+void quantize_rows(std::size_t pending, std::size_t obs_dim) {
+  std::size_t r = 0;
+  while (r < pending) {
+    std::vector<std::int8_t> q(obs_dim);  // BAD: per-request int8 scratch
+    q[0] = static_cast<std::int8_t>(r);
+    ++r;
+  }
+}

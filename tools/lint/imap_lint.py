@@ -25,7 +25,8 @@ Enforces rules that no off-the-shelf tool knows about:
   hot-loop-alloc     Constructing a numeric std::vector (double, float, or a
                      fixed-width integer — the kernel and quantized-serving
                      buffer types) inside a loop in a hot-path layer
-                     (src/nn/, src/rl/, src/attack/) allocates on every
+                     (src/nn/, src/rl/, src/attack/, src/serve/) allocates
+                     on every
                      iteration; the zero-allocation contract of the kernels,
                      the rollout engine and the int8 serving path requires
                      hoisted, capacity-reusing buffers (Batch /
@@ -86,8 +87,8 @@ FIXITS = {
     "hot-loop-alloc": (
         "hoist the numeric std::vector out of the loop and reuse it (resize/"
         "assign on a caller-owned buffer, Batch, or Mlp::Workspace — the q* "
-        "scratch for quantized buffers); the src/nn, src/rl and src/attack "
-        "hot paths must be allocation-free in steady state"
+        "scratch for quantized buffers); the src/nn, src/rl, src/attack and "
+        "src/serve hot paths must be allocation-free in steady state"
     ),
     "serialize-symmetry": (
         "declare the matching save_state/load_state counterpart in the same "
@@ -249,7 +250,7 @@ def is_numeric_path(relpath: str) -> bool:
     """Code paths where hash-order nondeterminism corrupts results."""
     numeric_dirs = (
         "src/nn/", "src/rl/", "src/core/", "src/phys/",
-        "src/attack/", "src/defense/", "src/env/",
+        "src/attack/", "src/defense/", "src/env/", "src/serve/",
     )
     return relpath.startswith(numeric_dirs)
 
@@ -338,7 +339,7 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
                 "header declares load_state but no save_state")
 
     # --- hot-loop-alloc (hot-path layers: kernels, rollout engine, attacks)
-    if relpath.startswith(("src/nn/", "src/rl/", "src/attack/")):
+    if relpath.startswith(("src/nn/", "src/rl/", "src/attack/", "src/serve/")):
         for idx in hot_loop_alloc_lines(code):
             add(idx, "hot-loop-alloc",
                 "numeric std::vector constructed inside a loop in a "

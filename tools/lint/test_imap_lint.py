@@ -70,7 +70,8 @@ class RuleFiring(unittest.TestCase):
         # for-body, while-body, braceless for-body; hoisted decl and the
         # reference inside a loop stay silent — in every hot-path layer.
         for rel in ("src/nn/bad_hot_alloc.cpp", "src/rl/bad_hot_alloc.cpp",
-                    "src/attack/bad_hot_alloc.cpp"):
+                    "src/attack/bad_hot_alloc.cpp",
+                    "src/serve/bad_hot_alloc.cpp"):
             findings = lint_fixture("bad_hot_alloc.cpp", relpath=rel)
             self.assertEqual(rules_of(findings), ["hot-loop-alloc"], rel)
             self.assertEqual(len(findings), 3, rel)
@@ -96,6 +97,16 @@ class RuleFiring(unittest.TestCase):
         # per-tick obs, per-tick copy-init, per-query victim input.
         self.assertEqual(len(findings), 3)
         self.assertEqual(lint_fixture("bad_hot_alloc_collect.cpp"), [])
+
+    def test_hot_loop_alloc_fires_on_serving_loops(self):
+        # Request gather row and per-request int8 scratch — the serving
+        # layer's hot shapes; src/serve/ is a hot-path layer.
+        findings = lint_fixture("bad_hot_alloc_serve.cpp",
+                                relpath="src/serve/bad_hot_alloc_serve.cpp")
+        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+        self.assertEqual(len(findings), 2)
+        # Path scoping still applies outside the hot-path layers.
+        self.assertEqual(lint_fixture("bad_hot_alloc_serve.cpp"), [])
 
     def test_hot_loop_alloc_ignores_loop_header_and_suppresses(self):
         init = (
