@@ -388,6 +388,13 @@ void rollout_probe() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Probe-only mode for the CI bench-diff gate: run just the rollout probe
+  // (writes BENCH_rollout.json in the cwd) and exit, skipping the slower
+  // speedup/kernel probes and the google-benchmark suites.
+  if (std::getenv("IMAP_BENCH_ROLLOUT_PROBE_ONLY") != nullptr) {
+    rollout_probe();
+    return 0;
+  }
   if (std::getenv("IMAP_BENCH_NO_PROBE") == nullptr) {
     speedup_probe();
     kernel_probe();

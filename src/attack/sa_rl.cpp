@@ -10,6 +10,10 @@ SaRl::SaRl(const rl::Env& deploy_env, rl::PolicyHandle victim, double eps,
   trainer_ = std::make_unique<rl::PpoTrainer>(attack_env, ppo, rng);
 }
 
+SaRl::SaRl(const rl::Env& attack_env, rl::PpoOptions ppo, Rng rng) {
+  trainer_ = std::make_unique<rl::PpoTrainer>(attack_env, ppo, rng);
+}
+
 rl::ActionFn SaRl::adversary() const {
   // Snapshot the current policy parameters so the returned adversary is a
   // frozen deployment artifact (training can continue independently).

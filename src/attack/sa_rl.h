@@ -25,6 +25,12 @@ class SaRl {
   SaRl(const rl::Env& deploy_env, rl::PolicyHandle victim, double eps,
        rl::PpoOptions ppo, Rng rng, bool relaxed = false);
 
+  /// Train against a pre-built attack-view env (e.g. a scenario::ScenarioEnv
+  /// in Adversary mode). The env must already negate the victim's surrogate
+  /// into the adversary's reward; the Rng goes straight to the PPO trainer,
+  /// exactly as with the classic ctor above.
+  SaRl(const rl::Env& attack_env, rl::PpoOptions ppo, Rng rng);
+
   rl::IterStats iterate() { return trainer_->iterate(); }
   std::vector<rl::IterStats> train(long long steps) {
     return trainer_->train(steps);

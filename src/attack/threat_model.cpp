@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "scenario/channels.h"
 
 namespace imap::attack {
 
@@ -36,10 +37,11 @@ const std::vector<double>& StatePerturbationEnv::begin_step(
   IMAP_CHECK(action.size() == inner_->obs_dim());
   const auto a = act_space_.clamp(action);
 
-  // Perturb the victim's view: s + ε·a^α (ℓ∞ budget by construction).
+  // Perturb the victim's view: s + ε·a^α (ℓ∞ budget by construction) — the
+  // shared obs_perturb channel primitive, bit-identical to the historical
+  // in-place loop.
   perturbed_ = cur_obs_;
-  for (std::size_t i = 0; i < perturbed_.size(); ++i)
-    perturbed_[i] += eps_ * a[i];
+  scenario::apply_obs_perturb(perturbed_, a.data(), eps_);
   return perturbed_;
 }
 

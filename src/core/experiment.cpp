@@ -12,6 +12,8 @@
 #include "common/check.h"
 #include "common/proc.h"
 #include "env/registry.h"
+#include "scenario/scenario_env.h"
+#include "scenario/spec.h"
 
 namespace imap::core {
 
@@ -93,7 +95,11 @@ rl::PpoOptions ExperimentRunner::attack_ppo_options() const {
 Rng ExperimentRunner::plan_rng(const AttackPlan& plan) const {
   Rng seeder(cfg_.seed);
   std::uint64_t stream = 0;
-  const std::string key = plan.env_name + "|" + plan.defense + "|" +
+  // The canonical scenario string IS the cell identity when present; plans
+  // without one keep the historical env_name stream bit-for-bit.
+  const std::string& identity =
+      plan.scenario.empty() ? plan.env_name : plan.scenario;
+  const std::string key = identity + "|" + plan.defense + "|" +
                           to_string(plan.attack) +
                           (plan.bias_reduction ? "|BR" : "");
   for (const char c : key) stream = stream * 131 + static_cast<unsigned char>(c);
@@ -247,6 +253,76 @@ AttackOutcome ExperimentRunner::run_single_agent(const AttackPlan& plan,
   }
 }
 
+AttackOutcome ExperimentRunner::run_scenario(const AttackPlan& plan,
+                                             const std::string& key) {
+  const auto spec = scenario::parse(plan.scenario);
+  const auto victim_policy = zoo_.victim(spec.env, plan.defense);
+  const auto victim = Zoo::as_policy(victim_policy);
+
+  Rng rng = plan_rng(plan);
+  const long long steps =
+      plan.attack_steps ? plan.attack_steps
+                        : default_attack_steps(plan.env_name);
+  const int episodes = plan.eval_episodes
+                           ? plan.eval_episodes
+                           : default_eval_episodes(plan.env_name);
+
+  AttackOutcome out;
+  out.plan = plan;
+  Rng eval_rng = rng.split(0xe7a1ULL);
+
+  // Deployment view: the victim's TRUE reward under the full channel stack
+  // (delay/dropout/noise/dr hit the victim even when no adversary acts).
+  const auto eval_env = scenario::make_scenario_env(
+      spec, victim, attack::RewardMode::VictimTrue);
+
+  switch (plan.attack) {
+    case AttackKind::None: {
+      out.victim_eval = rl::evaluate(
+          *eval_env, attack::make_null_attack(eval_env->act_dim()), episodes,
+          eval_rng);
+      return out;
+    }
+    case AttackKind::Random: {
+      out.victim_eval = rl::evaluate(
+          *eval_env,
+          attack::make_random_attack(eval_env->act_dim(), rng.split(3)),
+          episodes, eval_rng);
+      return out;
+    }
+    case AttackKind::SaRl: {
+      const auto attack_env = scenario::make_scenario_env(
+          spec, victim, attack::RewardMode::Adversary);
+      attack::SaRl attacker(*attack_env, attack_ppo_options(), rng);
+      out.completed = train_attacker(
+          attacker, steps,
+          {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+          out.curve);
+      if (!out.completed) return out;
+      out.victim_eval =
+          rl::evaluate(*eval_env, attacker.adversary(), episodes, eval_rng);
+      return out;
+    }
+    case AttackKind::ApMarl:
+      IMAP_CHECK_MSG(false, "AP-MARL has no scenario-layer threat model");
+      return out;
+    default: {
+      ImapTrainer attacker(
+          *scenario::make_scenario_env(spec, victim,
+                                       attack::RewardMode::Adversary),
+          imap_options(plan, plan.env_name), rng);
+      out.completed = train_attacker(
+          attacker, steps,
+          {snapshot_path(key), cfg_.snapshot_every, cfg_.halt_after_iters},
+          out.curve);
+      if (!out.completed) return out;
+      out.victim_eval =
+          rl::evaluate(*eval_env, attacker.adversary(), episodes, eval_rng);
+      return out;
+    }
+  }
+}
+
 AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan,
                                                 const std::string& key) {
   const auto game = env::make_multiagent_env(plan.env_name);
@@ -289,10 +365,26 @@ AttackOutcome ExperimentRunner::run_multi_agent(const AttackPlan& plan,
   return out;
 }
 
+AttackPlan ExperimentRunner::normalize_plan(AttackPlan plan) const {
+  if (plan.scenario.empty()) return plan;
+  auto spec = scenario::parse(plan.scenario);
+  // An attack needs an adversary-controlled channel; when the scenario names
+  // none, the registry-ε obs_perturb default becomes explicit so the cell's
+  // identity string says exactly what ran.
+  if (!spec.trivial() && plan.attack != AttackKind::None &&
+      !spec.attackable())
+    spec = scenario::with_default_threat(std::move(spec));
+  plan.env_name = spec.env;
+  plan.scenario = spec.trivial() ? std::string() : spec.canonical();
+  return plan;
+}
+
 std::string ExperimentRunner::cache_key(const AttackPlan& plan,
                                         long long steps, int episodes) const {
+  const std::string& identity =
+      plan.scenario.empty() ? plan.env_name : plan.scenario;
   std::ostringstream os;
-  os << plan.env_name << '|' << plan.defense << '|' << to_string(plan.attack)
+  os << identity << '|' << plan.defense << '|' << to_string(plan.attack)
      << '|' << (plan.bias_reduction ? 1 : 0) << '|' << plan.eta << '|'
      << plan.xi << '|' << plan.tau0 << '|' << steps << '|' << episodes << '|'
      << cfg_.seed << '|' << cfg_.scale << "|v" << kFormatVersion;
@@ -379,7 +471,8 @@ void ExperimentRunner::store_cached(const std::string& key,
   }
 }
 
-AttackOutcome ExperimentRunner::run(const AttackPlan& plan) {
+AttackOutcome ExperimentRunner::run(const AttackPlan& raw_plan) {
+  const AttackPlan plan = normalize_plan(raw_plan);
   const long long steps = plan.attack_steps
                               ? plan.attack_steps
                               : default_attack_steps(plan.env_name);
@@ -401,7 +494,8 @@ AttackOutcome ExperimentRunner::run(const AttackPlan& plan) {
   if (load_cached(key, cached)) return cached;
 
   AttackOutcome out =
-      env::spec(plan.env_name).type == env::TaskType::MultiAgent
+      !plan.scenario.empty() ? run_scenario(plan, key)
+      : env::spec(plan.env_name).type == env::TaskType::MultiAgent
           ? run_multi_agent(plan, key)
           : run_single_agent(plan, key);
   // A halted run left a snapshot, not a result — resume before caching.

@@ -34,6 +34,13 @@ std::vector<AttackKind> imap_attacks();
 
 struct AttackPlan {
   std::string env_name;        ///< task (single- or multi-agent)
+  /// Optional scenario string (scenario::parse grammar). Empty = the classic
+  /// threat model on env_name. Non-empty and non-trivial = the attack runs
+  /// through the scenario layer's channel pipeline, and the CANONICAL
+  /// scenario string replaces env_name as the cell's identity in cache keys
+  /// and rng streams. A trivial scenario ("hopper") normalizes back to the
+  /// empty-scenario plan, so paper-grid baselines keep their existing keys.
+  std::string scenario;
   std::string defense = "PPO"; ///< victim training method (single-agent)
   AttackKind attack = AttackKind::ImapPC;
   bool bias_reduction = false;
@@ -92,11 +99,22 @@ class ExperimentRunner {
   std::string cache_key(const AttackPlan& plan, long long steps,
                         int episodes) const;
 
+  /// Canonicalize a plan's scenario field: parse + validate, resolve
+  /// env_name from the spec, collapse trivial scenarios onto the classic
+  /// empty-scenario plan, and make the implicit default threat explicit
+  /// (obs_perturb at the registry ε) when an attack needs a controlled
+  /// channel the scenario doesn't name. run() and the DAG builder apply
+  /// this before any key is derived, so equal scenarios share one cell
+  /// however they were spelled.
+  AttackPlan normalize_plan(AttackPlan plan) const;
+
  private:
   AttackOutcome run_single_agent(const AttackPlan& plan,
                                  const std::string& key);
   AttackOutcome run_multi_agent(const AttackPlan& plan,
                                 const std::string& key);
+  /// Non-trivial scenario plans: channel-pipeline attack env + evaluation.
+  AttackOutcome run_scenario(const AttackPlan& plan, const std::string& key);
   /// Mid-training snapshot file for one cached run (under
   /// <zoo_dir>/snapshots; the directory is created on first write).
   std::string snapshot_path(const std::string& key) const;

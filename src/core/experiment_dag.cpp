@@ -33,6 +33,7 @@ std::uint64_t kind_code(DagNode::Kind k) {
 
 void write_plan(BinaryWriter& w, const AttackPlan& p) {
   w.write_string(p.env_name);
+  w.write_string(p.scenario);
   w.write_string(p.defense);
   w.write_i64(static_cast<long long>(p.attack));
   w.write_bool(p.bias_reduction);
@@ -46,6 +47,7 @@ void write_plan(BinaryWriter& w, const AttackPlan& p) {
 AttackPlan read_plan(BinaryReader& r) {
   AttackPlan p;
   p.env_name = r.read_string();
+  p.scenario = r.read_string();
   p.defense = r.read_string();
   p.attack = static_cast<AttackKind>(r.read_i64());
   p.bias_reduction = r.read_bool();
@@ -148,7 +150,10 @@ std::vector<DagNode> build_experiment_dag(
   std::unordered_map<std::string, std::size_t> attack_of;  // cache key → node
   node_of_plan.assign(plans.size(), 0);
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    const auto& plan = plans[i];
+    // Canonicalize before any key is derived: equal scenarios share one
+    // attack node however they were spelled, and a scenario cell's victim
+    // node is the BASE env's victim (shared with the baseline cells).
+    const AttackPlan plan = runner.normalize_plan(plans[i]);
     const bool multi =
         env::spec(plan.env_name).type == env::TaskType::MultiAgent;
     // Victim checkpoint identity: the game for multi-agent tasks, the

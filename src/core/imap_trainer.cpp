@@ -51,6 +51,16 @@ ImapTrainer::ImapTrainer(const env::MultiAgentEnv& game,
   finish_setup(attack_env, opts_, rng);
 }
 
+ImapTrainer::ImapTrainer(const rl::Env& attack_env, ImapOptions opts, Rng rng)
+    : opts_(opts), br_(opts.bias_reduction, opts.eta, opts.tau0) {
+  if (opts_.reg.type == RegularizerType::R && opts_.reg.risk_target.empty()) {
+    Rng init_rng = rng.split(0x5eedULL);
+    opts_.reg.risk_target =
+        estimate_initial_state(attack_env, opts_.reg, 16, init_rng);
+  }
+  finish_setup(attack_env, opts_, rng);
+}
+
 void ImapTrainer::finish_setup(const rl::Env& attack_env, ImapOptions opts,
                                Rng rng) {
   reg_ = make_regularizer(opts.reg, attack_env.obs_dim(),

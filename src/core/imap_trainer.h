@@ -41,6 +41,13 @@ class ImapTrainer {
   ImapTrainer(const env::MultiAgentEnv& game, rl::PolicyHandle victim,
               ImapOptions opts, Rng rng);
 
+  /// Pre-built attack-view env (e.g. a scenario::ScenarioEnv in Adversary
+  /// mode). Rng split discipline matches the single-agent ctor exactly:
+  /// split(0x5eed) for R-target estimation, split(0x4e67) for the
+  /// regularizer, split(1) for the PPO trainer — so a trivial scenario spec
+  /// reproduces the classic ctor bit-for-bit.
+  ImapTrainer(const rl::Env& attack_env, ImapOptions opts, Rng rng);
+
   rl::IterStats iterate() { return trainer_->iterate(); }
   std::vector<rl::IterStats> train(long long steps) {
     return trainer_->train(steps);

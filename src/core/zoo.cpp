@@ -9,8 +9,24 @@
 #include "env/multiagent.h"
 #include "env/registry.h"
 #include "nn/checkpoint.h"
+#include "scenario/spec.h"
 
 namespace imap::core {
+
+namespace {
+
+/// Scenario strings resolve to their BASE env's victim: the checkpoint is a
+/// property of the task the victim was trained on, never of the threat model
+/// it is later attacked under — so every scenario over one env shares one
+/// artifact, and plain env names (trivial scenarios) keep the exact keys and
+/// paths they had before the scenario layer existed.
+std::string base_env(const std::string& name) {
+  if (const auto canon = scenario::try_canonical(name))
+    return scenario::parse(*canon).env;
+  return name;  // not a scenario string; let the registry reject it
+}
+
+}  // namespace
 
 Zoo::Zoo(std::string dir, double scale, std::uint64_t seed,
          int snapshot_every)
@@ -29,7 +45,8 @@ std::string Zoo::path_for(const std::string& env_name,
          "_v" + std::to_string(kFormatVersion) + ".pol";
 }
 
-long long Zoo::victim_steps(const std::string& env_name) const {
+long long Zoo::victim_steps(const std::string& scenario_or_env) const {
+  const std::string env_name = base_env(scenario_or_env);
   long long base = 500'000;
   const auto& s = env::spec(env_name);
   // The cheetah's termination-free deployment semantics make it the slowest
@@ -59,8 +76,9 @@ rl::PolicyHandle Zoo::as_policy(const nn::GaussianPolicy& policy) {
   return rl::PolicyHandle::snapshot(policy);
 }
 
-std::string Zoo::checkpoint_path(const std::string& env_name,
+std::string Zoo::checkpoint_path(const std::string& scenario_or_env,
                                  const std::string& defense) const {
+  const std::string env_name = base_env(scenario_or_env);
   if (env::spec(env_name).type == env::TaskType::MultiAgent)
     return path_for(env_name, "PPO");
   return path_for(env::make_training_env(env_name)->name(), defense);
@@ -109,7 +127,8 @@ nn::GaussianPolicy Zoo::victim(const std::string& env_name,
 }
 
 std::shared_ptr<const nn::GaussianPolicy> Zoo::victim_shared(
-    const std::string& env_name, const std::string& defense) {
+    const std::string& scenario_or_env, const std::string& defense) {
+  const std::string env_name = base_env(scenario_or_env);
   const auto training_env = env::make_training_env(env_name);
   // Key the cache by the TRAINING env so sparse tasks reuse the victim of
   // their dense counterpart (SparseHopper deploys the Hopper victim, etc.).

@@ -28,7 +28,11 @@ class Zoo {
 
   /// Single-agent victim for `env_name`, trained with `defense`
   /// ("PPO", "ATLA", "SA", "ATLA-SA", "RADIAL", "WocaR"). Sparse tasks train
-  /// on their dense counterparts (see env::make_training_env).
+  /// on their dense counterparts (see env::make_training_env). Any scenario
+  /// string is accepted and resolves to its BASE env's victim — the
+  /// checkpoint is a property of the task, not the threat model, so every
+  /// scenario over one env shares one artifact and plain env names keep
+  /// their pre-scenario keys.
   nn::GaussianPolicy victim(const std::string& env_name,
                             const std::string& defense = "PPO");
 

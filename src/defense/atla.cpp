@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "defense/sa_regularizer.h"
 #include "nn/checkpoint.h"
+#include "scenario/channels.h"
 
 namespace imap::defense {
 
@@ -31,8 +32,11 @@ PerturbedVictimEnv::PerturbedVictimEnv(const PerturbedVictimEnv& other)
 std::vector<double> PerturbedVictimEnv::perturb(
     const std::vector<double>& obs) {
   if (noise_mode_) {
+    // The scenario layer's obs_noise channel primitive: one U[-1,1] draw per
+    // element in index order — bit-identical to the hand-rolled loop this
+    // replaced, so existing robust-defense checkpoints stay valid.
     std::vector<double> out = obs;
-    for (auto& x : out) x += eps_ * noise_rng_.uniform(-1.0, 1.0);
+    scenario::apply_obs_noise(out, eps_, noise_rng_);
     return out;
   }
   auto a = adversary_(obs);

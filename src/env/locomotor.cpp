@@ -18,6 +18,18 @@ LocomotorEnv::LocomotorEnv(LocomotorParams params)
   IMAP_CHECK(params_.c.size() == params_.n_joints);
   IMAP_CHECK(params_.d.size() == params_.n_joints);
   IMAP_CHECK(params_.theta_max > 0.0);
+  base_params_ = params_;
+}
+
+bool LocomotorEnv::apply_dynamics(const rl::DynamicsScales& scales) {
+  IMAP_CHECK_MSG(scales.mass > 0.0 && scales.gain > 0.0,
+                 name() << ": dynamics scales must be positive");
+  const double authority = scales.gain / scales.mass;
+  params_.thrust_gain = base_params_.thrust_gain * authority;
+  params_.act_gain = base_params_.act_gain * authority;
+  for (std::size_t j = 0; j < params_.n_joints; ++j)
+    params_.d[j] = base_params_.d[j] * scales.gain;
+  return true;
 }
 
 std::vector<double> LocomotorEnv::reset(Rng& rng) {

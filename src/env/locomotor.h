@@ -92,6 +92,13 @@ class LocomotorEnv : public rl::EnvBase<LocomotorEnv> {
   std::vector<double> reset(Rng& rng) override;
   rl::StepResult step(const std::vector<double>& action) override;
 
+  /// Procedural family support: mass divides every control-driven
+  /// acceleration (thrust and joint actuation), gain multiplies actuator
+  /// authority (thrust, actuation and the posture coupling d·u). Always
+  /// derived from the PRISTINE constructor parameters, so repeated
+  /// application never compounds.
+  bool apply_dynamics(const rl::DynamicsScales& scales) override;
+
   /// Canonical (noise-free) initial observation — the R-driven regularizer's
   /// default adversarial state s₀^ν (Sec. 5.2.3).
   std::vector<double> canonical_initial_obs() const;
@@ -110,6 +117,7 @@ class LocomotorEnv : public rl::EnvBase<LocomotorEnv> {
   bool unhealthy() const;
 
   LocomotorParams params_;
+  LocomotorParams base_params_;  ///< pristine copy apply_dynamics scales from
   rl::BoxSpace action_space_;
   Rng noise_rng_{0};
 

@@ -1,5 +1,7 @@
 #include "env/registry.h"
 
+#include <cctype>
+
 #include "common/check.h"
 #include "env/ant.h"
 #include "env/fetch_reach.h"
@@ -54,6 +56,21 @@ const EnvSpec& spec(const std::string& name) {
     if (s.name == name) return s;
   IMAP_CHECK_MSG(false, "unknown environment: " << name);
   return all.front();  // unreachable
+}
+
+std::optional<std::string> resolve_name(const std::string& name) {
+  const auto fold = [](const std::string& s) {
+    std::string out = s;
+    for (auto& c : out)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+  };
+  const std::string needle = fold(name);
+  for (const auto& s : single_agent_specs())
+    if (fold(s.name) == needle) return s.name;
+  for (const auto& s : multi_agent_specs())
+    if (fold(s.name) == needle) return s.name;
+  return std::nullopt;
 }
 
 std::unique_ptr<rl::Env> make_env(const std::string& name) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ std::vector<EnvSpec> single_agent_specs();
 std::vector<EnvSpec> multi_agent_specs();
 
 const EnvSpec& spec(const std::string& name);
+
+/// Case-insensitive registry lookup: "hopper" -> "Hopper". nullopt for
+/// unknown names. The scenario grammar resolves env components through this.
+std::optional<std::string> resolve_name(const std::string& name);
 
 /// Deployment-time environment (what the attacker faces). Throws CheckError
 /// on unknown names.

@@ -40,6 +40,10 @@ class SparseLocomotionEnv : public rl::EnvBase<SparseLocomotionEnv> {
   std::vector<double> reset(Rng& rng) override;
   rl::StepResult step(const std::vector<double>& action) override;
 
+  bool apply_dynamics(const rl::DynamicsScales& scales) override {
+    return inner_.apply_dynamics(scales);
+  }
+
   double goal_distance() const { return goal_; }
   const LocomotorEnv& inner() const { return inner_; }
 

@@ -28,6 +28,14 @@ struct StepResult {
   bool task_completed = false;
 };
 
+/// Multiplicative dynamics scales for procedural env families (the scenario
+/// layer's mass/gain domain randomization). Neutral scales (1, 1) must be a
+/// no-op: applying them restores the environment's pristine dynamics.
+struct DynamicsScales {
+  double mass = 1.0;  ///< inertia: accelerations divide by this
+  double gain = 1.0;  ///< actuator strength: control authority multiplies
+};
+
 /// Single-agent environment interface (the Gym contract, minus Python).
 /// Implementations are small value types; `clone` supports parallel
 /// evaluation and wrapper composition.
@@ -45,6 +53,16 @@ class Env {
 
   virtual std::vector<double> reset(Rng& rng) = 0;
   virtual StepResult step(const std::vector<double>& action) = 0;
+
+  /// Rescale the dynamics from the env's PRISTINE parameters (repeated
+  /// application never compounds). Returns false when the env family has no
+  /// randomizable dynamics — the scenario layer turns that into a
+  /// construction-time error for dr[mass/gain] specs. Takes effect from the
+  /// next reset/step; callers apply it between episodes.
+  virtual bool apply_dynamics(const DynamicsScales& scales) {
+    (void)scales;
+    return false;
+  }
 
   virtual std::unique_ptr<Env> clone() const = 0;
 };

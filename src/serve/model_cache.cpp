@@ -7,10 +7,32 @@
 
 #include "common/check.h"
 #include "common/serialize.h"
+#include "scenario/spec.h"
 
 namespace imap::serve {
 
 namespace {
+
+/// Canonical cache identity for a lookup name: the canonical scenario string
+/// when the name parses, the raw name verbatim otherwise (injected synthetic
+/// victims bypass the grammar instead of faulting residency lookups).
+std::string cache_ident(const std::string& name) {
+  const auto canon = scenario::try_canonical(name);
+  return canon ? *canon : name;
+}
+
+/// Fill a model's scenario identity fields from `ident`; resolves the base
+/// env the checkpoint lives under.
+void fill_scenario(ServedModel& model, const std::string& ident) {
+  model.scenario = ident;
+  model.env = ident;
+  if (scenario::try_canonical(ident)) {
+    const auto spec = scenario::parse(ident);
+    model.env = spec.env;
+    model.epsilon = spec.epsilon();
+    model.budget = spec.budget();
+  }
+}
 
 /// CRC-32 over the checkpoint's payload — the content half of the cache
 /// key. Archive files end in a 4-byte crc32(payload) trailer, and CRC-32 of
@@ -38,15 +60,18 @@ ModelCache::ModelCache(core::Zoo& zoo, Options opts, ServeMetrics* metrics)
 }
 
 std::shared_ptr<const ServedModel> ModelCache::build(
-    const std::string& env, const std::string& defense) {
+    const std::string& ident, const std::string& defense) {
   auto model = std::make_shared<ServedModel>();
-  model->env = env;
+  fill_scenario(*model, ident);
   model->defense = defense;
-  model->path = zoo_.checkpoint_path(env, defense);
+  // The checkpoint is the BASE env's victim — every scenario over that env
+  // serves the same bytes; the scenario only changes the reported threat
+  // model (and what the client wraps around the victim's answers).
+  model->path = zoo_.checkpoint_path(model->env, defense);
   // The zoo call loads the checkpoint (training it first on a cold zoo) and
   // CRC-verifies the archive trailer during the parse; the file-level CRC
   // below is this cache's own fingerprint of the exact bytes served.
-  model->policy = zoo_.victim_shared(env, defense);
+  model->policy = zoo_.victim_shared(model->env, defense);
   model->archive_version = kFormatVersion;
   IMAP_CHECK_MSG(crc_of_file(model->path, model->content_crc),
                  "checkpoint vanished after load: " << model->path);
@@ -61,7 +86,8 @@ std::shared_ptr<const ServedModel> ModelCache::build(
 
 std::shared_ptr<const ServedModel> ModelCache::get(const std::string& env,
                                                    const std::string& defense) {
-  const std::string key = env + "|" + defense;
+  const std::string ident = cache_ident(env);
+  const std::string key = ident + "|" + defense;
   const auto ttl = std::chrono::milliseconds(opts_.ttl_ms);
 
   bool reload = false;  // expired entry whose bytes changed on disk
@@ -102,7 +128,7 @@ std::shared_ptr<const ServedModel> ModelCache::get(const std::string& env,
   // loads (possibly training a victim from scratch on a cold zoo).
   std::shared_ptr<const ServedModel> model;
   try {
-    model = build(env, defense);
+    model = build(ident, defense);
   } catch (...) {
     std::lock_guard<std::mutex> lk(m_);
     loading_.erase(key);
@@ -128,7 +154,7 @@ std::shared_ptr<const ServedModel> ModelCache::get(const std::string& env,
 void ModelCache::invalidate(const std::string& env,
                             const std::string& defense) {
   std::lock_guard<std::mutex> lk(m_);
-  entries_.erase(env + "|" + defense);
+  entries_.erase(cache_ident(env) + "|" + defense);
 }
 
 void ModelCache::invalidate_all() {
@@ -140,7 +166,7 @@ std::shared_ptr<const ServedModel> ModelCache::put(
     const std::string& env, const std::string& defense,
     std::shared_ptr<const nn::GaussianPolicy> policy) {
   auto model = std::make_shared<ServedModel>();
-  model->env = env;
+  fill_scenario(*model, cache_ident(env));
   model->defense = defense;
   model->archive_version = kFormatVersion;
   model->quantized = opts_.quant;
@@ -183,10 +209,13 @@ std::string ModelCache::render_json() const {
             .count();
     if (!first) os << ",";
     first = false;
-    os << "{\"env\":\"" << m.env << "\",\"defense\":\"" << m.defense
+    os << "{\"env\":\"" << m.env << "\",\"scenario\":\"" << m.scenario
+       << "\",\"defense\":\"" << m.defense
        << "\",\"archive_version\":" << m.archive_version
        << ",\"content_crc\":" << m.content_crc
        << ",\"quantized\":" << (m.quantized ? "true" : "false")
+       << ",\"epsilon\":" << scenario::format_number(m.epsilon)
+       << ",\"budget\":" << scenario::format_number(m.budget)
        << ",\"age_ms\":" << age << "}";
   }
   os << "]";

@@ -24,17 +24,25 @@ namespace imap::serve {
 /// the duration of a request: a concurrent hot-swap publishes a new
 /// ServedModel without invalidating rows already in flight on the old one.
 struct ServedModel {
-  std::string env;
+  std::string env;                ///< base registry env backing the victim
+  /// Canonical scenario string this entry serves (= env for plain lookups;
+  /// the raw name verbatim for injected synthetic victims that don't parse).
+  /// Distinct scenarios over one base env are distinct residents, each
+  /// reporting its own threat-model ε/budget, all loading the same
+  /// checkpoint.
+  std::string scenario;
   std::string defense;
   std::string path;               ///< checkpoint file ("" for injected nets)
   std::uint64_t archive_version = 0;
   std::uint32_t content_crc = 0;  ///< CRC-32 over the checkpoint bytes
   proc::FileSig sig;              ///< on-disk signature at verification time
   bool quantized = false;
+  double epsilon = 0.0;           ///< scenario obs-perturbation ε
+  double budget = 0.0;            ///< per-episode ε budget (0 = unbounded)
   std::shared_ptr<const nn::GaussianPolicy> policy;
   rl::PolicyHandle handle;        ///< int8 or fp64, fixed at build time
 
-  std::string key() const { return env + "|" + defense; }
+  std::string key() const { return scenario + "|" + defense; }
 };
 
 /// TTL'd, capacity-bounded cache of resident victims.
@@ -61,8 +69,11 @@ class ModelCache {
 
   ModelCache(core::Zoo& zoo, Options opts, ServeMetrics* metrics = nullptr);
 
-  /// Resident model for (env, defense); loads/trains on miss, revalidates
-  /// on TTL expiry. Throws CheckError for unknown envs.
+  /// Resident model for (env-or-scenario, defense); loads/trains on miss,
+  /// revalidates on TTL expiry. `env` may be any scenario string — it is
+  /// canonicalized first so equal scenarios share one resident; names that
+  /// don't parse (injected synthetic victims) key verbatim. Throws
+  /// CheckError for unknown registry envs.
   std::shared_ptr<const ServedModel> get(const std::string& env,
                                          const std::string& defense);
 
@@ -92,8 +103,9 @@ class ModelCache {
   };
 
   /// Read + CRC + parse the checkpoint at its current on-disk state, train
-  /// it first if absent. Called outside the mutex (slow path).
-  std::shared_ptr<const ServedModel> build(const std::string& env,
+  /// it first if absent. `ident` is the already-canonicalized scenario (or
+  /// verbatim synthetic name). Called outside the mutex (slow path).
+  std::shared_ptr<const ServedModel> build(const std::string& ident,
                                            const std::string& defense);
   void evict_over_capacity_locked();
 

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/proc.h"
 #include "nn/batch.h"
+#include "scenario/spec.h"
 
 namespace imap::serve {
 
@@ -320,7 +321,11 @@ std::string Server::dispatch(const HttpRequest& req, int& status,
 
 std::string Server::route_infer(const HttpRequest& req, int& status) {
   metrics_.infer_requests.inc();
-  const std::string env = req.param("env");
+  // `scenario` names a full threat-model scenario string; `env` is the
+  // historical spelling (and any env name IS a trivial scenario), so the two
+  // share one lookup path and one residency key space.
+  const std::string env =
+      req.param("scenario").empty() ? req.param("env") : req.param("scenario");
   if (env.empty()) {
     status = 400;
     return json_error("missing env parameter");
@@ -380,9 +385,20 @@ std::string Server::route_infer(const HttpRequest& req, int& status) {
 std::string Server::route_attack_train(const HttpRequest& req, int& status) {
   core::AttackPlan plan;
   plan.env_name = req.param("env");
-  if (plan.env_name.empty()) {
+  plan.scenario = req.param("scenario");
+  if (plan.scenario.empty() && plan.env_name.empty()) {
     status = 400;
     return json_error("missing env parameter");
+  }
+  if (!plan.scenario.empty()) {
+    // Validate eagerly so a malformed scenario is a 400 here, not a dead
+    // job later; the runner canonicalizes again on its side.
+    if (!scenario::try_canonical(plan.scenario)) {
+      status = 400;
+      return json_error("malformed scenario: " + plan.scenario);
+    }
+    if (plan.env_name.empty())
+      plan.env_name = scenario::parse(plan.scenario).env;
   }
   plan.defense = req.param("defense", "PPO");
   const std::string attack = req.param("attack", "IMAP-PC");

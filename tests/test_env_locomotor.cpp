@@ -178,6 +178,40 @@ TEST(Locomotor, RejectsWrongActionWidth) {
   EXPECT_THROW(env->step({0.0}), CheckError);
 }
 
+TEST(Locomotor, ApplyDynamicsScalesFromPristineBase) {
+  auto env = make_hopper();
+  // The scenario layer's DR hook: thrust authority scales by gain/mass, the
+  // destabilizing coupling by gain — always from the PRISTINE construction
+  // params, so repeated per-episode draws never compound.
+  ASSERT_TRUE(env->apply_dynamics(rl::DynamicsScales{2.0, 1.0}));
+  ASSERT_TRUE(env->apply_dynamics(rl::DynamicsScales{2.0, 1.0}));
+  auto heavy_env = make_hopper();
+  ASSERT_TRUE(heavy_env->apply_dynamics(rl::DynamicsScales{2.0, 1.0}));
+  // One application == two applications of the same scales (no compounding):
+  // identical rollouts from identical Rng streams.
+  Rng a(9), b(9);
+  auto o1 = env->reset(a);
+  auto o2 = heavy_env->reset(b);
+  EXPECT_EQ(o1, o2);
+  const std::vector<double> u(hopper_params().n_joints, 0.5);
+  for (int t = 0; t < 25; ++t) {
+    const auto s1 = env->step(u);
+    const auto s2 = heavy_env->step(u);
+    EXPECT_EQ(s1.obs, s2.obs) << "t=" << t;
+    EXPECT_EQ(s1.reward, s2.reward) << "t=" << t;
+  }
+  // Restoring 1/1 restores the stock dynamics exactly.
+  ASSERT_TRUE(env->apply_dynamics(rl::DynamicsScales{}));
+  auto stock = make_hopper();
+  Rng c(9), d(9);
+  EXPECT_EQ(env->reset(c), stock->reset(d));
+  const auto s1 = env->step(u);
+  const auto s2 = stock->step(u);
+  EXPECT_EQ(s1.obs, s2.obs);
+  // Non-positive scales are rejected loudly.
+  EXPECT_THROW(env->apply_dynamics(rl::DynamicsScales{0.0, 1.0}), CheckError);
+}
+
 TEST(Locomotor, PointOfNoReturnExistsAtSpeed) {
   // Analytic property the attack relies on: at the vanilla victim's cruising
   // speed, ‖d‖₁ / instab_eff < θ_max, i.e. there is an irrecoverable

@@ -98,6 +98,83 @@ TEST_F(ExperimentTest, DefaultBudgetsScaleAndFloor) {
             runner.default_attack_steps("Hopper"));
 }
 
+TEST_F(ExperimentTest, TrivialScenarioKeepsBaselineCacheKeys) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan base;
+  base.env_name = "FetchReach";
+  base.attack = AttackKind::ImapPC;
+  // Spelling the baseline as a trivial scenario (any casing) must normalize
+  // to the exact legacy plan — same cache key, same rng stream, same cell.
+  AttackPlan scn;
+  scn.scenario = "fetchreach";
+  scn.attack = AttackKind::ImapPC;
+  const auto norm = runner.normalize_plan(scn);
+  EXPECT_EQ(norm.env_name, "FetchReach");
+  EXPECT_TRUE(norm.scenario.empty());
+  EXPECT_EQ(runner.cache_key(norm, 1000, 10), runner.cache_key(base, 1000, 10));
+}
+
+TEST_F(ExperimentTest, ScenarioPlansGetDistinctKeysAndExplicitThreat) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan base;
+  base.env_name = "FetchReach";
+  base.attack = AttackKind::SaRl;
+  // A channel scenario is a different cell than the baseline...
+  AttackPlan scn;
+  scn.scenario = "fetchreach+obs_delay:2";
+  scn.attack = AttackKind::SaRl;
+  const auto norm = runner.normalize_plan(scn);
+  // ...and the implicit attack channel becomes explicit in its identity.
+  EXPECT_EQ(norm.scenario, "FetchReach+obs_perturb:0.1+obs_delay:2");
+  EXPECT_EQ(norm.env_name, "FetchReach");
+  EXPECT_NE(runner.cache_key(norm, 1000, 10), runner.cache_key(base, 1000, 10));
+  // Equal scenarios, however spelled, share a key.
+  AttackPlan respelled;
+  respelled.scenario = "FETCHREACH+obs_delay:2+obs_perturb:0.1";
+  respelled.attack = AttackKind::SaRl;
+  EXPECT_EQ(runner.cache_key(runner.normalize_plan(respelled), 1000, 10),
+            runner.cache_key(norm, 1000, 10));
+}
+
+TEST_F(ExperimentTest, ScenarioAttackRunsAndCaches) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.scenario = "fetchreach+obs_perturb:0.1+dr[budget:0.5..1]+budget:0.4@5";
+  plan.attack = AttackKind::SaRl;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 5;
+  const auto out = runner.run(plan);
+  EXPECT_FALSE(out.curve.empty());
+  EXPECT_EQ(out.victim_eval.episode_returns.size(), 5u);
+
+  // Warm re-run from a fresh runner: identical bits from the result cache.
+  ExperimentRunner runner2(cfg_);
+  const auto again = runner2.run(plan);
+  EXPECT_EQ(again.victim_eval.episode_returns,
+            out.victim_eval.episode_returns);
+  EXPECT_EQ(again.curve.size(), out.curve.size());
+}
+
+TEST_F(ExperimentTest, ScenarioNoAttackEvaluatesThroughChannels) {
+  ExperimentRunner runner(cfg_);
+  AttackPlan plan;
+  plan.scenario = "hopper+obs_noise:0.2@3";
+  plan.attack = AttackKind::None;
+  plan.eval_episodes = 10;
+  const auto noisy = runner.run(plan);
+  EXPECT_EQ(noisy.victim_eval.episode_returns.size(), 10u);
+  EXPECT_TRUE(noisy.curve.empty());
+
+  AttackPlan clean;
+  clean.env_name = "Hopper";
+  clean.attack = AttackKind::None;
+  clean.eval_episodes = 10;
+  const auto base = runner.run(clean);
+  // The noise channel actually reaches the victim: different episodes.
+  EXPECT_NE(noisy.victim_eval.episode_returns,
+            base.victim_eval.episode_returns);
+}
+
 TEST_F(ExperimentTest, MultiAgentPlanRoutesToOpponentAttack) {
   ExperimentRunner runner(cfg_);
   AttackPlan plan;

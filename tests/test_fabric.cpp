@@ -24,6 +24,8 @@
 #include "env/registry.h"
 #include "nn/gaussian.h"
 #include "rl/ppo.h"
+#include "scenario/scenario_env.h"
+#include "scenario/spec.h"
 #include "temp_dir.h"
 
 namespace imap {
@@ -276,6 +278,37 @@ TEST(FabricCollect, OpponentThreatModelIdenticalFor1And2And4Procs) {
   expect_procs_invariant(proto, small_fabric_opts());
 }
 
+TEST(FabricCollect, RandomizedScenarioIdenticalForAnyFactorization) {
+  // A procedurally randomized scenario (seeded DR + stochastic channels +
+  // budget) draws everything from the slot Rng, so its rollouts must stay
+  // bit-identical across process counts AND worker×slot splits — 8 global
+  // slots as 4×2 @ 1 proc vs 2×4 @ 2 procs vs 4×2 @ 4 procs.
+  const auto spec = scenario::parse(
+      "hopper+obs_perturb:0.075+obs_delay:2+obs_dropout:0.2+obs_noise:0.05"
+      "+budget:0.5+dr[gain:0.9..1.1,mass:0.8..1.2]@7");
+  const auto inner = env::make_env(spec.env);
+  Rng vr(11);
+  nn::GaussianPolicy victim(inner->obs_dim(), inner->act_dim(), {16, 16}, vr);
+  const auto proto = scenario::make_scenario_env(
+      spec, rl::PolicyHandle::snapshot(victim), attack::RewardMode::Adversary);
+
+  auto opts = small_fabric_opts();
+  std::vector<double> p42_1, p24_2, p42_4;
+  opts.num_workers = 4;
+  opts.envs_per_worker = 2;
+  const auto s42_1 = run_procs(*proto, opts, 1, 2, p42_1);
+  opts.num_workers = 2;
+  opts.envs_per_worker = 4;
+  const auto s24_2 = run_procs(*proto, opts, 2, 2, p24_2);
+  opts.num_workers = 4;
+  opts.envs_per_worker = 2;
+  const auto s42_4 = run_procs(*proto, opts, 4, 2, p42_4);
+  expect_identical(s42_1, s24_2);
+  expect_identical(s42_1, s42_4);
+  EXPECT_EQ(p42_1, p24_2);
+  EXPECT_EQ(p42_1, p42_4);
+}
+
 TEST(FabricCollect, WorkerSlotFactorizationsMatchAcrossProcessCounts) {
   // 8 global slots as 4 workers × 2 slots vs 2 workers × 4 slots, each at
   // every process count — the trace is keyed to the TOTAL slot count only.
@@ -451,6 +484,49 @@ TEST(DagScheduler, KilledWorkerIsRedispatchedAndResumesFromSnapshot) {
   expect_outcomes_equal(ref, out);
   std::filesystem::remove_all(base + "_serial");
   std::filesystem::remove_all(base + "_fabric");
+}
+
+TEST(DagScheduler, RandomizedScenarioGridMatchesSerialRun) {
+  // A grid mixing a baseline cell with a randomized scenario cell: the
+  // scenario cell shares the baseline's victim node (one Hopper train), and
+  // the whole grid is 1-vs-N procs invariant bit for bit.
+  std::vector<core::AttackPlan> plans;
+  core::AttackPlan base;
+  base.env_name = "Hopper";
+  base.attack = core::AttackKind::None;
+  base.eval_episodes = 4;
+  plans.push_back(base);
+  core::AttackPlan scn;
+  scn.scenario = "hopper+obs_perturb:0.075+obs_delay:1+dr[mass:0.9..1.1]@13";
+  scn.attack = core::AttackKind::ImapPC;
+  scn.attack_steps = 4096;
+  scn.eval_episodes = 4;
+  plans.push_back(scn);
+
+  const auto base_dir = testing::unique_temp_dir("fabric_dag_scenario");
+  {
+    core::ExperimentRunner runner(small_cfg(base_dir + "_probe"));
+    std::vector<std::size_t> node_of_plan;
+    const auto nodes = core::build_experiment_dag(runner, plans, node_of_plan);
+    ASSERT_EQ(nodes.size(), 3u);  // one shared victim + two attack cells
+    EXPECT_EQ(nodes[0].kind, core::DagNode::Kind::Victim);
+  }
+
+  core::DagOptions serial_opts;
+  serial_opts.procs = 1;
+  core::DagScheduler serial(small_cfg(base_dir + "_serial"), serial_opts);
+  const auto ref = serial.run(plans);
+
+  core::DagOptions fabric_opts;
+  fabric_opts.procs = 2;
+  core::DagScheduler fabric(small_cfg(base_dir + "_fabric"), fabric_opts);
+  const auto out = fabric.run(plans);
+  EXPECT_EQ(fabric.stats().worker_deaths, 0);
+
+  expect_outcomes_equal(ref, out);
+  std::filesystem::remove_all(base_dir + "_probe");
+  std::filesystem::remove_all(base_dir + "_serial");
+  std::filesystem::remove_all(base_dir + "_fabric");
 }
 
 // ---------------------------------------------------------------------------

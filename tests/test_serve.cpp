@@ -340,6 +340,35 @@ TEST_F(ModelCacheTest, ModelsJsonListsResidentEntries) {
   EXPECT_NE(json.find("\"archive_version\":2"), std::string::npos);
 }
 
+TEST_F(ModelCacheTest, ScenarioEntriesCarryThreatModelAndShareTheCheckpoint) {
+  ServeMetrics metrics;
+  ModelCache cache(*zoo_, {.capacity = 4, .ttl_ms = 60'000, .quant = false},
+                   &metrics);
+  const auto base = cache.get("Hopper", "PPO");
+  const auto scn = cache.get("hopper+obs_perturb:0.2+budget:0.4", "PPO");
+  // Distinct residency entries (the threat model is part of the identity)...
+  EXPECT_NE(base.get(), scn.get());
+  EXPECT_EQ(cache.size(), 2u);
+  // ...over ONE underlying artifact: same path, same bytes, one parse.
+  EXPECT_EQ(scn->env, "Hopper");
+  EXPECT_EQ(scn->scenario, "Hopper+obs_perturb:0.2+budget:0.4");
+  EXPECT_DOUBLE_EQ(scn->epsilon, 0.2);
+  EXPECT_DOUBLE_EQ(scn->budget, 0.4);
+  EXPECT_EQ(scn->path, base->path);
+  EXPECT_EQ(scn->content_crc, base->content_crc);
+  EXPECT_EQ(scn->policy.get(), base->policy.get());
+  EXPECT_EQ(zoo_->full_loads(), 1u);
+  // Any spelling of the same scenario hits the same entry.
+  const auto again = cache.get("HOPPER+budget:0.4+obs_perturb:0.2", "PPO");
+  EXPECT_EQ(again.get(), scn.get());
+  // The listing reports the threat-model fields.
+  const auto json = cache.render_json();
+  EXPECT_NE(json.find("\"scenario\":\"Hopper+obs_perturb:0.2+budget:0.4\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"epsilon\":0.2"), std::string::npos);
+  EXPECT_NE(json.find("\"budget\":0.4"), std::string::npos);
+}
+
 // The satellite fix: a second Zoo lookup of an already-verified checkpoint
 // must not re-read the archive.
 TEST_F(ModelCacheTest, ZooMemoizesVerifiedCheckpoints) {
@@ -571,6 +600,30 @@ TEST_F(ServerTest, ModelsLifecycleOverHttp) {
             200);
   listing = body_of(roundtrip("GET", "/models"));
   EXPECT_EQ(listing, "[]");
+}
+
+TEST_F(ServerTest, ScenarioInferServesBaseVictimAndReportsThreatModel) {
+  const auto obs = make_obs(33);
+  const auto resp = roundtrip("POST", "/infer?scenario=hopper+obs_perturb:0.2",
+                              format_row(obs));
+  ASSERT_EQ(status_of(resp), 200);
+  // The scenario resolves to its base env's checkpoint — same answers as a
+  // plain Hopper infer, bit for bit.
+  const auto direct =
+      rl::PolicyHandle::serving(make_net(1), /*quantized=*/true);
+  EXPECT_EQ(body_of(resp), format_row(direct.query(obs)));
+
+  const auto listing = body_of(roundtrip("GET", "/models"));
+  EXPECT_NE(listing.find("\"scenario\":\"Hopper+obs_perturb:0.2\""),
+            std::string::npos);
+  EXPECT_NE(listing.find("\"env\":\"Hopper\""), std::string::npos);
+  EXPECT_NE(listing.find("\"epsilon\":0.2"), std::string::npos);
+  EXPECT_NE(listing.find("\"budget\":0"), std::string::npos);
+
+  // A malformed scenario is a 400, never a 500 (and never a training run).
+  EXPECT_EQ(status_of(roundtrip("POST", "/infer?scenario=hopper+bogus:1",
+                                format_row(obs))),
+            400);
 }
 
 TEST_F(ServerTest, AttackTrainJobRunsToCompletion) {

@@ -303,5 +303,47 @@ TEST_F(SnapshotTest, RunnerHaltLeavesSnapshotAndResumesToSameResult) {
   EXPECT_TRUE(std::filesystem::exists(cfg.zoo_dir + "/results"));
 }
 
+TEST_F(SnapshotTest, RunnerResumesRandomizedScenarioBitIdentically) {
+  // Same halt/resume contract, but through the scenario layer: a procedurally
+  // randomized cell (seeded DR + delay + perturbation channel) must come back
+  // from a snapshot bit-identical to the uninterrupted run — i.e. the slot Rng
+  // discipline that draws dynamics factors at reset survives the round trip.
+  core::AttackPlan plan;
+  plan.scenario = "hopper+obs_perturb:0.075+obs_delay:1+dr[mass:0.9..1.1]@11";
+  plan.attack = core::AttackKind::ImapPC;
+  plan.attack_steps = 4096;
+  plan.eval_episodes = 5;
+
+  BenchConfig cfg;
+  cfg.zoo_dir = dir_ + "/zoo";
+  cfg.scale = 0.01;
+  cfg.seed = 7;
+
+  BenchConfig ref_cfg = cfg;
+  ref_cfg.zoo_dir = dir_ + "/zoo_ref";
+  core::ExperimentRunner reference(ref_cfg);
+  const auto want = reference.run(plan);
+  ASSERT_TRUE(want.completed);
+
+  BenchConfig halt_cfg = cfg;
+  halt_cfg.snapshot_every = 1;
+  halt_cfg.halt_after_iters = 1;
+  core::ExperimentRunner halted(halt_cfg);
+  const auto partial = halted.run(plan);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.curve.size(), 1u);
+
+  core::ExperimentRunner resumed(cfg);
+  const auto got = resumed.run(plan);
+  ASSERT_TRUE(got.completed);
+  ASSERT_EQ(got.curve.size(), want.curve.size());
+  for (std::size_t i = 0; i < want.curve.size(); ++i) {
+    EXPECT_EQ(got.curve[i].steps, want.curve[i].steps);
+    EXPECT_EQ(got.curve[i].victim_success, want.curve[i].victim_success);
+    EXPECT_EQ(got.curve[i].tau, want.curve[i].tau);
+  }
+  EXPECT_EQ(got.victim_eval.episode_returns, want.victim_eval.episode_returns);
+}
+
 }  // namespace
 }  // namespace imap

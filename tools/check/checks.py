@@ -52,7 +52,8 @@ import shlex
 import cpp_ast
 from cpp_ast import FLOAT_TYPES, is_allocating_type, is_float_literal
 
-HOT_DIRS = ("src/nn/", "src/rl/", "src/attack/", "src/serve/")
+HOT_DIRS = ("src/nn/", "src/rl/", "src/attack/", "src/serve/",
+            "src/scenario/")
 
 PARALLEL_ENTRY = {"parallel_for", "parallel_for_chunked", "submit"}
 

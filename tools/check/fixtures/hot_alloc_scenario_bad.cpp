@@ -1,0 +1,28 @@
+// Fixture: channel-pipeline shapes — per-tick scratch constructed inside
+// the corrupt/perturb loops of a scenario channel stack. Checked under a
+// src/scenario/ path, every marked line must trip hot-loop-alloc; the
+// pipeline runs on every environment step of every rollout slot and must
+// reuse its buffers.
+#include <cstddef>
+#include <vector>
+
+namespace imap {
+
+void corrupt_observations(std::size_t ticks, std::size_t obs_dim) {
+  for (std::size_t t = 0; t < ticks; ++t) {
+    std::vector<double> delayed(obs_dim);   // BAD: per-tick delay-ring slot
+    std::vector<double> noisy(obs_dim);     // BAD: per-tick noise scratch
+    noisy[0] = delayed.size() > 0 ? 1.0 : 0.0;
+  }
+}
+
+void perturb_actions(std::size_t ticks, std::size_t act_dim) {
+  std::size_t t = 0;
+  while (t < ticks) {
+    std::vector<double> out(act_dim);  // BAD: per-tick perturbed action
+    out[0] = static_cast<double>(t);
+    ++t;
+  }
+}
+
+}  // namespace imap

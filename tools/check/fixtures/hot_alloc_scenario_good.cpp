@@ -1,0 +1,29 @@
+// Fixture: the allocation-free counterpart of hot_alloc_scenario_bad.cpp —
+// hoisted ring/scratch buffers assigned per tick, the way ChannelPipeline
+// actually works. Must stay clean under a src/scenario/ path.
+#include <cstddef>
+#include <vector>
+
+namespace imap {
+
+void corrupt_observations(std::size_t ticks, std::size_t obs_dim) {
+  std::vector<double> delayed;  // hoisted: capacity survives the loop
+  std::vector<double> noisy;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    delayed.assign(obs_dim, 0.0);
+    noisy.assign(obs_dim, 0.0);
+    noisy[0] = delayed.size() > 0 ? 1.0 : 0.0;
+  }
+}
+
+void perturb_actions(std::size_t ticks, std::size_t act_dim) {
+  thread_local std::vector<double> out;  // per-thread reusable scratch
+  std::size_t t = 0;
+  while (t < ticks) {
+    out.assign(act_dim, 0.0);
+    out[0] = static_cast<double>(t);
+    ++t;
+  }
+}
+
+}  // namespace imap

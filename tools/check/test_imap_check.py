@@ -111,6 +111,21 @@ class TestHotLoopAlloc(unittest.TestCase):
                            "src/serve/hot_alloc_serve_good.cpp")
         self.assertEqual(fs, [])
 
+    def test_scenario_layer_is_a_hot_path(self):
+        # Per-tick delay-ring / noise / perturbed-action scratch inside the
+        # channel-pipeline loops — src/scenario/ corrupts observations on
+        # every environment step of every rollout slot and is held to the
+        # same allocation-free steady state as the engine it feeds.
+        fs = check_fixture("hot_alloc_scenario_bad.cpp",
+                           "src/scenario/hot_alloc_scenario_bad.cpp")
+        self.assertEqual(rules_of(fs), ["hot-loop-alloc"])
+        self.assertEqual(lines_of(fs), [13, 14, 22])
+
+    def test_scenario_layer_good_fixture_is_clean(self):
+        fs = check_fixture("hot_alloc_scenario_good.cpp",
+                           "src/scenario/hot_alloc_scenario_good.cpp")
+        self.assertEqual(fs, [])
+
 
 class TestFloatEq(unittest.TestCase):
     def test_bad_fixture_types_computed_expressions(self):

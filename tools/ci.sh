@@ -59,16 +59,22 @@ ls "${CKPT_ZOO}"/results/*.res > /dev/null 2>&1 \
   || { echo "ci: completed run cached no results"; exit 1; }
 rm -rf "${CKPT_ZOO}"
 
-stage "fabric (2-process DAG grid + worker-crash drill vs serial run)"
-# End-to-end drill of the multi-process fabric: a 3-cell victim->attack->eval
+stage "fabric (2-process DAG grid + crash drill + randomized scenario cell)"
+# End-to-end drill of the multi-process fabric: a 4-cell victim->attack->eval
 # grid scheduled over 2 worker processes, with the first attack cell's worker
 # killed mid-run (SIGKILL-equivalent _exit without replying). The scheduler
 # must detect the death, re-dispatch the cell, resume it from its snapshot,
-# and the merged results must be bit-identical to a fresh serial run.
+# and the merged results must be bit-identical to a fresh serial run. The
+# fourth cell is a randomized SCENARIO (channel pipeline + seeded DR drawn
+# per reset from the slot Rng) — the bit-compare proves procedural
+# randomization is factorization-invariant across the process fabric too.
+CI_SCENARIO='hopper+obs_perturb:0.075+obs_delay:1+dr[mass:0.9..1.1]@7'
+"${BUILD_DIR}/tools/scenario_ls" "${CI_SCENARIO}" \
+  || { echo "ci: scenario string failed validation"; exit 1; }
 FABRIC_ZOO="$(pwd)/${BUILD_DIR}/ci_fabric_zoo"
 rm -rf "${FABRIC_ZOO}" "${FABRIC_ZOO}_serial"
 IMAP_BENCH_SCALE=0.001 "${BUILD_DIR}/tools/fabric_grid" \
-  --procs 2 --crash-nth 1 --compare \
+  --procs 2 --crash-nth 1 --compare --scenario "${CI_SCENARIO}" \
   --zoo "${FABRIC_ZOO}" --serial-zoo "${FABRIC_ZOO}_serial" || exit 1
 rm -rf "${FABRIC_ZOO}" "${FABRIC_ZOO}_serial"
 
@@ -95,6 +101,25 @@ IMAP_BENCH_NO_PROBE=1 "${BUILD_DIR}/bench/bench_micro_infer" \
 ( cd "${BUILD_DIR}" &&
   IMAP_BENCH_SERVE_ITERS=2 IMAP_BENCH_SERVE_REPS=1 ./bench/bench_serve \
   > /dev/null ) || exit 1
+
+stage "bench-diff (rollout steps/s gate vs tracked BENCH_rollout.json)"
+# Regenerate the rollout-collection probe in the build dir (min-of-7
+# collects, serial vs vectorized, bit-identity asserted) and gate it against
+# the tracked baseline: a >10% steps/s regression fails the stage. One warm
+# retry absorbs cold-start noise (page cache, CPU frequency ramp); a real
+# regression fails both runs.
+run_rollout_probe() {
+  ( cd "${BUILD_DIR}" &&
+    IMAP_BENCH_ROLLOUT_PROBE_ONLY=1 ./bench/bench_micro_ppo > /dev/null )
+}
+run_rollout_probe || exit 1
+if ! python3 tools/bench_diff.py BENCH_rollout.json \
+       "${BUILD_DIR}/BENCH_rollout.json"; then
+  echo "ci: rollout probe below baseline; retrying once (cold-start noise)"
+  run_rollout_probe || exit 1
+  python3 tools/bench_diff.py BENCH_rollout.json \
+    "${BUILD_DIR}/BENCH_rollout.json" || exit 1
+fi
 
 stage "serve (daemon lifecycle: start, concurrent smoke, clean shutdown)"
 # End-to-end drill of the imap_serve daemon as a real process: ephemeral

@@ -4,7 +4,7 @@
 //
 //   Usage: fabric_grid [--procs N] [--crash-nth K] [--zoo DIR]
 //                      [--serial-zoo DIR] [--steps N] [--episodes N]
-//                      [--compare]
+//                      [--scenario SPEC] [--compare]
 //
 //   --procs N       worker processes for the DAG run (default 2)
 //   --crash-nth K   crash drill: kill the worker executing the Kth attack
@@ -14,6 +14,9 @@
 //   --serial-zoo D  store for the serial reference run (default <zoo>_serial)
 //   --steps N       attack training steps per cell (default 4096)
 //   --episodes N    eval episodes per cell (default 10)
+//   --scenario S    append an SA-RL attack cell over scenario string S (e.g.
+//                   "hopper+obs_delay:1+dr[mass:0.9..1.1]@7"); it shares its
+//                   base env's victim node with the baseline cells
 //   --compare       also run the grid serially (1 process, fresh store) and
 //                   bit-compare every outcome; exit 1 on any mismatch
 //
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   bool compare = false;
   std::string zoo = "./fabric_zoo";
   std::string serial_zoo;
+  std::string scenario;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
     else if (arg == "--serial-zoo") serial_zoo = next();
     else if (arg == "--steps") steps = std::stoll(next());
     else if (arg == "--episodes") episodes = std::stoi(next());
+    else if (arg == "--scenario") scenario = next();
     else if (arg == "--compare") compare = true;
     else {
       std::cerr << "fabric_grid: unknown flag " << arg << "\n";
@@ -109,6 +114,17 @@ int main(int argc, char** argv) {
     imap::core::AttackPlan p;
     p.env_name = env;
     p.attack = kind;
+    p.attack_steps = steps;
+    p.eval_episodes = episodes;
+    plans.push_back(p);
+  }
+  if (!scenario.empty()) {
+    // Randomized-scenario cell: the full channel/DR pipeline under an SA-RL
+    // adversary, scheduled through the same DAG (and victim dedup) as the
+    // baseline cells.
+    imap::core::AttackPlan p;
+    p.scenario = scenario;
+    p.attack = AttackKind::SaRl;
     p.attack_steps = steps;
     p.eval_episodes = episodes;
     plans.push_back(p);
@@ -145,7 +161,9 @@ int main(int argc, char** argv) {
       std::string why;
       if (!outcomes_identical(out[i], ref[i], why)) {
         std::cerr << "fabric_grid: MISMATCH vs serial in plan " << i << " ("
-                  << plans[i].env_name << "): " << why << "\n";
+                  << (plans[i].scenario.empty() ? plans[i].env_name
+                                                : plans[i].scenario)
+                  << "): " << why << "\n";
         return 1;
       }
     }

@@ -1,0 +1,23 @@
+// Fixture: numeric std::vector scratch inside channel-pipeline loops —
+// linted under a src/scenario/ path each marked line must trip
+// hot-loop-alloc (the per-tick channel pipeline corrupts observations on
+// every environment step and must reuse its delay-ring / perturbation
+// buffers, never allocate per tick).
+#include <cstddef>
+#include <vector>
+
+void corrupt_ticks(std::size_t ticks, std::size_t obs_dim) {
+  for (std::size_t t = 0; t < ticks; ++t) {
+    std::vector<double> delayed(obs_dim);  // BAD: per-tick delay-ring slot
+    delayed[0] = static_cast<double>(t);
+  }
+}
+
+void perturb_ticks(std::size_t ticks, std::size_t obs_dim) {
+  std::size_t t = 0;
+  while (t < ticks) {
+    std::vector<double> perturbed(obs_dim);  // BAD: per-tick perturbation row
+    perturbed[0] = static_cast<double>(t);
+    ++t;
+  }
+}

@@ -251,6 +251,7 @@ def is_numeric_path(relpath: str) -> bool:
     numeric_dirs = (
         "src/nn/", "src/rl/", "src/core/", "src/phys/",
         "src/attack/", "src/defense/", "src/env/", "src/serve/",
+        "src/scenario/",
     )
     return relpath.startswith(numeric_dirs)
 
@@ -339,7 +340,8 @@ def lint_file(relpath: str, text: str) -> list[Finding]:
                 "header declares load_state but no save_state")
 
     # --- hot-loop-alloc (hot-path layers: kernels, rollout engine, attacks)
-    if relpath.startswith(("src/nn/", "src/rl/", "src/attack/", "src/serve/")):
+    if relpath.startswith(("src/nn/", "src/rl/", "src/attack/", "src/serve/",
+                           "src/scenario/")):
         for idx in hot_loop_alloc_lines(code):
             add(idx, "hot-loop-alloc",
                 "numeric std::vector constructed inside a loop in a "

@@ -71,7 +71,8 @@ class RuleFiring(unittest.TestCase):
         # reference inside a loop stay silent — in every hot-path layer.
         for rel in ("src/nn/bad_hot_alloc.cpp", "src/rl/bad_hot_alloc.cpp",
                     "src/attack/bad_hot_alloc.cpp",
-                    "src/serve/bad_hot_alloc.cpp"):
+                    "src/serve/bad_hot_alloc.cpp",
+                    "src/scenario/bad_hot_alloc.cpp"):
             findings = lint_fixture("bad_hot_alloc.cpp", relpath=rel)
             self.assertEqual(rules_of(findings), ["hot-loop-alloc"], rel)
             self.assertEqual(len(findings), 3, rel)
@@ -107,6 +108,17 @@ class RuleFiring(unittest.TestCase):
         self.assertEqual(len(findings), 2)
         # Path scoping still applies outside the hot-path layers.
         self.assertEqual(lint_fixture("bad_hot_alloc_serve.cpp"), [])
+
+    def test_hot_loop_alloc_fires_on_channel_pipeline_loops(self):
+        # Per-tick delay-ring slot and perturbation row — the scenario
+        # layer's channel pipeline runs every environment step and is a
+        # hot-path layer like the rollout engine it feeds.
+        findings = lint_fixture("bad_hot_alloc_scenario.cpp",
+                                relpath="src/scenario/bad_hot_alloc_scenario.cpp")
+        self.assertEqual(rules_of(findings), ["hot-loop-alloc"])
+        self.assertEqual(len(findings), 2)
+        # Path scoping still applies outside the hot-path layers.
+        self.assertEqual(lint_fixture("bad_hot_alloc_scenario.cpp"), [])
 
     def test_hot_loop_alloc_ignores_loop_header_and_suppresses(self):
         init = (
